@@ -1,0 +1,131 @@
+//===-- bench/BenchUtil.h - Shared benchmark harness helpers ----*- C++ -*-===//
+//
+// Part of the gpuc project: a reproduction of "A GPGPU Compiler for Memory
+// Optimization and Parallelism Management" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Common plumbing for the per-figure benchmark binaries: compiling a
+/// naive kernel to its design-space best, measuring simulated kernel
+/// times, and accumulating a printable table that mirrors the paper's
+/// figure. Each binary is a google-benchmark executable whose counters
+/// carry the simulated metrics; the paper-style table prints at exit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUC_BENCH_BENCHUTIL_H
+#define GPUC_BENCH_BENCHUTIL_H
+
+#include "baselines/CpuReference.h"
+#include "baselines/NaiveKernels.h"
+#include "core/Compiler.h"
+#include "support/StringUtils.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gpuc {
+namespace bench {
+
+/// One printable result row.
+struct Row {
+  std::string Label;
+  std::vector<std::pair<std::string, double>> Values;
+};
+
+/// Collects rows during benchmark runs, prints a table at program exit.
+class Report {
+public:
+  static Report &get() {
+    static Report R;
+    return R;
+  }
+
+  void setTitle(std::string T) { Title = std::move(T); }
+  void addNote(std::string N) { Notes.push_back(std::move(N)); }
+
+  void add(const std::string &Label,
+           std::vector<std::pair<std::string, double>> Values) {
+    Rows.push_back({Label, std::move(Values)});
+  }
+
+  void print() const {
+    std::printf("\n=== %s ===\n", Title.c_str());
+    for (const Row &R : Rows) {
+      std::printf("%-28s", R.Label.c_str());
+      for (const auto &[Name, V] : R.Values)
+        std::printf("  %s=%.3f", Name.c_str(), V);
+      std::printf("\n");
+    }
+    for (const std::string &N : Notes)
+      std::printf("note: %s\n", N.c_str());
+    std::printf("\n");
+  }
+
+private:
+  std::string Title;
+  std::vector<Row> Rows;
+  std::vector<std::string> Notes;
+};
+
+/// Simulated time of kernel \p K on \p Device (buffers auto-allocated).
+inline PerfResult measure(const DeviceSpec &Device, const KernelFunction &K) {
+  Simulator Sim(Device);
+  BufferSet B;
+  DiagnosticsEngine D;
+  return Sim.runPerformance(K, B, D);
+}
+
+/// Parses + measures the naive version of \p A at size \p N.
+inline PerfResult measureNaive(Module &M, const DeviceSpec &Device, Algo A,
+                               long long N) {
+  DiagnosticsEngine D;
+  KernelFunction *K = parseNaive(M, A, N, D);
+  if (!K)
+    return PerfResult();
+  return measure(Device, *K);
+}
+
+/// Full compile (empirical search included) and measurement.
+inline CompileOutput compileBest(Module &M, const DeviceSpec &Device, Algo A,
+                                 long long N) {
+  DiagnosticsEngine D;
+  KernelFunction *K = parseNaive(M, A, N, D);
+  CompileOutput Out;
+  if (!K)
+    return Out;
+  GpuCompiler GC(M, D);
+  CompileOptions Opt;
+  Opt.Device = Device;
+  return GC.compile(*K, Opt);
+}
+
+inline double geomean(const std::vector<double> &Xs) {
+  if (Xs.empty())
+    return 0;
+  double LogSum = 0;
+  for (double X : Xs)
+    LogSum += std::log(X);
+  return std::exp(LogSum / static_cast<double>(Xs.size()));
+}
+
+/// Standard main: run benchmarks once each, then print the figure table.
+#define GPUC_BENCH_MAIN()                                                    \
+  int main(int argc, char **argv) {                                         \
+    ::benchmark::Initialize(&argc, argv);                                    \
+    ::benchmark::RunSpecifiedBenchmarks();                                   \
+    ::gpuc::bench::Report::get().print();                                    \
+    return 0;                                                                \
+  }
+
+} // namespace bench
+} // namespace gpuc
+
+#endif // GPUC_BENCH_BENCHUTIL_H

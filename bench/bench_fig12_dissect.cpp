@@ -1,0 +1,131 @@
+//===-- bench/bench_fig12_dissect.cpp - Figure 12 reproduction ------------===//
+//
+// Figure 12: geometric-mean contribution of each compilation step across
+// all applications, on both GPUs: naive -> +coalescing -> +thread/block
+// merge -> +prefetch -> +partition-camping elimination. The paper finds
+// thread/thread-block merge dominates and prefetching contributes little
+// (registers are already spent).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace gpuc;
+using namespace gpuc::bench;
+
+namespace {
+
+struct StageDef {
+  const char *Name;
+  CompileOptions Opt; // Device is patched in
+  bool UseBestFactors;
+};
+
+std::vector<StageDef> stages() {
+  CompileOptions Coal;
+  Coal.Merge = Coal.Prefetch = Coal.PartitionElim = false;
+  CompileOptions Merge = Coal;
+  Merge.Merge = true;
+  CompileOptions Pref = Merge;
+  Pref.Prefetch = true;
+  CompileOptions Full;
+  return {{"naive", Coal, false},
+          {"+coalescing", Coal, false},
+          {"+merge", Merge, true},
+          {"+prefetch", Pref, true},
+          {"+partition", Full, true}};
+}
+
+long long benchSize(Algo A) {
+  switch (A) {
+  case Algo::RD:
+    return 1 << 21;
+  case Algo::VV:
+    return 1 << 20;
+  case Algo::CONV:
+    return 1024;
+  case Algo::STRSM:
+    return 512;
+  default:
+    return 1024;
+  }
+}
+
+// Speedup-over-naive per stage, collected across algorithms.
+std::map<std::string, std::vector<double>> StageSpeedups[2];
+
+void BM_Dissect(benchmark::State &State, Algo A, bool Gtx280) {
+  DeviceSpec Dev = Gtx280 ? DeviceSpec::gtx280() : DeviceSpec::gtx8800();
+  long long N = benchSize(A);
+  Module M;
+  DiagnosticsEngine D;
+  for (auto _ : State) {
+    KernelFunction *Naive = parseNaive(M, A, N, D);
+    if (!Naive)
+      continue;
+    PerfResult RN = measure(Dev, *Naive);
+    if (!RN.Valid)
+      continue;
+    GpuCompiler GC(M, D);
+    // Pick merge factors from the full pipeline's empirical search once.
+    CompileOptions FullOpt;
+    FullOpt.Device = Dev;
+    CompileOutput Best = GC.compile(*Naive, FullOpt);
+    int BN = Best.BestVariant.BlockMergeN;
+    int TM = Best.BestVariant.ThreadMergeM;
+    for (const StageDef &St : stages()) {
+      double Speedup = 1.0;
+      if (std::string(St.Name) != "naive") {
+        CompileOptions Opt = St.Opt;
+        Opt.Device = Dev;
+        KernelFunction *V = GC.compileVariant(
+            *Naive, Opt, St.UseBestFactors ? BN : 1,
+            St.UseBestFactors ? TM : 1);
+        if (V) {
+          PerfResult R = measure(Dev, *V);
+          if (R.Valid)
+            Speedup = RN.TimeMs / R.TimeMs;
+        }
+      }
+      StageSpeedups[Gtx280 ? 1 : 0][St.Name].push_back(Speedup);
+    }
+  }
+  State.counters["done"] = 1;
+}
+
+void registerAll() {
+  for (bool Gtx280 : {false, true})
+    for (Algo A : table1Algos())
+      benchmark::RegisterBenchmark(
+          strFormat("fig12/%s/%s", algoInfo(A).Name,
+                    Gtx280 ? "GTX280" : "GTX8800").c_str(),
+          [A, Gtx280](benchmark::State &S) { BM_Dissect(S, A, Gtx280); })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+}
+
+int Registered = (registerAll(), 0);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  Report::get().setTitle("Figure 12: per-step dissection "
+                         "(geomean speedup over naive, all algorithms)");
+  for (int Dev = 0; Dev < 2; ++Dev) {
+    const char *DevName = Dev ? "GTX280" : "GTX8800";
+    for (const StageDef &St : stages()) {
+      auto It = StageSpeedups[Dev].find(St.Name);
+      if (It == StageSpeedups[Dev].end())
+        continue;
+      Report::get().add(strFormat("%-8s %-12s", DevName, St.Name),
+                        {{"geomean_speedup_x", geomean(It->second)}});
+    }
+  }
+  Report::get().addNote("paper: merge dominates; prefetch contributes "
+                        "little; partition elimination matters more on "
+                        "GTX280");
+  Report::get().print();
+  return 0;
+}

@@ -1,0 +1,66 @@
+//===-- bench/bench_fig14_rd_vec.cpp - Figure 14 reproduction -------------===//
+//
+// Figure 14: effect of data vectorization on the complex-number reduction
+// (CublasScasum analog). The naive kernel reads A[2*idx] and A[2*idx+1];
+// with vectorization the pair becomes one coalesced float2 load straight
+// into registers, without it the compiler must stage through shared
+// memory, costing extra shared accesses and bandwidth.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace gpuc;
+using namespace gpuc::bench;
+
+namespace {
+
+void BM_CrdVec(benchmark::State &State, long long N, bool WithVec) {
+  DeviceSpec Dev = DeviceSpec::gtx280();
+  Module M;
+  DiagnosticsEngine D;
+  double Ms = 0, SharedAccesses = 0;
+  for (auto _ : State) {
+    KernelFunction *Naive = parseNaive(M, Algo::CRD, N, D);
+    if (!Naive)
+      continue;
+    GpuCompiler GC(M, D);
+    CompileOptions Opt;
+    Opt.Device = Dev;
+    Opt.Vectorize = WithVec;
+    CompileOutput Out = GC.compile(*Naive, Opt);
+    if (!Out.Best)
+      continue;
+    PerfResult R = measure(Dev, *Out.Best);
+    if (R.Valid) {
+      Ms = R.TimeMs;
+      SharedAccesses = R.Stats.SharedAccessHalfWarps;
+    }
+  }
+  State.counters["ms"] = Ms;
+  Report::get().add(
+      strFormat("crd n=%-9lld %s", N,
+                WithVec ? "optimized" : "optimized_wo_vec"),
+      {{"ms", Ms},
+       {"gbps_effective",
+        Ms > 0 ? algoUsefulBytes(Algo::CRD, N) / (Ms * 1e6) : 0},
+       {"shared_halfwarp_accesses", SharedAccesses}});
+}
+
+void registerAll() {
+  Report::get().setTitle(
+      "Figure 14: complex reduction with and without vectorization");
+  for (long long N : {1 << 20, 1 << 22, 1 << 24})
+    for (bool Vec : {false, true})
+      benchmark::RegisterBenchmark(
+          strFormat("fig14/crd%lld/%s", N, Vec ? "vec" : "novec").c_str(),
+          [N, Vec](benchmark::State &S) { BM_CrdVec(S, N, Vec); })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+}
+
+int Registered = (registerAll(), 0);
+
+} // namespace
+
+GPUC_BENCH_MAIN()

@@ -1,0 +1,62 @@
+//===-- ast/ASTContext.cpp - Node ownership and factories -----------------===//
+
+#include "ast/ASTContext.h"
+
+using namespace gpuc;
+
+const char *gpuc::builtinName(BuiltinId Id) {
+  switch (Id) {
+  case BuiltinId::Idx:
+    return "idx";
+  case BuiltinId::Idy:
+    return "idy";
+  case BuiltinId::Tidx:
+    return "tidx";
+  case BuiltinId::Tidy:
+    return "tidy";
+  case BuiltinId::Bidx:
+    return "bidx";
+  case BuiltinId::Bidy:
+    return "bidy";
+  case BuiltinId::BlockDimX:
+    return "bdx";
+  case BuiltinId::BlockDimY:
+    return "bdy";
+  case BuiltinId::GridDimX:
+    return "gdx";
+  case BuiltinId::GridDimY:
+    return "gdy";
+  }
+  return "?";
+}
+
+static bool isComparison(BinOp Op) {
+  switch (Op) {
+  case BinOp::LT:
+  case BinOp::GT:
+  case BinOp::LE:
+  case BinOp::GE:
+  case BinOp::EQ:
+  case BinOp::NE:
+  case BinOp::LAnd:
+  case BinOp::LOr:
+    return true;
+  default:
+    return false;
+  }
+}
+
+Binary *ASTContext::bin(BinOp Op, Expr *LHS, Expr *RHS) {
+  assert(LHS && RHS && "binary operands must be non-null");
+  Type Ty;
+  if (isComparison(Op)) {
+    Ty = Type::boolTy();
+  } else if (LHS->type().isFloatVector() || RHS->type().isFloatVector()) {
+    Ty = LHS->type().isFloatVector() ? LHS->type() : RHS->type();
+  } else if (LHS->type().isFloat() || RHS->type().isFloat()) {
+    Ty = Type::floatTy();
+  } else {
+    Ty = Type::intTy();
+  }
+  return create<Binary>(Op, LHS, RHS, Ty);
+}

@@ -1,0 +1,51 @@
+//===-- ast/Kernel.cpp - Kernel functions and launch configs --------------===//
+
+#include "ast/Kernel.h"
+
+#include "ast/Walk.h"
+
+using namespace gpuc;
+
+const ParamDecl *KernelFunction::findParam(const std::string &PName) const {
+  for (const ParamDecl &P : Params)
+    if (P.Name == PName)
+      return &P;
+  return nullptr;
+}
+
+ParamDecl *KernelFunction::findParam(const std::string &PName) {
+  for (ParamDecl &P : Params)
+    if (P.Name == PName)
+      return &P;
+  return nullptr;
+}
+
+long long KernelFunction::scalarBindingOr(const std::string &BName,
+                                          long long Default) const {
+  auto It = Bindings.find(BName);
+  return It == Bindings.end() ? Default : It->second;
+}
+
+std::string KernelFunction::outputName() const {
+  for (const ParamDecl &P : Params)
+    if (P.IsArray && P.IsOutput)
+      return P.Name;
+  return "";
+}
+
+std::vector<const DeclStmt *> KernelFunction::sharedDecls() const {
+  std::vector<const DeclStmt *> Decls;
+  forEachStmt(Body, [&](Stmt *S) {
+    if (auto *D = dyn_cast<DeclStmt>(S))
+      if (D->isShared())
+        Decls.push_back(D);
+  });
+  return Decls;
+}
+
+long long KernelFunction::sharedBytes() const {
+  long long Bytes = 0;
+  for (const DeclStmt *D : sharedDecls())
+    Bytes += D->sharedElemCount() * D->declType().sizeInBytes();
+  return Bytes;
+}

@@ -1,0 +1,153 @@
+//===-- ast/Kernel.h - Kernel functions and launch configs ------*- C++ -*-===//
+//
+// Part of the gpuc project: a reproduction of "A GPGPU Compiler for Memory
+// Optimization and Parallelism Management" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A kernel function is the unit both the compiler and the simulator work
+/// on: parameters (global arrays with compile-time dimensions plus scalars),
+/// a body, and the launch configuration the compiler derives (the paper's
+/// compiler emits "the optimized kernel and the kernel invocation
+/// parameters").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUC_AST_KERNEL_H
+#define GPUC_AST_KERNEL_H
+
+#include "ast/ASTContext.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gpuc {
+
+/// A kernel parameter: either a global-memory array with compile-time
+/// dimensions (row-major) or a scalar.
+struct ParamDecl {
+  std::string Name;
+  Type ElemTy;
+  bool IsArray = false;
+  /// Row-major dimensions; innermost (contiguous) dimension last.
+  std::vector<long long> Dims;
+  /// True if the kernel writes this array (from #pragma gpuc output or
+  /// inferred from stores).
+  bool IsOutput = false;
+
+  long long elemCount() const {
+    long long N = 1;
+    for (long long D : Dims)
+      N *= D;
+    return N;
+  }
+  long long sizeInBytes() const { return elemCount() * ElemTy.sizeInBytes(); }
+};
+
+/// Thread grid and block dimensions plus the partition-camping block-id
+/// remap flag (Section 3.7's diagonal block reordering).
+struct LaunchConfig {
+  int BlockDimX = 1;
+  int BlockDimY = 1;
+  long long GridDimX = 1;
+  long long GridDimY = 1;
+  bool DiagonalRemap = false;
+
+  long long threadsPerBlock() const {
+    return static_cast<long long>(BlockDimX) * BlockDimY;
+  }
+  long long numBlocks() const { return GridDimX * GridDimY; }
+  long long totalThreads() const { return threadsPerBlock() * numBlocks(); }
+};
+
+/// A kernel function. Owned by a Module; nodes live in the Module's
+/// ASTContext.
+class KernelFunction {
+public:
+  KernelFunction(std::string Name, CompoundStmt *Body)
+      : Name(std::move(Name)), Body(Body) {}
+
+  const std::string &name() const { return Name; }
+  void setName(std::string N) { Name = std::move(N); }
+
+  CompoundStmt *body() const { return Body; }
+  void setBody(CompoundStmt *B) { Body = B; }
+
+  std::vector<ParamDecl> &params() { return Params; }
+  const std::vector<ParamDecl> &params() const { return Params; }
+  /// \returns the parameter named \p Name, or null.
+  const ParamDecl *findParam(const std::string &Name) const;
+  ParamDecl *findParam(const std::string &Name);
+
+  LaunchConfig &launch() { return Launch; }
+  const LaunchConfig &launch() const { return Launch; }
+
+  /// Compile-time value of a scalar parameter (from #pragma gpuc bind);
+  /// the design-space search recompiles per input size, mirroring the
+  /// paper's per-input-size versioning.
+  const std::map<std::string, long long> &scalarBindings() const {
+    return Bindings;
+  }
+  void bindScalar(const std::string &Name, long long V) {
+    Bindings[Name] = V;
+  }
+  /// \returns the binding for \p Name or \p Default.
+  long long scalarBindingOr(const std::string &Name, long long Default) const;
+
+  /// Name of the declared output array (first output param).
+  std::string outputName() const;
+
+  /// The work domain: one naive work item per output element. X is the
+  /// contiguous dimension.
+  long long workDomainX() const { return DomainX; }
+  long long workDomainY() const { return DomainY; }
+  void setWorkDomain(long long X, long long Y) {
+    DomainX = X;
+    DomainY = Y;
+  }
+
+  /// Collects every shared-array declaration in the body (in order).
+  std::vector<const DeclStmt *> sharedDecls() const;
+
+  /// Total shared-memory bytes used by this kernel.
+  long long sharedBytes() const;
+
+private:
+  std::string Name;
+  std::vector<ParamDecl> Params;
+  CompoundStmt *Body;
+  LaunchConfig Launch;
+  std::map<std::string, long long> Bindings;
+  long long DomainX = 1;
+  long long DomainY = 1;
+};
+
+/// A parsed or constructed compilation unit: the node arena plus kernels.
+class Module {
+public:
+  ASTContext &context() { return Ctx; }
+
+  KernelFunction *createKernel(std::string Name, CompoundStmt *Body) {
+    Kernels.push_back(std::make_unique<KernelFunction>(std::move(Name), Body));
+    return Kernels.back().get();
+  }
+
+  const std::vector<std::unique_ptr<KernelFunction>> &kernels() const {
+    return Kernels;
+  }
+
+  KernelFunction *firstKernel() const {
+    return Kernels.empty() ? nullptr : Kernels.front().get();
+  }
+
+private:
+  ASTContext Ctx;
+  std::vector<std::unique_ptr<KernelFunction>> Kernels;
+};
+
+} // namespace gpuc
+
+#endif // GPUC_AST_KERNEL_H

@@ -1,0 +1,290 @@
+//===-- ast/Printer.cpp - CUDA source emission ----------------------------===//
+
+#include "ast/Printer.h"
+
+#include "support/StringUtils.h"
+
+#include <cmath>
+#include <sstream>
+
+using namespace gpuc;
+
+static const char *binOpSpelling(BinOp Op) {
+  switch (Op) {
+  case BinOp::Add:
+    return "+";
+  case BinOp::Sub:
+    return "-";
+  case BinOp::Mul:
+    return "*";
+  case BinOp::Div:
+    return "/";
+  case BinOp::Rem:
+    return "%";
+  case BinOp::LT:
+    return "<";
+  case BinOp::GT:
+    return ">";
+  case BinOp::LE:
+    return "<=";
+  case BinOp::GE:
+    return ">=";
+  case BinOp::EQ:
+    return "==";
+  case BinOp::NE:
+    return "!=";
+  case BinOp::LAnd:
+    return "&&";
+  case BinOp::LOr:
+    return "||";
+  }
+  return "?";
+}
+
+static void printExprTo(std::ostringstream &OS, const Expr *E,
+                        PrintDialect Dialect = PrintDialect::Cuda) {
+  switch (E->kind()) {
+  case ExprKind::IntLit:
+    OS << cast<IntLit>(E)->value();
+    break;
+  case ExprKind::FloatLit: {
+    double V = cast<FloatLit>(E)->value();
+    if (V == std::floor(V) && std::fabs(V) < 1e9)
+      OS << strFormat("%.1ff", V);
+    else
+      OS << strFormat("%gf", V);
+    break;
+  }
+  case ExprKind::VarRef:
+    OS << cast<VarRef>(E)->name();
+    break;
+  case ExprKind::BuiltinRef:
+    OS << builtinName(cast<BuiltinRef>(E)->id());
+    break;
+  case ExprKind::ArrayRef: {
+    const auto *A = cast<ArrayRef>(E);
+    const char *Space = Dialect == PrintDialect::OpenCL ? "__global " : "";
+    if (A->vecWidth() == 2)
+      OS << "((" << Space << "float2*)" << A->base() << ")";
+    else if (A->vecWidth() == 4)
+      OS << "((" << Space << "float4*)" << A->base() << ")";
+    else
+      OS << A->base();
+    for (const Expr *I : A->indices()) {
+      OS << "[";
+      printExprTo(OS, I, Dialect);
+      OS << "]";
+    }
+    break;
+  }
+  case ExprKind::Binary: {
+    const auto *B = cast<Binary>(E);
+    OS << "(";
+    printExprTo(OS, B->lhs(), Dialect);
+    OS << binOpSpelling(B->op());
+    printExprTo(OS, B->rhs(), Dialect);
+    OS << ")";
+    break;
+  }
+  case ExprKind::Unary: {
+    const auto *U = cast<Unary>(E);
+    OS << (U->op() == UnOp::Neg ? "(-" : "(!");
+    printExprTo(OS, U->sub(), Dialect);
+    OS << ")";
+    break;
+  }
+  case ExprKind::Call: {
+    const auto *C = cast<Call>(E);
+    OS << C->callee() << "(";
+    bool First = true;
+    for (const Expr *A : C->args()) {
+      if (!First)
+        OS << ", ";
+      First = false;
+      printExprTo(OS, A, Dialect);
+    }
+    OS << ")";
+    break;
+  }
+  case ExprKind::Member: {
+    const auto *M = cast<Member>(E);
+    printExprTo(OS, M->baseExpr(), Dialect);
+    OS << "." << "xyzw"[M->field()];
+    break;
+  }
+  }
+}
+
+std::string gpuc::printExpr(const Expr *E) {
+  std::ostringstream OS;
+  printExprTo(OS, E);
+  return OS.str();
+}
+
+static void printStmtTo(std::ostringstream &OS, const Stmt *S, int Indent,
+                        PrintDialect Dialect) {
+  std::string Pad(static_cast<size_t>(Indent) * 2, ' ');
+  switch (S->kind()) {
+  case StmtKind::Compound:
+    for (const Stmt *Child : cast<CompoundStmt>(S)->body())
+      printStmtTo(OS, Child, Indent, Dialect);
+    break;
+  case StmtKind::Decl: {
+    const auto *D = cast<DeclStmt>(S);
+    if (D->isShared()) {
+      OS << Pad
+         << (Dialect == PrintDialect::OpenCL ? "__local " : "__shared__ ")
+         << D->declType().str() << " " << D->name();
+      for (int Dim : D->sharedDims())
+        OS << "[" << Dim << "]";
+      OS << ";\n";
+      break;
+    }
+    OS << Pad << D->declType().str() << " " << D->name();
+    if (D->init()) {
+      OS << " = ";
+      printExprTo(OS, D->init(), Dialect);
+    }
+    OS << ";\n";
+    break;
+  }
+  case StmtKind::Assign: {
+    const auto *A = cast<AssignStmt>(S);
+    OS << Pad;
+    printExprTo(OS, A->lhs(), Dialect);
+    switch (A->op()) {
+    case AssignOp::Assign:
+      OS << " = ";
+      break;
+    case AssignOp::AddAssign:
+      OS << " += ";
+      break;
+    case AssignOp::SubAssign:
+      OS << " -= ";
+      break;
+    case AssignOp::MulAssign:
+      OS << " *= ";
+      break;
+    }
+    printExprTo(OS, A->rhs(), Dialect);
+    OS << ";\n";
+    break;
+  }
+  case StmtKind::If: {
+    const auto *If = cast<IfStmt>(S);
+    OS << Pad << "if (";
+    printExprTo(OS, If->cond(), Dialect);
+    OS << ") {\n";
+    printStmtTo(OS, If->thenBody(), Indent + 1, Dialect);
+    if (If->elseBody()) {
+      OS << Pad << "} else {\n";
+      printStmtTo(OS, If->elseBody(), Indent + 1, Dialect);
+    }
+    OS << Pad << "}\n";
+    break;
+  }
+  case StmtKind::For: {
+    const auto *F = cast<ForStmt>(S);
+    const char *Cmp = F->cmp() == CmpKind::LT   ? "<"
+                      : F->cmp() == CmpKind::LE ? "<="
+                      : F->cmp() == CmpKind::GT ? ">"
+                                                : ">=";
+    OS << Pad << "for (int " << F->iterName() << " = ";
+    printExprTo(OS, F->init(), Dialect);
+    OS << "; " << F->iterName() << " " << Cmp << " ";
+    printExprTo(OS, F->bound(), Dialect);
+    OS << "; " << F->iterName() << " = " << F->iterName()
+       << (F->stepKind() == StepKind::Add ? " + " : " / ");
+    printExprTo(OS, F->step(), Dialect);
+    OS << ") {\n";
+    printStmtTo(OS, F->body(), Indent + 1, Dialect);
+    OS << Pad << "}\n";
+    break;
+  }
+  case StmtKind::Sync:
+    if (Dialect == PrintDialect::OpenCL)
+      OS << Pad
+         << (cast<SyncStmt>(S)->isGlobal()
+                 ? "/* grid-wide sync: split here, host relaunches */\n"
+                 : "barrier(CLK_LOCAL_MEM_FENCE);\n");
+    else
+      OS << Pad
+         << (cast<SyncStmt>(S)->isGlobal() ? "__globalSync();\n"
+                                           : "__syncthreads();\n");
+    break;
+  }
+}
+
+std::string gpuc::printStmt(const Stmt *S, int Indent, PrintDialect Dialect) {
+  std::ostringstream OS;
+  printStmtTo(OS, S, Indent, Dialect);
+  return OS.str();
+}
+
+std::string gpuc::printKernel(const KernelFunction &K,
+                              PrintDialect Dialect) {
+  std::ostringstream OS;
+  const LaunchConfig &L = K.launch();
+  const bool CL = Dialect == PrintDialect::OpenCL;
+  OS << strFormat("// launch: grid(%lld, %lld), block(%d, %d)%s\n",
+                  L.GridDimX, L.GridDimY, L.BlockDimX, L.BlockDimY,
+                  L.DiagonalRemap ? ", diagonal block reordering" : "");
+  OS << (CL ? "__kernel void " : "__global__ void ") << K.name() << "(";
+  bool First = true;
+  for (const ParamDecl &P : K.params()) {
+    if (!First)
+      OS << ", ";
+    First = false;
+    if (P.IsArray && CL) {
+      // OpenCL C takes multi-dimensional arrays as pointers to rows.
+      OS << "__global " << P.ElemTy.str() << " ";
+      if (P.Dims.size() == 1) {
+        OS << "*" << P.Name;
+      } else {
+        OS << "(*" << P.Name << ")";
+        for (size_t D = 1; D < P.Dims.size(); ++D)
+          OS << "[" << P.Dims[D] << "]";
+      }
+      continue;
+    }
+    OS << P.ElemTy.str() << " ";
+    if (P.IsArray) {
+      OS << P.Name;
+      for (long long D : P.Dims)
+        OS << "[" << D << "]";
+    } else {
+      OS << P.Name;
+    }
+  }
+  OS << ") {\n";
+  if (CL) {
+    OS << "  const int tidx = get_local_id(0);\n";
+    OS << "  const int tidy = get_local_id(1);\n";
+    if (L.DiagonalRemap) {
+      OS << "  const int bidx = (get_group_id(0) + get_group_id(1)) % "
+            "get_num_groups(0);\n";
+      OS << "  const int bidy = get_group_id(0);\n";
+    } else {
+      OS << "  const int bidx = get_group_id(0);\n";
+      OS << "  const int bidy = get_group_id(1);\n";
+    }
+    OS << "  const int idx = bidx * get_local_size(0) + tidx;\n";
+    OS << "  const int idy = bidy * get_local_size(1) + tidy;\n";
+  } else {
+    OS << "  const int tidx = threadIdx.x;\n";
+    OS << "  const int tidy = threadIdx.y;\n";
+    if (L.DiagonalRemap) {
+      // Section 3.7: newbidy = bidx, newbidx = (bidx + bidy) % gridDim.x.
+      OS << "  const int bidx = (blockIdx.x + blockIdx.y) % gridDim.x;\n";
+      OS << "  const int bidy = blockIdx.x;\n";
+    } else {
+      OS << "  const int bidx = blockIdx.x;\n";
+      OS << "  const int bidy = blockIdx.y;\n";
+    }
+    OS << "  const int idx = bidx * blockDim.x + tidx;\n";
+    OS << "  const int idy = bidy * blockDim.y + tidy;\n";
+  }
+  printStmtTo(OS, K.body(), 1, Dialect);
+  OS << "}\n";
+  return OS.str();
+}

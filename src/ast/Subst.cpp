@@ -1,0 +1,69 @@
+//===-- ast/Subst.cpp - Substitution utilities ----------------------------===//
+
+#include "ast/Subst.h"
+
+#include "ast/Clone.h"
+#include "ast/Walk.h"
+
+using namespace gpuc;
+
+void gpuc::substBuiltin(ASTContext &Ctx, Stmt *S, BuiltinId Id,
+                        const Expr *Repl) {
+  rewriteExprs(S, [&](Expr *E) -> Expr * {
+    auto *B = dyn_cast<BuiltinRef>(E);
+    if (!B || B->id() != Id)
+      return nullptr;
+    return cloneExpr(Ctx, Repl);
+  });
+}
+
+Expr *gpuc::substBuiltinInExpr(ASTContext &Ctx, Expr *E, BuiltinId Id,
+                               const Expr *Repl) {
+  return rewriteExpr(E, [&](Expr *Sub) -> Expr * {
+    auto *B = dyn_cast<BuiltinRef>(Sub);
+    if (!B || B->id() != Id)
+      return nullptr;
+    return cloneExpr(Ctx, Repl);
+  });
+}
+
+void gpuc::substVar(ASTContext &Ctx, Stmt *S, const std::string &Name,
+                    const Expr *Repl) {
+  rewriteExprs(S, [&](Expr *E) -> Expr * {
+    auto *V = dyn_cast<VarRef>(E);
+    if (!V || V->name() != Name)
+      return nullptr;
+    return cloneExpr(Ctx, Repl);
+  });
+}
+
+Expr *gpuc::substVarInExpr(ASTContext &Ctx, Expr *E, const std::string &Name,
+                           const Expr *Repl) {
+  return rewriteExpr(E, [&](Expr *Sub) -> Expr * {
+    auto *V = dyn_cast<VarRef>(Sub);
+    if (!V || V->name() != Name)
+      return nullptr;
+    return cloneExpr(Ctx, Repl);
+  });
+}
+
+void gpuc::renameVar(Stmt *S, const std::string &Old, const std::string &New) {
+  forEachExpr(S, [&](Expr *E) {
+    if (auto *V = dyn_cast<VarRef>(E)) {
+      if (V->name() == Old)
+        V->setName(New);
+    } else if (auto *A = dyn_cast<ArrayRef>(E)) {
+      if (A->base() == Old)
+        A->setBase(New);
+    }
+  });
+  forEachStmt(S, [&](Stmt *Child) {
+    if (auto *D = dyn_cast<DeclStmt>(Child)) {
+      if (D->name() == Old)
+        D->setName(New);
+    } else if (auto *F = dyn_cast<ForStmt>(Child)) {
+      if (F->iterName() == Old)
+        F->setIterName(New);
+    }
+  });
+}

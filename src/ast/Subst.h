@@ -1,0 +1,45 @@
+//===-- ast/Subst.h - Substitution utilities --------------------*- C++ -*-===//
+//
+// Part of the gpuc project: a reproduction of "A GPGPU Compiler for Memory
+// Optimization and Parallelism Management" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builtin/variable substitution used by thread merge (idy -> idy*N + r),
+/// loop unrolling (i -> i + k) and partition-camping elimination.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUC_AST_SUBST_H
+#define GPUC_AST_SUBST_H
+
+#include "ast/ASTContext.h"
+
+#include <string>
+
+namespace gpuc {
+
+/// Replaces every use of builtin \p Id in \p S with a clone of \p Repl.
+void substBuiltin(ASTContext &Ctx, Stmt *S, BuiltinId Id, const Expr *Repl);
+
+/// Replaces every use of builtin \p Id in the expression tree rooted at
+/// \p E. \returns the possibly-new root.
+Expr *substBuiltinInExpr(ASTContext &Ctx, Expr *E, BuiltinId Id,
+                         const Expr *Repl);
+
+/// Replaces every VarRef to \p Name in \p S with a clone of \p Repl.
+void substVar(ASTContext &Ctx, Stmt *S, const std::string &Name,
+              const Expr *Repl);
+
+/// Replaces every VarRef to \p Name in the expression tree rooted at \p E.
+Expr *substVarInExpr(ASTContext &Ctx, Expr *E, const std::string &Name,
+                     const Expr *Repl);
+
+/// Renames variable \p Old to \p New everywhere in \p S: VarRefs, scalar
+/// declarations, loop iterators, and shared-array bases/declarations.
+void renameVar(Stmt *S, const std::string &Old, const std::string &New);
+
+} // namespace gpuc
+
+#endif // GPUC_AST_SUBST_H

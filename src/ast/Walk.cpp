@@ -1,0 +1,217 @@
+//===-- ast/Walk.cpp - Traversal and in-place rewriting -------------------===//
+
+#include "ast/Walk.h"
+
+using namespace gpuc;
+
+void gpuc::forEachStmt(Stmt *S, const std::function<void(Stmt *)> &Fn) {
+  if (!S)
+    return;
+  Fn(S);
+  switch (S->kind()) {
+  case StmtKind::Compound:
+    for (Stmt *Child : cast<CompoundStmt>(S)->body())
+      forEachStmt(Child, Fn);
+    break;
+  case StmtKind::If: {
+    auto *If = cast<IfStmt>(S);
+    forEachStmt(If->thenBody(), Fn);
+    forEachStmt(If->elseBody(), Fn);
+    break;
+  }
+  case StmtKind::For:
+    forEachStmt(cast<ForStmt>(S)->body(), Fn);
+    break;
+  case StmtKind::Decl:
+  case StmtKind::Assign:
+  case StmtKind::Sync:
+    break;
+  }
+}
+
+void gpuc::forEachExprIn(Expr *E, const std::function<void(Expr *)> &Fn) {
+  if (!E)
+    return;
+  Fn(E);
+  switch (E->kind()) {
+  case ExprKind::Binary: {
+    auto *B = cast<Binary>(E);
+    forEachExprIn(B->lhs(), Fn);
+    forEachExprIn(B->rhs(), Fn);
+    break;
+  }
+  case ExprKind::Unary:
+    forEachExprIn(cast<Unary>(E)->sub(), Fn);
+    break;
+  case ExprKind::ArrayRef:
+    for (Expr *I : cast<ArrayRef>(E)->indices())
+      forEachExprIn(I, Fn);
+    break;
+  case ExprKind::Call:
+    for (Expr *A : cast<Call>(E)->args())
+      forEachExprIn(A, Fn);
+    break;
+  case ExprKind::Member:
+    forEachExprIn(cast<Member>(E)->baseExpr(), Fn);
+    break;
+  case ExprKind::IntLit:
+  case ExprKind::FloatLit:
+  case ExprKind::VarRef:
+  case ExprKind::BuiltinRef:
+    break;
+  }
+}
+
+void gpuc::forEachExpr(Stmt *S, const std::function<void(Expr *)> &Fn) {
+  forEachStmt(S, [&](Stmt *Child) {
+    switch (Child->kind()) {
+    case StmtKind::Decl:
+      forEachExprIn(cast<DeclStmt>(Child)->init(), Fn);
+      break;
+    case StmtKind::Assign: {
+      auto *A = cast<AssignStmt>(Child);
+      forEachExprIn(A->lhs(), Fn);
+      forEachExprIn(A->rhs(), Fn);
+      break;
+    }
+    case StmtKind::If:
+      forEachExprIn(cast<IfStmt>(Child)->cond(), Fn);
+      break;
+    case StmtKind::For: {
+      auto *F = cast<ForStmt>(Child);
+      forEachExprIn(F->init(), Fn);
+      forEachExprIn(F->bound(), Fn);
+      forEachExprIn(F->step(), Fn);
+      break;
+    }
+    case StmtKind::Compound:
+    case StmtKind::Sync:
+      break;
+    }
+  });
+}
+
+Expr *gpuc::rewriteExpr(Expr *E, const std::function<Expr *(Expr *)> &Fn) {
+  if (!E)
+    return nullptr;
+  switch (E->kind()) {
+  case ExprKind::Binary: {
+    auto *B = cast<Binary>(E);
+    B->setLHS(rewriteExpr(B->lhs(), Fn));
+    B->setRHS(rewriteExpr(B->rhs(), Fn));
+    break;
+  }
+  case ExprKind::Unary: {
+    auto *U = cast<Unary>(E);
+    U->setSub(rewriteExpr(U->sub(), Fn));
+    break;
+  }
+  case ExprKind::ArrayRef: {
+    auto *A = cast<ArrayRef>(E);
+    for (unsigned I = 0, N = A->numIndices(); I != N; ++I)
+      A->setIndex(I, rewriteExpr(A->index(I), Fn));
+    break;
+  }
+  case ExprKind::Call: {
+    auto *C = cast<Call>(E);
+    for (Expr *&Arg : C->args())
+      Arg = rewriteExpr(Arg, Fn);
+    break;
+  }
+  case ExprKind::Member: {
+    auto *M = cast<Member>(E);
+    M->setBaseExpr(rewriteExpr(M->baseExpr(), Fn));
+    break;
+  }
+  case ExprKind::IntLit:
+  case ExprKind::FloatLit:
+  case ExprKind::VarRef:
+  case ExprKind::BuiltinRef:
+    break;
+  }
+  if (Expr *Repl = Fn(E))
+    return Repl;
+  return E;
+}
+
+void gpuc::rewriteExprs(Stmt *S, const std::function<Expr *(Expr *)> &Fn) {
+  forEachStmt(S, [&](Stmt *Child) {
+    switch (Child->kind()) {
+    case StmtKind::Decl: {
+      auto *D = cast<DeclStmt>(Child);
+      if (D->init())
+        D->setInit(rewriteExpr(D->init(), Fn));
+      break;
+    }
+    case StmtKind::Assign: {
+      auto *A = cast<AssignStmt>(Child);
+      A->setLHS(rewriteExpr(A->lhs(), Fn));
+      A->setRHS(rewriteExpr(A->rhs(), Fn));
+      break;
+    }
+    case StmtKind::If: {
+      auto *If = cast<IfStmt>(Child);
+      If->setCond(rewriteExpr(If->cond(), Fn));
+      break;
+    }
+    case StmtKind::For: {
+      auto *F = cast<ForStmt>(Child);
+      F->setInit(rewriteExpr(F->init(), Fn));
+      F->setBound(rewriteExpr(F->bound(), Fn));
+      F->setStep(rewriteExpr(F->step(), Fn));
+      break;
+    }
+    case StmtKind::Compound:
+    case StmtKind::Sync:
+      break;
+    }
+  });
+}
+
+bool gpuc::anyExprIn(const Expr *E,
+                     const std::function<bool(const Expr *)> &Pred) {
+  bool Found = false;
+  forEachExprIn(const_cast<Expr *>(E), [&](Expr *Sub) {
+    if (!Found && Pred(Sub))
+      Found = true;
+  });
+  return Found;
+}
+
+bool gpuc::anyExpr(const Stmt *S,
+                   const std::function<bool(const Expr *)> &Pred) {
+  bool Found = false;
+  forEachExpr(const_cast<Stmt *>(S), [&](Expr *Sub) {
+    if (!Found && Pred(Sub))
+      Found = true;
+  });
+  return Found;
+}
+
+bool gpuc::containsBuiltin(const Expr *E, BuiltinId Id) {
+  return anyExprIn(E, [Id](const Expr *Sub) {
+    const auto *B = dyn_cast<BuiltinRef>(Sub);
+    return B && B->id() == Id;
+  });
+}
+
+bool gpuc::containsBuiltin(const Stmt *S, BuiltinId Id) {
+  return anyExpr(S, [Id](const Expr *Sub) {
+    const auto *B = dyn_cast<BuiltinRef>(Sub);
+    return B && B->id() == Id;
+  });
+}
+
+bool gpuc::containsVar(const Expr *E, const std::string &Name) {
+  return anyExprIn(E, [&Name](const Expr *Sub) {
+    const auto *V = dyn_cast<VarRef>(Sub);
+    return V && V->name() == Name;
+  });
+}
+
+bool gpuc::containsVar(const Stmt *S, const std::string &Name) {
+  return anyExpr(S, [&Name](const Expr *Sub) {
+    const auto *V = dyn_cast<VarRef>(Sub);
+    return V && V->name() == Name;
+  });
+}

@@ -1,0 +1,60 @@
+//===-- ast/Walk.h - Traversal and in-place rewriting -----------*- C++ -*-===//
+//
+// Part of the gpuc project: a reproduction of "A GPGPU Compiler for Memory
+// Optimization and Parallelism Management" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pre-order traversal over statements/expressions and a bottom-up
+/// expression rewriter that the transformation passes are built on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUC_AST_WALK_H
+#define GPUC_AST_WALK_H
+
+#include "ast/Stmt.h"
+
+#include <functional>
+
+namespace gpuc {
+
+class ASTContext;
+
+/// Visits every statement under \p S (including \p S), pre-order.
+void forEachStmt(Stmt *S, const std::function<void(Stmt *)> &Fn);
+
+/// Visits every expression under \p E (including \p E), pre-order.
+void forEachExprIn(Expr *E, const std::function<void(Expr *)> &Fn);
+
+/// Visits every expression appearing in \p S (recursing into nested
+/// statements), pre-order per expression tree.
+void forEachExpr(Stmt *S, const std::function<void(Expr *)> &Fn);
+
+/// Rewrites the expression tree bottom-up: children first, then \p Fn is
+/// applied to each node; a non-null return replaces the node. \returns the
+/// (possibly replaced) root.
+Expr *rewriteExpr(Expr *E, const std::function<Expr *(Expr *)> &Fn);
+
+/// Applies rewriteExpr to every expression root reachable from \p S,
+/// storing replacements back into the owning statements.
+void rewriteExprs(Stmt *S, const std::function<Expr *(Expr *)> &Fn);
+
+/// \returns true if any expression under \p E satisfies \p Pred.
+bool anyExprIn(const Expr *E, const std::function<bool(const Expr *)> &Pred);
+
+/// \returns true if any expression in \p S satisfies \p Pred.
+bool anyExpr(const Stmt *S, const std::function<bool(const Expr *)> &Pred);
+
+/// \returns true if the builtin \p Id appears under \p E.
+bool containsBuiltin(const Expr *E, BuiltinId Id);
+bool containsBuiltin(const Stmt *S, BuiltinId Id);
+
+/// \returns true if a VarRef to \p Name appears under \p E / in \p S.
+bool containsVar(const Expr *E, const std::string &Name);
+bool containsVar(const Stmt *S, const std::string &Name);
+
+} // namespace gpuc
+
+#endif // GPUC_AST_WALK_H

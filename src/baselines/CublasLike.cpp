@@ -1,0 +1,94 @@
+//===-- baselines/CublasLike.cpp - Library-like comparators ---------------===//
+
+#include "baselines/CublasLike.h"
+
+#include "ast/Builder.h"
+#include "core/Compiler.h"
+
+using namespace gpuc;
+
+KernelFunction *gpuc::cublasLikeKernel(Module &M, Algo A, long long N,
+                                       DiagnosticsEngine &Diags) {
+  KernelFunction *Naive = parseNaive(M, A, N, Diags);
+  if (!Naive)
+    return nullptr;
+  GpuCompiler GC(M, Diags);
+  CompileOptions Opt;
+  KernelFunction *K = nullptr;
+  switch (A) {
+  case Algo::MM:
+    // Volkov-style fixed tiling: 64-thread blocks, 16 outputs per thread.
+    K = GC.compileVariant(*Naive, Opt, /*BlockN=*/4, /*ThreadM=*/16);
+    break;
+  case Algo::RD:
+    K = GC.compileVariant(*Naive, Opt, /*BlockN=*/8, /*ThreadM=*/1);
+    break;
+  case Algo::VV:
+    K = GC.compileVariant(*Naive, Opt, /*BlockN=*/4, /*ThreadM=*/1);
+    break;
+  case Algo::MV:
+    Opt.PartitionElim = false;
+    Opt.Prefetch = false;
+    K = GC.compileVariant(*Naive, Opt, /*BlockN=*/4, /*ThreadM=*/1);
+    break;
+  case Algo::TMV:
+    Opt.PartitionElim = false;
+    Opt.Prefetch = false;
+    K = GC.compileVariant(*Naive, Opt, /*BlockN=*/4, /*ThreadM=*/1);
+    break;
+  case Algo::STRSM:
+    // Unblocked wavefront: coalescing only, minimal blocking.
+    Opt.Merge = false;
+    Opt.Prefetch = false;
+    K = GC.compileVariant(*Naive, Opt, /*BlockN=*/1, /*ThreadM=*/1);
+    break;
+  default:
+    return nullptr;
+  }
+  if (K)
+    K->setName(std::string("cublas_") + algoInfo(A).Name);
+  return K;
+}
+
+KernelFunction *gpuc::sdkTransposePrev(Module &M, long long N) {
+  KernelBuilder B(M, "sdk_tp_prev");
+  B.arrayParam("in", Type::floatTy(), {N, N});
+  B.arrayParam("out", Type::floatTy(), {N, N}, /*IsOutput=*/true);
+  B.declShared("tile", Type::floatTy(), {16, 16}); // no padding: conflicts
+  B.assign(B.at("tile", {B.tidy(), B.tidx()}), B.at("in", {B.idy(), B.idx()}));
+  B.syncThreads();
+  // out[bidx*16 + tidy][bidy*16 + tidx] = tile[tidx][tidy]
+  Expr *Row = B.add(B.mul(B.bidx(), B.i(16)), B.tidy());
+  Expr *Col = B.add(B.mul(B.bidy(), B.i(16)), B.tidx());
+  B.assign(B.at("out", {Row, Col}), B.at("tile", {B.tidx(), B.tidy()}));
+  return B.finish(16, 16, N, N);
+}
+
+KernelFunction *gpuc::sdkTransposeNew(Module &M, long long N) {
+  KernelBuilder B(M, "sdk_tp_new");
+  B.arrayParam("in", Type::floatTy(), {N, N});
+  B.arrayParam("out", Type::floatTy(), {N, N}, /*IsOutput=*/true);
+  B.declShared("tile", Type::floatTy(), {16, 17}); // padded
+  B.assign(B.at("tile", {B.tidy(), B.tidx()}), B.at("in", {B.idy(), B.idx()}));
+  B.syncThreads();
+  Expr *Row = B.add(B.mul(B.bidx(), B.i(16)), B.tidy());
+  Expr *Col = B.add(B.mul(B.bidy(), B.i(16)), B.tidx());
+  B.assign(B.at("out", {Row, Col}), B.at("tile", {B.tidx(), B.tidy()}));
+  KernelFunction *K = B.finish(16, 16, N, N);
+  K->launch().DiagonalRemap = true; // [Ruetsch & Micikevicius]
+  return K;
+}
+
+KernelFunction *gpuc::bandwidthCopyKernel(Module &M, int VecWidth,
+                                          long long N) {
+  Type ElemTy = VecWidth == 1   ? Type::floatTy()
+                : VecWidth == 2 ? Type::float2Ty()
+                                : Type::float4Ty();
+  long long Elems = N / VecWidth;
+  KernelBuilder B(M, std::string("copy_float") +
+                         (VecWidth == 1 ? "" : std::to_string(VecWidth)));
+  B.arrayParam("a", ElemTy, {Elems});
+  B.arrayParam("c", ElemTy, {Elems}, /*IsOutput=*/true);
+  B.assign(B.at("c", {B.idx()}), B.at("a", {B.idx()}));
+  return B.finish(256, 1, Elems, 1);
+}

@@ -1,0 +1,59 @@
+//===-- baselines/CublasLike.h - Library-like comparators -------*- C++ -*-===//
+//
+// Part of the gpuc project: a reproduction of "A GPGPU Compiler for Memory
+// Optimization and Parallelism Management" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stand-ins for the CUBLAS 2.2 comparators of Figure 13 and the SDK
+/// transpose kernels of Figure 15. CUBLAS itself is closed source; each
+/// comparator is modeled as ONE fixed, documented tiling configuration of
+/// the same transformation machinery — a library ships a single
+/// configuration without per-input empirical search, which is exactly the
+/// advantage the paper's compiler demonstrates. The per-algorithm choices:
+///
+///  * mm    — Volkov-style: 64-thread blocks, 16 outputs per thread
+///            (CUBLAS 2.2's sgemm is based on Volkov & Demmel).
+///  * rd    — 128-thread tree reduction, no further tuning (sasum-like).
+///  * vv    — plain elementwise kernel with 64-thread blocks.
+///  * mv    — coalesced staging but small blocks, no partition-camping
+///            elimination, no per-row register blocking (sgemv of the era
+///            lost to Fujimoto's and the paper's versions).
+///  * tmv   — like mv without the camping rotation.
+///  * strsm — unblocked wavefront solve (CUBLAS 2.2's strsm was weak).
+///
+/// SDK transpose kernels are hand-built: "prev" = 16x16 shared tile
+/// without padding and without diagonal reordering; "new" = padded tile
+/// plus the diagonal block reordering of [Ruetsch & Micikevicius 2009].
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUC_BASELINES_CUBLASLIKE_H
+#define GPUC_BASELINES_CUBLASLIKE_H
+
+#include "baselines/NaiveKernels.h"
+
+namespace gpuc {
+
+class DiagnosticsEngine;
+
+/// Builds the CUBLAS-2.2-like comparator for one of the six Figure 13
+/// algorithms (MM, MV, TMV, VV, RD, STRSM). \returns null on failure.
+KernelFunction *cublasLikeKernel(Module &M, Algo A, long long N,
+                                 DiagnosticsEngine &Diags);
+
+/// The CUDA-SDK transpose without diagonal reordering (pre-[12] version):
+/// 16x16 shared tile, no padding.
+KernelFunction *sdkTransposePrev(Module &M, long long N);
+
+/// The CUDA-SDK transpose with diagonal block reordering and padded tile.
+KernelFunction *sdkTransposeNew(Module &M, long long N);
+
+/// Streaming-copy kernel of the Section 2 bandwidth table; \p VecWidth is
+/// 1 (float), 2 (float2) or 4 (float4). \p N is the float count.
+KernelFunction *bandwidthCopyKernel(Module &M, int VecWidth, long long N);
+
+} // namespace gpuc
+
+#endif // GPUC_BASELINES_CUBLASLIKE_H

@@ -1,0 +1,305 @@
+//===-- baselines/FftKernels.cpp - Section 7 FFT case study ---------------===//
+
+#include "baselines/FftKernels.h"
+
+#include "parser/Parser.h"
+#include "support/StringUtils.h"
+
+#include <cmath>
+#include <complex>
+
+using namespace gpuc;
+
+static int log2ll(long long N) {
+  int L = 0;
+  while ((1LL << L) < N)
+    ++L;
+  return L;
+}
+
+std::string gpuc::fft2Source(long long N) {
+  long long H = N / 2;
+  int L = log2ll(N);
+  std::string S = strFormat(
+      "#pragma gpuc output(bre)\n"
+      "#pragma gpuc domain(%lld,1)\n"
+      "#pragma gpuc bind(n=%lld)\n"
+      "#pragma gpuc bind(stages=%d)\n"
+      "__global__ void fft2(float are[%lld], float aim[%lld],\n"
+      "                     float bre[%lld], float bim[%lld],\n"
+      "                     float twre[%d][%lld], float twim[%d][%lld],\n"
+      "                     int n, int stages) {\n"
+      "  int m = 1;\n"
+      "  for (int st = 0; st < stages; st++) {\n"
+      "    int j = idx / m;\n"
+      "    float wr = twre[st][idx];\n"
+      "    float wi = twim[st][idx];\n",
+      H, N, L, N, N, N, N, L, H, L, H);
+  auto Branch = [&](const char *Src, const char *Dst) {
+    return strFormat(
+        "      float c0r = %sre[idx];\n"
+        "      float c0i = %sim[idx];\n"
+        "      float c1r = %sre[idx + n / 2];\n"
+        "      float c1i = %sim[idx + n / 2];\n"
+        "      float dr = c0r - c1r;\n"
+        "      float di = c0i - c1i;\n"
+        "      %sre[idx + j * m] = c0r + c1r;\n"
+        "      %sim[idx + j * m] = c0i + c1i;\n"
+        "      %sre[idx + j * m + m] = wr * dr - wi * di;\n"
+        "      %sim[idx + j * m + m] = wr * di + wi * dr;\n",
+        Src, Src, Src, Src, Dst, Dst, Dst, Dst);
+  };
+  S += "    if (st % 2 == 0) {\n";
+  S += Branch("a", "b");
+  S += "    } else {\n";
+  S += Branch("b", "a");
+  S += "    }\n";
+  S += "    m *= 2;\n";
+  S += "    __globalSync();\n";
+  S += "  }\n";
+  S += "}\n";
+  return S;
+}
+
+/// Emits the register 8-point butterfly (4+4 decomposition validated
+/// against the direct 8-point DFT) for one ping-pong branch.
+static std::string fft8Branch(const char *Src, const char *Dst) {
+  std::string S;
+  for (int Q = 0; Q < 8; ++Q)
+    S += strFormat("      float c%dr = %sre[idx + %d * (n / 8)];\n"
+                   "      float c%di = %sim[idx + %d * (n / 8)];\n",
+                   Q, Src, Q, Q, Src, Q);
+  // Even 4-point DFT of (c0, c2, c4, c6); odd of (c1, c3, c5, c7).
+  S += "      float t0r = c0r + c4r; float t0i = c0i + c4i;\n"
+       "      float t1r = c0r - c4r; float t1i = c0i - c4i;\n"
+       "      float t2r = c2r + c6r; float t2i = c2i + c6i;\n"
+       "      float t3r = c2r - c6r; float t3i = c2i - c6i;\n"
+       "      float e0r = t0r + t2r; float e0i = t0i + t2i;\n"
+       "      float e1r = t1r + t3i; float e1i = t1i - t3r;\n"
+       "      float e2r = t0r - t2r; float e2i = t0i - t2i;\n"
+       "      float e3r = t1r - t3i; float e3i = t1i + t3r;\n"
+       "      float u0r = c1r + c5r; float u0i = c1i + c5i;\n"
+       "      float u1r = c1r - c5r; float u1i = c1i - c5i;\n"
+       "      float u2r = c3r + c7r; float u2i = c3i + c7i;\n"
+       "      float u3r = c3r - c7r; float u3i = c3i - c7i;\n"
+       "      float o0r = u0r + u2r; float o0i = u0i + u2i;\n"
+       "      float o1r = u1r + u3i; float o1i = u1i - u3r;\n"
+       "      float o2r = u0r - u2r; float o2i = u0i - u2i;\n"
+       "      float o3r = u1r - u3i; float o3i = u1i + u3r;\n"
+       // omega^p * O_p for p = 1..3 (omega = exp(-i pi/4)).
+       "      float w1r = 0.70710678f * (o1r + o1i);\n"
+       "      float w1i = 0.70710678f * (o1i - o1r);\n"
+       "      float w2r = o2i;\n"
+       "      float w2i = 0.0f - o2r;\n"
+       "      float w3r = 0.70710678f * (o3i - o3r);\n"
+       "      float w3i = 0.0f - 0.70710678f * (o3r + o3i);\n"
+       "      float s0r = e0r + o0r; float s0i = e0i + o0i;\n"
+       "      float s1r = e1r + w1r; float s1i = e1i + w1i;\n"
+       "      float s2r = e2r + w2r; float s2i = e2i + w2i;\n"
+       "      float s3r = e3r + w3r; float s3i = e3i + w3i;\n"
+       "      float s4r = e0r - o0r; float s4i = e0i - o0i;\n"
+       "      float s5r = e1r - w1r; float s5i = e1i - w1i;\n"
+       "      float s6r = e2r - w2r; float s6i = e2i - w2i;\n"
+       "      float s7r = e3r - w3r; float s7i = e3i - w3i;\n";
+  // Per-stage twiddle and store: dst[idx + 7*j*m + p*m] = tw[p] * s_p.
+  S += strFormat("      %sre[idx + 7 * j * m] = s0r;\n"
+                 "      %sim[idx + 7 * j * m] = s0i;\n",
+                 Dst, Dst);
+  for (int P = 1; P < 8; ++P)
+    S += strFormat(
+        "      float q%dr = twre[st][%d][idx];\n"
+        "      float q%di = twim[st][%d][idx];\n"
+        "      %sre[idx + 7 * j * m + %d * m] = q%dr * s%dr - q%di * s%di;\n"
+        "      %sim[idx + 7 * j * m + %d * m] = q%dr * s%di + q%di * s%dr;\n",
+        P, P, P, P, Dst, P, P, P, P, P, Dst, P, P, P, P, P);
+  return S;
+}
+
+std::string gpuc::fft8Source(long long N) {
+  long long H = N / 8;
+  int L = log2ll(N) / 3;
+  std::string S = strFormat(
+      "#pragma gpuc output(bre)\n"
+      "#pragma gpuc domain(%lld,1)\n"
+      "#pragma gpuc bind(n=%lld)\n"
+      "#pragma gpuc bind(stages=%d)\n"
+      "__global__ void fft8(float are[%lld], float aim[%lld],\n"
+      "                     float bre[%lld], float bim[%lld],\n"
+      "                     float twre[%d][8][%lld], float twim[%d][8][%lld],\n"
+      "                     int n, int stages) {\n"
+      "  int m = 1;\n"
+      "  for (int st = 0; st < stages; st++) {\n"
+      "    int j = idx / m;\n",
+      H, N, L, N, N, N, N, L, H, L, H);
+  S += "    if (st % 2 == 0) {\n";
+  S += fft8Branch("a", "b");
+  S += "    } else {\n";
+  S += fft8Branch("b", "a");
+  S += "    }\n";
+  S += "    m *= 8;\n";
+  S += "    __globalSync();\n";
+  S += "  }\n";
+  S += "}\n";
+  return S;
+}
+
+KernelFunction *gpuc::parseFft2(Module &M, long long N,
+                                DiagnosticsEngine &Diags) {
+  Parser P(fft2Source(N), Diags);
+  return P.parseKernel(M);
+}
+
+KernelFunction *gpuc::parseFft8(Module &M, long long N,
+                                DiagnosticsEngine &Diags) {
+  Parser P(fft8Source(N), Diags);
+  return P.parseKernel(M);
+}
+
+void gpuc::initFftInputs(long long N, int Radix, BufferSet &B) {
+  size_t n = static_cast<size_t>(N);
+  std::vector<float> &Are = B.alloc("are", n);
+  std::vector<float> &Aim = B.alloc("aim", n);
+  B.alloc("bre", n);
+  B.alloc("bim", n);
+  unsigned State = 12345;
+  auto Rand = [&State] {
+    State = State * 1664525u + 1013904223u;
+    return static_cast<float>(State >> 16) / 65536.0f - 0.5f;
+  };
+  for (size_t I = 0; I < n; ++I) {
+    Are[I] = Rand();
+    Aim[I] = Rand();
+  }
+  const double Pi = 3.14159265358979323846;
+  if (Radix == 2) {
+    int L = log2ll(N);
+    size_t H = n / 2;
+    std::vector<float> &Twre = B.alloc("twre", static_cast<size_t>(L) * H);
+    std::vector<float> &Twim = B.alloc("twim", static_cast<size_t>(L) * H);
+    long long Mm = 1;
+    for (int St = 0; St < L; ++St) {
+      long long Ll = N / 2 / Mm;
+      for (size_t Idx = 0; Idx < H; ++Idx) {
+        long long J = static_cast<long long>(Idx) / Mm;
+        double Ang = -2.0 * Pi * static_cast<double>(J) /
+                     static_cast<double>(2 * Ll);
+        Twre[St * H + Idx] = static_cast<float>(std::cos(Ang));
+        Twim[St * H + Idx] = static_cast<float>(std::sin(Ang));
+      }
+      Mm *= 2;
+    }
+  } else {
+    int L = log2ll(N) / 3;
+    size_t H = n / 8;
+    std::vector<float> &Twre =
+        B.alloc("twre", static_cast<size_t>(L) * 8 * H);
+    std::vector<float> &Twim =
+        B.alloc("twim", static_cast<size_t>(L) * 8 * H);
+    long long Mm = 1;
+    for (int St = 0; St < L; ++St) {
+      long long Ll = N / 8 / Mm;
+      for (int P = 0; P < 8; ++P) {
+        for (size_t Idx = 0; Idx < H; ++Idx) {
+          long long J = static_cast<long long>(Idx) / Mm;
+          double Ang = -2.0 * Pi * static_cast<double>(J * P) /
+                       static_cast<double>(8 * Ll);
+          Twre[(St * 8 + P) * H + Idx] = static_cast<float>(std::cos(Ang));
+          Twim[(St * 8 + P) * H + Idx] = static_cast<float>(std::sin(Ang));
+        }
+      }
+      Mm *= 8;
+    }
+  }
+}
+
+std::pair<std::vector<float>, std::vector<float>>
+gpuc::fftReference(long long N, int Radix, const BufferSet &B) {
+  size_t n = static_cast<size_t>(N);
+  std::vector<std::complex<double>> Src(n), Dst(n);
+  const auto &Are = B.data("are");
+  const auto &Aim = B.data("aim");
+  for (size_t I = 0; I < n; ++I)
+    Src[I] = {Are[I], Aim[I]};
+  const double Pi = 3.14159265358979323846;
+  if (Radix == 2) {
+    long long Mm = 1, Ll = N / 2;
+    while (Ll >= 1) {
+      for (long long Idx = 0; Idx < N / 2; ++Idx) {
+        long long J = Idx / Mm;
+        std::complex<double> W =
+            std::polar(1.0, -2.0 * Pi * static_cast<double>(J) /
+                                static_cast<double>(2 * Ll));
+        auto C0 = Src[Idx], C1 = Src[Idx + N / 2];
+        Dst[Idx + J * Mm] = C0 + C1;
+        Dst[Idx + J * Mm + Mm] = W * (C0 - C1);
+      }
+      std::swap(Src, Dst);
+      Ll /= 2;
+      Mm *= 2;
+    }
+  } else {
+    long long Mm = 1, Ll = N / 8;
+    std::complex<double> W8[8];
+    for (int P = 0; P < 8; ++P)
+      W8[P] = std::polar(1.0, -2.0 * Pi * P / 8.0);
+    while (Ll >= 1) {
+      for (long long Idx = 0; Idx < N / 8; ++Idx) {
+        long long J = Idx / Mm;
+        std::complex<double> C[8];
+        for (int Q = 0; Q < 8; ++Q)
+          C[Q] = Src[Idx + Q * (N / 8)];
+        for (int P = 0; P < 8; ++P) {
+          std::complex<double> Sum = 0;
+          for (int Q = 0; Q < 8; ++Q)
+            Sum += C[Q] * W8[(P * Q) % 8];
+          std::complex<double> Tw =
+              std::polar(1.0, -2.0 * Pi * static_cast<double>(J * P) /
+                                  static_cast<double>(8 * Ll));
+          Dst[Idx + 7 * J * Mm + P * Mm] = Tw * Sum;
+        }
+      }
+      std::swap(Src, Dst);
+      Ll /= 8;
+      Mm *= 8;
+    }
+  }
+  std::vector<float> Re(n), Im(n);
+  for (size_t I = 0; I < n; ++I) {
+    Re[I] = static_cast<float>(Src[I].real());
+    Im[I] = static_cast<float>(Src[I].imag());
+  }
+  return {Re, Im};
+}
+
+std::pair<std::string, std::string> gpuc::fftOutputNames(long long N,
+                                                         int Radix) {
+  int Stages = Radix == 2 ? log2ll(N) : log2ll(N) / 3;
+  // After an even number of ping-pongs the result is back in the a pair.
+  if (Stages % 2 == 0)
+    return {"are", "aim"};
+  return {"bre", "bim"};
+}
+
+double gpuc::fftFlops(long long N) {
+  return 5.0 * static_cast<double>(N) * log2ll(N);
+}
+
+double gpuc::fftReferenceVsDft(long long N, int Radix) {
+  BufferSet B;
+  initFftInputs(N, Radix, B);
+  auto [Re, Im] = fftReference(N, Radix, B);
+  const auto &Are = B.data("are");
+  const auto &Aim = B.data("aim");
+  const double Pi = 3.14159265358979323846;
+  double MaxErr = 0;
+  for (long long K = 0; K < N; ++K) {
+    std::complex<double> Sum = 0;
+    for (long long T = 0; T < N; ++T)
+      Sum += std::complex<double>(Are[T], Aim[T]) *
+             std::polar(1.0, -2.0 * Pi * static_cast<double>(K * T) /
+                                 static_cast<double>(N));
+    MaxErr = std::max(MaxErr, std::abs(Sum - std::complex<double>(
+                                                 Re[K], Im[K])));
+  }
+  return MaxErr;
+}

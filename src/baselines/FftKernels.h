@@ -1,0 +1,68 @@
+//===-- baselines/FftKernels.h - Section 7 FFT case study -------*- C++ -*-===//
+//
+// Part of the gpuc project: a reproduction of "A GPGPU Compiler for Memory
+// Optimization and Parallelism Management" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The 1-D FFT case study of Section 7: a naive radix-2 kernel (2-point
+/// butterflies per step), a naive radix-8 kernel (8-point butterflies),
+/// and CPU references. Both kernels use the Stockham formulation whose
+/// *reads* are constant-geometry (src[idx], src[idx + n/2], ... — fully
+/// coalesced) with per-stage twiddle tables, ping-ponging between two
+/// buffer pairs across the __globalSync() of each step.
+///
+/// Substitution note: the paper uses 2^20 points; radix-8 passes need the
+/// stage count divisible by 3, so the case study here runs 2^18 points for
+/// all variants (shape-preserving; absolute GFLOPS are not comparable to
+/// the paper's hardware anyway).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUC_BASELINES_FFTKERNELS_H
+#define GPUC_BASELINES_FFTKERNELS_H
+
+#include "ast/Kernel.h"
+#include "sim/Memory.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gpuc {
+
+/// Naive radix-2 Stockham FFT kernel source (one 2-point butterfly per
+/// thread per step).
+std::string fft2Source(long long N);
+
+/// Naive radix-8 Stockham FFT kernel source (one 8-point butterfly per
+/// thread per step); requires log2(N) divisible by 3.
+std::string fft8Source(long long N);
+
+KernelFunction *parseFft2(Module &M, long long N, DiagnosticsEngine &Diags);
+KernelFunction *parseFft8(Module &M, long long N, DiagnosticsEngine &Diags);
+
+/// Fills input signal buffers and the per-stage twiddle tables for the
+/// given radix (2 or 8).
+void initFftInputs(long long N, int Radix, BufferSet &Buffers);
+
+/// CPU reference: runs the same Stockham algorithm (same tables, same
+/// ping-pong) and returns the final (re, im) pair.
+std::pair<std::vector<float>, std::vector<float>>
+fftReference(long long N, int Radix, const BufferSet &Buffers);
+
+/// Buffer names holding the result (depends on the stage-count parity).
+std::pair<std::string, std::string> fftOutputNames(long long N, int Radix);
+
+/// Useful FFT work: 5 n log2 n.
+double fftFlops(long long N);
+
+/// Reference CPU DFT check helper (O(n^2), small n only): max abs error of
+/// the Stockham reference against the direct DFT.
+double fftReferenceVsDft(long long N, int Radix);
+
+} // namespace gpuc
+
+#endif // GPUC_BASELINES_FFTKERNELS_H

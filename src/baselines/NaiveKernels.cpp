@@ -1,0 +1,273 @@
+//===-- baselines/NaiveKernels.cpp - The paper's ten algorithms -----------===//
+
+#include "baselines/NaiveKernels.h"
+
+#include "parser/Parser.h"
+#include "support/StringUtils.h"
+
+using namespace gpuc;
+
+const std::vector<Algo> &gpuc::table1Algos() {
+  static const std::vector<Algo> All = {
+      Algo::TMV,  Algo::MM, Algo::MV,       Algo::VV,       Algo::RD,
+      Algo::STRSM, Algo::CONV, Algo::TP,    Algo::DEMOSAIC, Algo::IMREGIONMAX};
+  return All;
+}
+
+const AlgoInfo &gpuc::algoInfo(Algo A) {
+  static const AlgoInfo Infos[] = {
+      {Algo::TMV, "tmv", "1kx1k to 4kx4k (1k to 4k vec.)", 11},
+      {Algo::MM, "mm", "1kx1k to 4kx4k", 10},
+      {Algo::MV, "mv", "1kx1k to 4kx4k", 11},
+      {Algo::VV, "vv", "1k to 4k", 3},
+      {Algo::RD, "rd", "1-16 million", 9},
+      {Algo::STRSM, "strsm", "1kx1k to 4kx4k", 18},
+      {Algo::CONV, "conv", "4kx4k image, 32x32 kernel", 12},
+      {Algo::TP, "tp", "1kx1k to 8kx8k", 11},
+      {Algo::DEMOSAIC, "demosaic", "1kx1k to 4kx4k", 27},
+      {Algo::IMREGIONMAX, "imregionmax", "1kx1k to 4kx4k", 26},
+      {Algo::CRD, "crd", "1-16 million (complex)", 11},
+  };
+  for (const AlgoInfo &I : Infos)
+    if (I.A == A)
+      return I;
+  return Infos[0];
+}
+
+std::string gpuc::naiveSource(Algo A, long long N) {
+  long long n = N;
+  switch (A) {
+  case Algo::MM:
+    return strFormat(
+        "#pragma gpuc output(c)\n"
+        "#pragma gpuc bind(w=%lld)\n"
+        "__global__ void mm(float a[%lld][%lld], float b[%lld][%lld],\n"
+        "                   float c[%lld][%lld], int w) {\n"
+        "  float sum = 0;\n"
+        "  for (int i = 0; i < w; i++) {\n"
+        "    sum += a[idy][i] * b[i][idx];\n"
+        "  }\n"
+        "  c[idy][idx] = sum;\n"
+        "}\n",
+        n, n, n, n, n, n, n);
+  case Algo::MV:
+    return strFormat(
+        "#pragma gpuc output(c)\n"
+        "#pragma gpuc bind(w=%lld)\n"
+        "__global__ void mv(float a[%lld][%lld], float b[%lld],\n"
+        "                   float c[%lld], int w) {\n"
+        "  float sum = 0;\n"
+        "  for (int i = 0; i < w; i++) {\n"
+        "    sum += a[idx][i] * b[i];\n"
+        "  }\n"
+        "  c[idx] = sum;\n"
+        "}\n",
+        n, n, n, n, n);
+  case Algo::TMV:
+    return strFormat(
+        "#pragma gpuc output(c)\n"
+        "#pragma gpuc bind(w=%lld)\n"
+        "__global__ void tmv(float a[%lld][%lld], float b[%lld],\n"
+        "                    float c[%lld], int w) {\n"
+        "  float sum = 0;\n"
+        "  for (int i = 0; i < w; i++) {\n"
+        "    sum += a[i][idx] * b[i];\n"
+        "  }\n"
+        "  c[idx] = sum;\n"
+        "}\n",
+        n, n, n, n, n);
+  case Algo::VV:
+    return strFormat(
+        "#pragma gpuc output(c)\n"
+        "__global__ void vv(float a[%lld], float b[%lld], float c[%lld]) {\n"
+        "  c[idx] = a[idx] * b[idx];\n"
+        "}\n",
+        n, n, n);
+  case Algo::RD:
+    // One thread per element pair; in-place tree reduction with the
+    // grid-wide barrier the paper supports in naive kernels.
+    return strFormat(
+        "#pragma gpuc output(a)\n"
+        "#pragma gpuc domain(%lld,1)\n"
+        "#pragma gpuc bind(n=%lld)\n"
+        "__global__ void rd(float a[%lld], int n) {\n"
+        "  for (int s = n / 2; s >= 1; s = s / 2) {\n"
+        "    if (idx < s) {\n"
+        "      a[idx] += a[idx + s];\n"
+        "    }\n"
+        "    __globalSync();\n"
+        "  }\n"
+        "}\n",
+        n / 2, n, n);
+  case Algo::STRSM:
+    // Solve L*x = b for unit-lower-triangular L, one thread per element
+    // of the solution matrix, synchronizing row waves globally.
+    return strFormat(
+        "#pragma gpuc output(x)\n"
+        "#pragma gpuc bind(w=%lld)\n"
+        "__global__ void strsm(float l[%lld][%lld], float b[%lld][%lld],\n"
+        "                      float x[%lld][%lld], int w) {\n"
+        "  float acc = b[idy][idx];\n"
+        "  for (int k = 0; k < w; k = k + 1) {\n"
+        "    if (idy == k) {\n"
+        "      x[idy][idx] = acc;\n"
+        "    }\n"
+        "    __globalSync();\n"
+        "    if (idy > k) {\n"
+        "      acc -= l[idy][k] * x[k][idx];\n"
+        "    }\n"
+        "    __globalSync();\n"
+        "  }\n"
+        "}\n",
+        n, n, n, n, n, n, n);
+  case Algo::CONV:
+    // Padded image: (N+32) x (N+32) rows so idx+kx/idy+ky never leave the
+    // buffer and rows stay 16-word aligned.
+    return strFormat(
+        "#pragma gpuc output(out)\n"
+        "#pragma gpuc domain(%lld,%lld)\n"
+        "#pragma gpuc bind(kw=32)\n"
+        "__global__ void conv(float img[%lld][%lld], float ker[32][32],\n"
+        "                     float out[%lld][%lld], int kw) {\n"
+        "  float sum = 0;\n"
+        "  for (int ky = 0; ky < kw; ky++) {\n"
+        "    for (int kx = 0; kx < kw; kx++) {\n"
+        "      sum += img[idy + ky][idx + kx] * ker[ky][kx];\n"
+        "    }\n"
+        "  }\n"
+        "  out[idy][idx] = sum;\n"
+        "}\n",
+        n, n, n + 32, n + 32, n, n);
+  case Algo::TP:
+    return strFormat(
+        "#pragma gpuc output(out)\n"
+        "#pragma gpuc domain(%lld,%lld)\n"
+        "__global__ void tp(float in[%lld][%lld], float out[%lld][%lld]) {\n"
+        "  out[idx][idy] = in[idy][idx];\n"
+        "}\n",
+        n, n, n, n, n, n);
+  case Algo::DEMOSAIC:
+    // Bilinear Bayer reconstruction on a padded mosaic (2 halo rows,
+    // 16 halo columns keep the rows aligned).
+    return strFormat(
+        "#pragma gpuc output(out)\n"
+        "#pragma gpuc domain(%lld,%lld)\n"
+        "__global__ void demosaic(float bay[%lld][%lld],\n"
+        "                         float out[%lld][%lld]) {\n"
+        "  float g = bay[idy][idx + 1] + bay[idy + 2][idx + 1];\n"
+        "  g += bay[idy + 1][idx] + bay[idy + 1][idx + 2];\n"
+        "  g = g * 0.25f;\n"
+        "  float r = bay[idy][idx] + bay[idy][idx + 2];\n"
+        "  r += bay[idy + 2][idx] + bay[idy + 2][idx + 2];\n"
+        "  r = r * 0.25f;\n"
+        "  float b = bay[idy + 1][idx + 1];\n"
+        "  float lum = 0.299f * r + 0.587f * g + 0.114f * b;\n"
+        "  float chro = r - b;\n"
+        "  out[idy][idx] = lum + 0.1f * chro;\n"
+        "}\n",
+        n, n, n + 2, n + 16, n, n);
+  case Algo::IMREGIONMAX:
+    return strFormat(
+        "#pragma gpuc output(out)\n"
+        "#pragma gpuc domain(%lld,%lld)\n"
+        "__global__ void imregionmax(float in[%lld][%lld],\n"
+        "                            float out[%lld][%lld]) {\n"
+        "  float c = in[idy + 1][idx + 1];\n"
+        "  float m = in[idy][idx];\n"
+        "  m = fmaxf(m, in[idy][idx + 1]);\n"
+        "  m = fmaxf(m, in[idy][idx + 2]);\n"
+        "  m = fmaxf(m, in[idy + 1][idx]);\n"
+        "  m = fmaxf(m, in[idy + 1][idx + 2]);\n"
+        "  m = fmaxf(m, in[idy + 2][idx]);\n"
+        "  m = fmaxf(m, in[idy + 2][idx + 1]);\n"
+        "  m = fmaxf(m, in[idy + 2][idx + 2]);\n"
+        "  float flag = 0;\n"
+        "  if (c > m) {\n"
+        "    flag = 1;\n"
+        "  }\n"
+        "  out[idy][idx] = flag;\n"
+        "}\n",
+        n, n, n + 2, n + 16, n, n);
+  case Algo::CRD:
+    // Complex-magnitude reduction (the CublasScasum analog of Figure 14):
+    // interleaved re/im pairs, |re| + |im| per element, then the same
+    // tree reduction as rd.
+    return strFormat(
+        "#pragma gpuc output(r)\n"
+        "#pragma gpuc domain(%lld,1)\n"
+        "#pragma gpuc bind(n=%lld)\n"
+        "__global__ void crd(float a[%lld], float r[%lld], int n) {\n"
+        "  r[idx] = fabsf(a[2 * idx]) + fabsf(a[2 * idx + 1]);\n"
+        "  __globalSync();\n"
+        "  for (int s = n / 2; s >= 1; s = s / 2) {\n"
+        "    if (idx < s) {\n"
+        "      r[idx] += r[idx + s];\n"
+        "    }\n"
+        "    __globalSync();\n"
+        "  }\n"
+        "}\n",
+        n, n, 2 * n + 16, n);
+  }
+  return "";
+}
+
+KernelFunction *gpuc::parseNaive(Module &M, Algo A, long long N,
+                                 DiagnosticsEngine &Diags) {
+  Parser P(naiveSource(A, N), Diags);
+  return P.parseKernel(M);
+}
+
+double gpuc::algoFlops(Algo A, long long N) {
+  double n = static_cast<double>(N);
+  switch (A) {
+  case Algo::MM:
+    return 2.0 * n * n * n;
+  case Algo::MV:
+  case Algo::TMV:
+    return 2.0 * n * n;
+  case Algo::VV:
+    return n;
+  case Algo::RD:
+    return n;
+  case Algo::CRD:
+    return 3.0 * n;
+  case Algo::STRSM:
+    return n * n; // ~n^2/2 updates of 2 flops over the wavefront
+  case Algo::CONV:
+    return 2.0 * n * n * 32.0 * 32.0;
+  case Algo::TP:
+    return 0.0; // no floating point work; use bandwidth
+  case Algo::DEMOSAIC:
+    return 14.0 * n * n;
+  case Algo::IMREGIONMAX:
+    return 8.0 * n * n;
+  }
+  return 0.0;
+}
+
+double gpuc::algoUsefulBytes(Algo A, long long N) {
+  double n = static_cast<double>(N);
+  switch (A) {
+  case Algo::TP:
+    return 2.0 * 4.0 * n * n; // read + write every element once
+  case Algo::VV:
+    return 3.0 * 4.0 * n;
+  case Algo::RD:
+    return 4.0 * 2.0 * n;
+  case Algo::CRD:
+    return 4.0 * 3.0 * n;
+  case Algo::MV:
+  case Algo::TMV:
+    return 4.0 * (n * n + 2.0 * n);
+  case Algo::MM:
+    return 4.0 * 3.0 * n * n;
+  case Algo::STRSM:
+    return 4.0 * 3.0 * n * n;
+  case Algo::CONV:
+    return 4.0 * 2.0 * n * n;
+  case Algo::DEMOSAIC:
+  case Algo::IMREGIONMAX:
+    return 4.0 * 2.0 * n * n;
+  }
+  return 0.0;
+}

@@ -1,0 +1,77 @@
+//===-- baselines/NaiveKernels.h - The paper's ten algorithms ---*- C++ -*-===//
+//
+// Part of the gpuc project: a reproduction of "A GPGPU Compiler for Memory
+// Optimization and Parallelism Management" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The naive kernels of Table 1 (plus the complex-number reduction of
+/// Figure 14), parameterized by input size. Each computes one output
+/// element at (idx, idy), uses only global memory and carries no
+/// performance optimization — exactly the compiler's input contract.
+///
+/// Neighborhood kernels (conv, demosaic, imregionmax) read padded input
+/// images so that the naive work item needs no boundary branches; the
+/// padding columns also keep every row 16-word aligned, the layout
+/// assumption Section 3.3 relies on ("padding to input data arrays").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUC_BASELINES_NAIVEKERNELS_H
+#define GPUC_BASELINES_NAIVEKERNELS_H
+
+#include "ast/Kernel.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <vector>
+
+namespace gpuc {
+
+/// The algorithms of Table 1, plus the complex reduction variant (crd)
+/// used by the vectorization experiment (Figure 14).
+enum class Algo {
+  TMV,
+  MM,
+  MV,
+  VV,
+  RD,
+  STRSM,
+  CONV,
+  TP,
+  DEMOSAIC,
+  IMREGIONMAX,
+  CRD
+};
+
+/// All Table 1 algorithms, in the paper's order.
+const std::vector<Algo> &table1Algos();
+
+/// Metadata mirroring Table 1.
+struct AlgoInfo {
+  Algo A;
+  const char *Name;          // paper's short name
+  const char *PaperSizes;    // "1kx1k to 4kx4k"
+  int PaperNaiveLoc;         // paper's lines-of-code column
+};
+const AlgoInfo &algoInfo(Algo A);
+
+/// Naive kernel source for algorithm \p A at size \p N (square dimension
+/// or vector length; conv uses a 32x32 kernel window).
+std::string naiveSource(Algo A, long long N);
+
+/// Parses the naive kernel into \p M. \returns null on error.
+KernelFunction *parseNaive(Module &M, Algo A, long long N,
+                           DiagnosticsEngine &Diags);
+
+/// Useful floating-point work of one run (for GFLOPS reporting).
+double algoFlops(Algo A, long long N);
+
+/// Algorithmically required bytes (for effective-bandwidth reporting,
+/// used by the transpose experiment of Figure 15).
+double algoUsefulBytes(Algo A, long long N);
+
+} // namespace gpuc
+
+#endif // GPUC_BASELINES_NAIVEKERNELS_H

@@ -1,0 +1,162 @@
+//===-- core/Accesses.cpp - Global access collection ----------------------===//
+
+#include "core/Accesses.h"
+
+#include "ast/Walk.h"
+
+using namespace gpuc;
+
+LoopInfo gpuc::resolveLoop(ForStmt *F, const KernelFunction &K) {
+  LoopInfo L;
+  L.Loop = F;
+  if (F->stepKind() != StepKind::Add || F->cmp() == CmpKind::GT ||
+      F->cmp() == CmpKind::GE)
+    return L;
+  AffineExpr Init, Bound, Step;
+  if (!buildAffine(F->init(), K, Init) || !Init.isConstant() ||
+      !buildAffine(F->bound(), K, Bound) || !Bound.isConstant() ||
+      !buildAffine(F->step(), K, Step) || !Step.isConstant())
+    return L;
+  L.Resolved = true;
+  L.Init = Init.Const;
+  L.Bound = Bound.Const + (F->cmp() == CmpKind::LE ? 1 : 0);
+  L.Step = Step.Const;
+  return L;
+}
+
+namespace {
+
+class AccessCollector {
+public:
+  AccessCollector(KernelFunction &K) : K(K) {}
+
+  std::vector<AccessInfo> run() {
+    walkStmt(K.body(), nullptr);
+    return std::move(Result);
+  }
+
+private:
+  void walkStmt(Stmt *S, Stmt *Owner) {
+    switch (S->kind()) {
+    case StmtKind::Compound:
+      for (Stmt *Child : cast<CompoundStmt>(S)->body())
+        walkStmt(Child, Child);
+      return;
+    case StmtKind::Decl: {
+      auto *D = cast<DeclStmt>(S);
+      if (D->init())
+        walkExpr(D->init(), Owner, /*IsStore=*/false);
+      return;
+    }
+    case StmtKind::Assign: {
+      auto *A = cast<AssignStmt>(S);
+      // A compound assignment both loads and stores its LHS array.
+      if (auto *Ref = dyn_cast<ArrayRef>(A->lhs())) {
+        recordIfGlobal(Ref, Owner, /*IsStore=*/true);
+        if (A->op() != AssignOp::Assign)
+          recordIfGlobal(Ref, Owner, /*IsStore=*/false);
+        for (Expr *I : Ref->indices())
+          walkExpr(I, Owner, false);
+      } else {
+        walkExpr(A->lhs(), Owner, false);
+      }
+      walkExpr(A->rhs(), Owner, false);
+      return;
+    }
+    case StmtKind::If: {
+      auto *If = cast<IfStmt>(S);
+      walkExpr(If->cond(), Owner, false);
+      walkStmt(If->thenBody(), Owner);
+      if (If->elseBody())
+        walkStmt(If->elseBody(), Owner);
+      return;
+    }
+    case StmtKind::For: {
+      auto *F = cast<ForStmt>(S);
+      walkExpr(F->init(), Owner, false);
+      walkExpr(F->bound(), Owner, false);
+      walkExpr(F->step(), Owner, false);
+      LoopStack.push_back(resolveLoop(F, K));
+      walkStmt(F->body(), Owner);
+      LoopStack.pop_back();
+      return;
+    }
+    case StmtKind::Sync:
+      return;
+    }
+  }
+
+  void walkExpr(Expr *E, Stmt *Owner, bool IsStore) {
+    if (!E)
+      return;
+    if (auto *Ref = dyn_cast<ArrayRef>(E)) {
+      recordIfGlobal(Ref, Owner, IsStore);
+      for (Expr *I : Ref->indices())
+        walkExpr(I, Owner, false);
+      return;
+    }
+    forEachExprIn(E, [&](Expr *Sub) {
+      if (Sub == E)
+        return;
+      if (auto *Ref = dyn_cast<ArrayRef>(Sub)) {
+        recordIfGlobal(Ref, Owner, false);
+      }
+    });
+  }
+
+  void recordIfGlobal(ArrayRef *Ref, Stmt *Owner, bool IsStore) {
+    const ParamDecl *P = K.findParam(Ref->base());
+    if (!P || !P->IsArray)
+      return; // shared or unknown
+    AccessInfo A;
+    A.Ref = Ref;
+    A.Param = P;
+    A.Owner = Owner;
+    A.IsStore = IsStore;
+    A.Loops = LoopStack;
+    A.ElemBytes = Ref->type().isFloatVector()
+                      ? Ref->type().vectorWidth() * 4
+                      : 4;
+
+    // Linearize: byte address = sum over dims of affine(index) * stride.
+    A.Resolved = true;
+    if (Ref->vecWidth() > 1) {
+      AffineExpr Sub;
+      if (!buildAffine(Ref->index(0), K, Sub)) {
+        A.Resolved = false;
+      } else {
+        A.DimAffine.push_back(Sub);
+        A.Addr = Sub;
+        A.Addr *= A.ElemBytes;
+      }
+    } else if (Ref->numIndices() != P->Dims.size()) {
+      A.Resolved = false;
+    } else {
+      std::vector<long long> Strides(P->Dims.size(), 1);
+      for (int D = static_cast<int>(P->Dims.size()) - 2; D >= 0; --D)
+        Strides[D] = Strides[D + 1] * P->Dims[D + 1];
+      for (size_t D = 0; D < P->Dims.size(); ++D) {
+        AffineExpr Sub;
+        if (!buildAffine(Ref->index(D), K, Sub)) {
+          A.Resolved = false;
+          break;
+        }
+        A.DimAffine.push_back(Sub);
+        AffineExpr Scaled = Sub;
+        Scaled *= Strides[D] * P->ElemTy.sizeInBytes();
+        A.Addr += Scaled;
+      }
+    }
+    Result.push_back(std::move(A));
+  }
+
+  KernelFunction &K;
+  std::vector<LoopInfo> LoopStack;
+  std::vector<AccessInfo> Result;
+};
+
+} // namespace
+
+std::vector<AccessInfo> gpuc::collectGlobalAccesses(KernelFunction &K) {
+  return AccessCollector(K).run();
+}

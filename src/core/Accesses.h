@@ -1,0 +1,76 @@
+//===-- core/Accesses.h - Global access collection --------------*- C++ -*-===//
+//
+// Part of the gpuc project: a reproduction of "A GPGPU Compiler for Memory
+// Optimization and Parallelism Management" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Collects every global-memory array access of a kernel together with its
+/// linearized byte-address affine form and its enclosing loop nest — the
+/// inputs to the coalescing checker (Section 3.2), data-sharing analysis
+/// (Section 3.4) and partition-camping detection (Section 3.7).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUC_CORE_ACCESSES_H
+#define GPUC_CORE_ACCESSES_H
+
+#include "core/Affine.h"
+
+#include <vector>
+
+namespace gpuc {
+
+/// Compile-time description of one loop enclosing an access.
+struct LoopInfo {
+  ForStmt *Loop = nullptr;
+  /// Constant init/bound/step when resolvable (Resolved == true).
+  bool Resolved = false;
+  long long Init = 0;
+  long long Bound = 0; // exclusive for LT loops
+  long long Step = 1;
+  long long trip() const {
+    if (Step <= 0)
+      return 0;
+    long long Span = Bound - Init;
+    return Span <= 0 ? 0 : (Span + Step - 1) / Step;
+  }
+};
+
+/// One global array access with its address model.
+struct AccessInfo {
+  ArrayRef *Ref = nullptr;
+  const ParamDecl *Param = nullptr;
+  /// The statement the access appears in.
+  Stmt *Owner = nullptr;
+  bool IsStore = false;
+  /// Enclosing loops, outermost first.
+  std::vector<LoopInfo> Loops;
+  /// Linearized byte address. Valid only when Resolved.
+  AffineExpr Addr;
+  bool Resolved = false;
+  /// Element size in bytes of one access (4 for float, 8 for float2...).
+  int ElemBytes = 4;
+  /// Per-subscript affine forms, one per dimension (element units).
+  std::vector<AffineExpr> DimAffine;
+
+  /// Loop info (from this access's nest) for iterator \p Name, or null.
+  const LoopInfo *loopNamed(const std::string &Name) const {
+    for (const LoopInfo &L : Loops)
+      if (L.Loop->iterName() == Name)
+        return &L;
+    return nullptr;
+  }
+};
+
+/// Collects all global accesses of \p K (launch configuration is used to
+/// expand idx/idy, so call it after setting the launch).
+std::vector<AccessInfo> collectGlobalAccesses(KernelFunction &K);
+
+/// Resolves a loop's bounds against compile-time bindings.
+LoopInfo resolveLoop(ForStmt *F, const KernelFunction &K);
+
+} // namespace gpuc
+
+#endif // GPUC_CORE_ACCESSES_H

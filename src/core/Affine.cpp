@@ -1,0 +1,224 @@
+//===-- core/Affine.cpp - Affine index expressions ------------------------===//
+
+#include "core/Affine.h"
+
+#include "support/StringUtils.h"
+
+#include <sstream>
+
+using namespace gpuc;
+
+AffineExpr &AffineExpr::operator+=(const AffineExpr &O) {
+  Const += O.Const;
+  CTidx += O.CTidx;
+  CTidy += O.CTidy;
+  CBidx += O.CBidx;
+  CBidy += O.CBidy;
+  for (const auto &[Name, C] : O.LoopCoeffs) {
+    LoopCoeffs[Name] += C;
+    if (LoopCoeffs[Name] == 0)
+      LoopCoeffs.erase(Name);
+  }
+  return *this;
+}
+
+AffineExpr &AffineExpr::operator-=(const AffineExpr &O) {
+  AffineExpr Neg = O;
+  Neg *= -1;
+  return *this += Neg;
+}
+
+AffineExpr &AffineExpr::operator*=(long long F) {
+  Const *= F;
+  CTidx *= F;
+  CTidy *= F;
+  CBidx *= F;
+  CBidy *= F;
+  if (F == 0) {
+    LoopCoeffs.clear();
+    return *this;
+  }
+  for (auto &[Name, C] : LoopCoeffs)
+    C *= F;
+  return *this;
+}
+
+long long AffineExpr::evaluate(
+    long long Tidx, long long Tidy, long long Bidx, long long Bidy,
+    const std::map<std::string, long long> &LoopValues) const {
+  long long V = Const + CTidx * Tidx + CTidy * Tidy + CBidx * Bidx +
+                CBidy * Bidy;
+  for (const auto &[Name, C] : LoopCoeffs) {
+    auto It = LoopValues.find(Name);
+    if (It != LoopValues.end())
+      V += C * It->second;
+  }
+  return V;
+}
+
+std::string AffineExpr::str() const {
+  std::ostringstream OS;
+  OS << Const;
+  auto Term = [&](long long C, const std::string &N) {
+    if (C == 0)
+      return;
+    OS << (C > 0 ? " + " : " - ");
+    if (std::abs(C) != 1)
+      OS << std::abs(C) << "*";
+    OS << N;
+  };
+  Term(CTidx, "tidx");
+  Term(CTidy, "tidy");
+  Term(CBidx, "bidx");
+  Term(CBidy, "bidy");
+  for (const auto &[Name, C] : LoopCoeffs)
+    Term(C, Name);
+  return OS.str();
+}
+
+static bool buildAffineImpl(const Expr *E, const KernelFunction &K,
+                            AffineExpr &Out) {
+  switch (E->kind()) {
+  case ExprKind::IntLit:
+    Out = AffineExpr(cast<IntLit>(E)->value());
+    return true;
+  case ExprKind::BuiltinRef: {
+    const LaunchConfig &L = K.launch();
+    Out = AffineExpr();
+    switch (cast<BuiltinRef>(E)->id()) {
+    case BuiltinId::Idx:
+      Out.CBidx = L.BlockDimX;
+      Out.CTidx = 1;
+      return true;
+    case BuiltinId::Idy:
+      Out.CBidy = L.BlockDimY;
+      Out.CTidy = 1;
+      return true;
+    case BuiltinId::Tidx:
+      Out.CTidx = 1;
+      return true;
+    case BuiltinId::Tidy:
+      Out.CTidy = 1;
+      return true;
+    case BuiltinId::Bidx:
+      Out.CBidx = 1;
+      return true;
+    case BuiltinId::Bidy:
+      Out.CBidy = 1;
+      return true;
+    case BuiltinId::BlockDimX:
+      Out.Const = L.BlockDimX;
+      return true;
+    case BuiltinId::BlockDimY:
+      Out.Const = L.BlockDimY;
+      return true;
+    case BuiltinId::GridDimX:
+      Out.Const = L.GridDimX;
+      return true;
+    case BuiltinId::GridDimY:
+      Out.Const = L.GridDimY;
+      return true;
+    }
+    return false;
+  }
+  case ExprKind::VarRef: {
+    const auto *V = cast<VarRef>(E);
+    // Loop iterator or local int: keep symbolic. Scalar parameter with a
+    // compile-time binding: fold to constant.
+    const ParamDecl *P = K.findParam(V->name());
+    if (P && !P->IsArray) {
+      auto It = K.scalarBindings().find(V->name());
+      if (It == K.scalarBindings().end())
+        return false; // unbound scalar: unresolved
+      Out = AffineExpr(It->second);
+      return true;
+    }
+    if (!V->type().isInt())
+      return false;
+    Out = AffineExpr();
+    Out.LoopCoeffs[V->name()] = 1;
+    return true;
+  }
+  case ExprKind::Unary: {
+    const auto *U = cast<Unary>(E);
+    if (U->op() != UnOp::Neg)
+      return false;
+    if (!buildAffineImpl(U->sub(), K, Out))
+      return false;
+    Out *= -1;
+    return true;
+  }
+  case ExprKind::Binary: {
+    const auto *B = cast<Binary>(E);
+    AffineExpr L, R;
+    switch (B->op()) {
+    case BinOp::Add:
+      if (!buildAffineImpl(B->lhs(), K, L) || !buildAffineImpl(B->rhs(), K, R))
+        return false;
+      Out = L;
+      Out += R;
+      return true;
+    case BinOp::Sub:
+      if (!buildAffineImpl(B->lhs(), K, L) || !buildAffineImpl(B->rhs(), K, R))
+        return false;
+      Out = L;
+      Out -= R;
+      return true;
+    case BinOp::Mul:
+      if (!buildAffineImpl(B->lhs(), K, L) || !buildAffineImpl(B->rhs(), K, R))
+        return false;
+      if (L.isConstant()) {
+        Out = R;
+        Out *= L.Const;
+        return true;
+      }
+      if (R.isConstant()) {
+        Out = L;
+        Out *= R.Const;
+        return true;
+      }
+      return false;
+    case BinOp::Div: {
+      // Constant / constant only.
+      if (!buildAffineImpl(B->lhs(), K, L) || !buildAffineImpl(B->rhs(), K, R))
+        return false;
+      if (!L.isConstant() || !R.isConstant() || R.Const == 0)
+        return false;
+      Out = AffineExpr(L.Const / R.Const);
+      return true;
+    }
+    default:
+      return false;
+    }
+  }
+  default:
+    return false; // ArrayRef / Call / Member / FloatLit: unresolved
+  }
+}
+
+bool gpuc::buildAffine(const Expr *E, const KernelFunction &K,
+                       AffineExpr &Out) {
+  Out = AffineExpr();
+  return buildAffineImpl(E, K, Out);
+}
+
+Expr *gpuc::affineToExpr(ASTContext &Ctx, const AffineExpr &A) {
+  Expr *E = nullptr;
+  auto Append = [&](Expr *Term) {
+    E = E ? Ctx.add(E, Term) : Term;
+  };
+  auto Coeff = [&](long long C, Expr *Base) {
+    if (C == 0)
+      return;
+    Append(C == 1 ? Base : Ctx.mul(Base, Ctx.intLit(C)));
+  };
+  Coeff(A.CTidx, Ctx.builtin(BuiltinId::Tidx));
+  Coeff(A.CTidy, Ctx.builtin(BuiltinId::Tidy));
+  Coeff(A.CBidx, Ctx.builtin(BuiltinId::Bidx));
+  Coeff(A.CBidy, Ctx.builtin(BuiltinId::Bidy));
+  for (const auto &[Name, C] : A.LoopCoeffs)
+    Coeff(C, Ctx.varRef(Name, Type::intTy()));
+  if (A.Const != 0 || !E)
+    Append(Ctx.intLit(A.Const));
+  return E;
+}

@@ -1,0 +1,79 @@
+//===-- core/Affine.h - Affine index expressions ----------------*- C++ -*-===//
+//
+// Part of the gpuc project: a reproduction of "A GPGPU Compiler for Memory
+// Optimization and Parallelism Management" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Linear form of an array subscript over the paper's index vocabulary
+/// (Section 3.2): the predefined indices tidx/tidy/bidx/bidy (idx and idy
+/// are expanded through the launch configuration), loop iterators, and a
+/// constant. "Unresolved" subscripts (anything nonlinear or data-dependent)
+/// fail to build, exactly the paper's fourth index class.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUC_CORE_AFFINE_H
+#define GPUC_CORE_AFFINE_H
+
+#include "ast/Kernel.h"
+
+#include <map>
+#include <string>
+
+namespace gpuc {
+
+/// A symbolic linear combination:
+///   Const + CT*tidx + CTY*tidy + CBX*bidx + CBY*bidy + sum LoopCoeffs[i]*i
+struct AffineExpr {
+  long long Const = 0;
+  long long CTidx = 0;
+  long long CTidy = 0;
+  long long CBidx = 0;
+  long long CBidy = 0;
+  std::map<std::string, long long> LoopCoeffs;
+
+  AffineExpr() = default;
+  explicit AffineExpr(long long C) : Const(C) {}
+
+  bool isConstant() const {
+    return CTidx == 0 && CTidy == 0 && CBidx == 0 && CBidy == 0 &&
+           LoopCoeffs.empty();
+  }
+  long long loopCoeff(const std::string &Name) const {
+    auto It = LoopCoeffs.find(Name);
+    return It == LoopCoeffs.end() ? 0 : It->second;
+  }
+  bool hasLoopTerms() const {
+    for (const auto &[N, C] : LoopCoeffs)
+      if (C != 0)
+        return true;
+    return false;
+  }
+
+  AffineExpr &operator+=(const AffineExpr &O);
+  AffineExpr &operator-=(const AffineExpr &O);
+  AffineExpr &operator*=(long long F);
+
+  /// Evaluates with concrete values. Loop iterators default to 0 when not
+  /// present in \p LoopValues.
+  long long evaluate(long long Tidx, long long Tidy, long long Bidx,
+                     long long Bidy,
+                     const std::map<std::string, long long> &LoopValues) const;
+
+  std::string str() const;
+};
+
+/// Builds the affine form of \p E. idx and idy expand to
+/// bidx*BlockDimX + tidx / bidy*BlockDimY + tidy using \p K's launch
+/// configuration; scalar parameters resolve through compile-time bindings.
+/// \returns false for unresolved (nonlinear / data-dependent) expressions.
+bool buildAffine(const Expr *E, const KernelFunction &K, AffineExpr &Out);
+
+/// Rebuilds a (reasonably readable) expression from an affine form.
+Expr *affineToExpr(ASTContext &Ctx, const AffineExpr &A);
+
+} // namespace gpuc
+
+#endif // GPUC_CORE_AFFINE_H

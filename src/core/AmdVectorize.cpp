@@ -1,0 +1,125 @@
+//===-- core/AmdVectorize.cpp - Aggressive AMD vectorization --------------===//
+
+#include "core/AmdVectorize.h"
+
+#include "ast/Walk.h"
+#include "core/Affine.h"
+
+using namespace gpuc;
+
+namespace {
+
+/// Straight-line, lanewise-safe expression: array loads, literals and
+/// elementwise arithmetic only.
+bool lanewiseExpr(const Expr *E) {
+  switch (E->kind()) {
+  case ExprKind::FloatLit:
+  case ExprKind::IntLit:
+    return true;
+  case ExprKind::ArrayRef:
+    return true; // index checked separately
+  case ExprKind::Binary: {
+    const auto *B = cast<Binary>(E);
+    switch (B->op()) {
+    case BinOp::Add:
+    case BinOp::Sub:
+    case BinOp::Mul:
+    case BinOp::Div:
+      return lanewiseExpr(B->lhs()) && lanewiseExpr(B->rhs());
+    default:
+      return false;
+    }
+  }
+  case ExprKind::Unary:
+    return cast<Unary>(E)->op() == UnOp::Neg &&
+           lanewiseExpr(cast<Unary>(E)->sub());
+  default:
+    return false;
+  }
+}
+
+/// Recomputes expression types bottom-up after access widening.
+Type retype(Expr *E) {
+  switch (E->kind()) {
+  case ExprKind::Binary: {
+    auto *B = cast<Binary>(E);
+    Type L = retype(B->lhs());
+    Type R = retype(B->rhs());
+    if (L.isFloatVector())
+      B->setType(L);
+    else if (R.isFloatVector())
+      B->setType(R);
+    return B->type();
+  }
+  case ExprKind::Unary: {
+    auto *U = cast<Unary>(E);
+    U->setType(retype(U->sub()));
+    return U->type();
+  }
+  default:
+    return E->type();
+  }
+}
+
+} // namespace
+
+bool gpuc::canAmdVectorize(const KernelFunction &K) {
+  if (K.workDomainY() != 1)
+    return false;
+  bool Ok = true;
+  // Body: only assignments whose LHS is a 1-D store and whose RHS is
+  // lanewise; no loops, branches or locals.
+  for (const Stmt *S : K.body()->body()) {
+    const auto *A = dyn_cast<AssignStmt>(S);
+    if (!A || A->op() != AssignOp::Assign || !isa<ArrayRef>(A->lhs()) ||
+        !lanewiseExpr(A->rhs())) {
+      Ok = false;
+      break;
+    }
+  }
+  if (!Ok)
+    return false;
+  // Every access: 1-D float array indexed exactly by idx.
+  forEachExpr(const_cast<CompoundStmt *>(K.body()), [&](Expr *E) {
+    auto *Ref = dyn_cast<ArrayRef>(E);
+    if (!Ref)
+      return;
+    const ParamDecl *P = K.findParam(Ref->base());
+    if (!P || !P->ElemTy.isFloat() || P->Dims.size() != 1 ||
+        Ref->vecWidth() != 1) {
+      Ok = false;
+      return;
+    }
+    AffineExpr A;
+    if (!buildAffine(Ref->index(0), K, A) || !(A.CTidx == 1 && A.Const == 0 &&
+                                               A.CTidy == 0 && A.CBidy == 0 &&
+                                               !A.hasLoopTerms()))
+      Ok = false;
+  });
+  return Ok;
+}
+
+bool gpuc::amdVectorize(KernelFunction &K, ASTContext &Ctx, int Width) {
+  assert((Width == 2 || Width == 4) && "float2 or float4 only");
+  if (!canAmdVectorize(K) || K.workDomainX() % Width != 0)
+    return false;
+  (void)Ctx;
+  Type VecTy = Width == 2 ? Type::float2Ty() : Type::float4Ty();
+  forEachExpr(K.body(), [&](Expr *E) {
+    auto *Ref = dyn_cast<ArrayRef>(E);
+    if (!Ref)
+      return;
+    Ref->setVecWidth(Width);
+    Ref->setType(VecTy);
+  });
+  for (Stmt *S : K.body()->body())
+    if (auto *A = dyn_cast<AssignStmt>(S))
+      retype(A->rhs());
+
+  K.setWorkDomain(K.workDomainX() / Width, K.workDomainY());
+  LaunchConfig &L = K.launch();
+  L.BlockDimX = static_cast<int>(
+      std::min<long long>(L.BlockDimX, K.workDomainX()));
+  L.GridDimX = (K.workDomainX() + L.BlockDimX - 1) / L.BlockDimX;
+  return true;
+}

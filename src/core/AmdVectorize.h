@@ -1,0 +1,39 @@
+//===-- core/AmdVectorize.h - Aggressive AMD vectorization ------*- C++ -*-===//
+//
+// Part of the gpuc project: a reproduction of "A GPGPU Compiler for Memory
+// Optimization and Parallelism Management" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 3.1's AMD rule: on ATI/AMD parts the bandwidth gap between
+/// float and float4 is large (71 vs 101 GB/s on the HD 5870), so beyond
+/// the strict complex-pair rule the compiler "also groups data accesses
+/// from neighboring threads along the X direction into float2/float4
+/// data types". Each thread then processes Width consecutive elements
+/// through one vector access and the work domain shrinks accordingly.
+///
+/// Applied to streaming kernels: every global access must be a
+/// one-dimensional float array indexed exactly by idx, and the kernel
+/// body must be straight-line vectorizable arithmetic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUC_CORE_AMDVECTORIZE_H
+#define GPUC_CORE_AMDVECTORIZE_H
+
+#include "ast/Kernel.h"
+
+namespace gpuc {
+
+/// \returns true if \p K fits the neighbor-grouping pattern.
+bool canAmdVectorize(const KernelFunction &K);
+
+/// Rewrites \p K so each thread handles \p Width (2 or 4) consecutive
+/// elements through floatN accesses; shrinks the work domain and launch.
+/// \returns false (kernel untouched) when the pattern does not fit.
+bool amdVectorize(KernelFunction &K, ASTContext &Ctx, int Width);
+
+} // namespace gpuc
+
+#endif // GPUC_CORE_AMDVECTORIZE_H

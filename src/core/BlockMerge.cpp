@@ -1,0 +1,152 @@
+//===-- core/BlockMerge.cpp - Thread-block merge --------------------------===//
+
+#include "core/BlockMerge.h"
+
+#include "ast/Clone.h"
+#include "ast/Subst.h"
+#include "ast/Walk.h"
+
+using namespace gpuc;
+
+static CompoundStmt *parentOf(CompoundStmt *Root, Stmt *Target,
+                              size_t &IndexOut) {
+  CompoundStmt *Found = nullptr;
+  std::function<void(CompoundStmt *)> Walk = [&](CompoundStmt *C) {
+    if (!C || Found)
+      return;
+    for (size_t I = 0; I < C->body().size(); ++I) {
+      Stmt *S = C->body()[I];
+      if (S == Target) {
+        Found = C;
+        IndexOut = I;
+        return;
+      }
+      if (auto *If = dyn_cast<IfStmt>(S)) {
+        Walk(If->thenBody());
+        Walk(If->elseBody());
+      } else if (auto *F = dyn_cast<ForStmt>(S)) {
+        Walk(F->body());
+      }
+    }
+  };
+  Walk(Root);
+  return Found;
+}
+
+bool gpuc::blockMergeX(KernelFunction &K, ASTContext &Ctx, CoalesceResult &CR,
+                       int N) {
+  if (N <= 1)
+    return false;
+  LaunchConfig &L = K.launch();
+  if (L.GridDimX % N != 0)
+    return false;
+  const int OldBdx = L.BlockDimX;
+  L.BlockDimX *= N;
+  L.GridDimX /= N;
+
+  auto Tidx = [&] { return Ctx.builtin(BuiltinId::Tidx); };
+
+  for (StagingInfo &SI : CR.Stagings) {
+    switch (SI.Kind) {
+    case StagingKind::PatternH: {
+      // The halo window of one half warp only covers 16(+halo) columns;
+      // a merged block needs the union over its half warps. The staging
+      // stores' (idx - tidx) base is block-uniform and each store writes
+      // sH[j*16 + tidx] = in[...][base + j*16 + tidx], so simply letting
+      // every thread of the wider block execute them extends the window;
+      // overlapping slots receive identical values. Only the shared array
+      // must grow by the extra block width.
+      if (!SI.SharedDecl || SI.SharedDecl->sharedDims().empty() ||
+          SI.Stores.empty())
+        break;
+      long long OldW = SI.SharedDecl->sharedDims()[0];
+      long long Needed = OldW + static_cast<long long>(SI.Mult) *
+                                    (L.BlockDimX - OldBdx);
+      SI.SharedDecl->sharedDims()[0] = static_cast<int>(Needed);
+      // Wider threads already extend each store's coverage; add shifted
+      // copies of the last store until the window is filled (needed only
+      // for Mult > 1).
+      long long Covered =
+          16LL * (static_cast<long long>(SI.Stores.size()) - 1) +
+          L.BlockDimX;
+      AssignStmt *Last = SI.Stores.back();
+      size_t LastIdx = 0;
+      CompoundStmt *Parent = parentOf(K.body(), Last, LastIdx);
+      int Shift = 0;
+      while (Parent && Covered < Needed) {
+        Shift += 16;
+        Covered += 16;
+        auto *NewStore = cast<AssignStmt>(cloneStmt(Ctx, Last));
+        auto *LHS = cast<ArrayRef>(NewStore->lhs());
+        LHS->setIndex(0, Ctx.addConst(LHS->index(0), Shift));
+        auto *RHS = cast<ArrayRef>(NewStore->rhs());
+        unsigned LastDim = RHS->numIndices() - 1;
+        RHS->setIndex(LastDim, Ctx.addConst(RHS->index(LastDim), Shift));
+        Parent->body().insert(
+            Parent->body().begin() + static_cast<long>(LastIdx + 1),
+            NewStore);
+        SI.Stores.push_back(NewStore);
+        ++LastIdx;
+      }
+      break;
+    }
+    case StagingKind::PatternA: {
+      // The staged data is identical for every merged sub-block: keep one
+      // copy and guard out the redundant loads (Figure 5).
+      if (SI.Stores.empty())
+        break;
+      size_t Index = 0;
+      CompoundStmt *Parent = parentOf(K.body(), SI.Stores.front(), Index);
+      if (!Parent)
+        break;
+      auto *Then = Ctx.compound();
+      // Remove each store from its parent and re-home it under the guard.
+      for (AssignStmt *St : SI.Stores) {
+        size_t I = 0;
+        CompoundStmt *P = parentOf(K.body(), St, I);
+        if (!P)
+          continue;
+        P->body().erase(P->body().begin() + static_cast<long>(I));
+        Then->append(St);
+      }
+      auto *Guard = Ctx.ifStmt(Ctx.lt(Tidx(), Ctx.intLit(OldBdx)), Then);
+      Parent->body().insert(Parent->body().begin() + static_cast<long>(Index),
+                            Guard);
+      break;
+    }
+    case StagingKind::PatternV: {
+      // Each half warp needs its own 16-row tile: grow the leading
+      // dimension and address rows relative to the half warp.
+      SI.SharedDecl->sharedDims()[0] = 16 * N;
+      for (AssignStmt *St : SI.Stores) {
+        // RHS (and the column index of the LHS) become half-warp relative.
+        Expr *T15 = Ctx.rem(Tidx(), Ctx.intLit(16));
+        St->setRHS(substBuiltinInExpr(Ctx, St->rhs(), BuiltinId::Tidx, T15));
+        auto *LHS = cast<ArrayRef>(St->lhs());
+        // Row: l + (tidx/16)*16; column: tidx % 16.
+        Expr *HwBase = Ctx.mul(Ctx.div(Tidx(), Ctx.intLit(16)),
+                               Ctx.intLit(16));
+        LHS->setIndex(0, Ctx.add(LHS->index(0), HwBase));
+        LHS->setIndex(1, Ctx.rem(Tidx(), Ctx.intLit(16)));
+      }
+      // Consumers already index rows with tidx (0..16N).
+      break;
+    }
+    case StagingKind::PatternVNoLoop:
+      // Not produced together with X-sharing merges.
+      break;
+    }
+  }
+  return true;
+}
+
+bool gpuc::blockMergeY(KernelFunction &K, int N) {
+  if (N <= 1)
+    return false;
+  LaunchConfig &L = K.launch();
+  if (L.GridDimY % N != 0)
+    return false;
+  L.BlockDimY *= N;
+  L.GridDimY /= N;
+  return true;
+}

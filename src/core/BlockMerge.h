@@ -1,0 +1,36 @@
+//===-- core/BlockMerge.h - Thread-block merge ------------------*- C++ -*-===//
+//
+// Part of the gpuc project: a reproduction of "A GPGPU Compiler for Memory
+// Optimization and Parallelism Management" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 3.5.1: merges N neighboring thread blocks into one. Along X,
+/// the block dimension grows N-fold, redundant global-to-shared staging
+/// loads get an `if (tidx < oldBlockDim)` guard (Figure 5), and per-half-
+/// warp staging tiles (Pattern V) grow an extra row block per half warp.
+/// This is the compiler's way of achieving loop tiling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUC_CORE_BLOCKMERGE_H
+#define GPUC_CORE_BLOCKMERGE_H
+
+#include "core/CoalesceTransform.h"
+
+namespace gpuc {
+
+/// Merges \p N neighboring blocks along X. \returns false (no change) when
+/// the grid does not divide or resources make it pointless.
+bool blockMergeX(KernelFunction &K, ASTContext &Ctx, CoalesceResult &CR,
+                 int N);
+
+/// Merges \p N neighboring blocks along Y (used before coalescing, e.g. to
+/// form the 16x16 tile of the transpose pipeline). Only legal while the
+/// kernel has no staging that depends on the block shape.
+bool blockMergeY(KernelFunction &K, int N);
+
+} // namespace gpuc
+
+#endif // GPUC_CORE_BLOCKMERGE_H

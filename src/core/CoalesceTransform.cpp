@@ -1,0 +1,525 @@
+//===-- core/CoalesceTransform.cpp - Non-coalesced -> coalesced -----------===//
+
+#include "core/CoalesceTransform.h"
+
+#include "ast/Clone.h"
+#include "ast/Subst.h"
+#include "ast/Walk.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace gpuc;
+
+namespace {
+
+/// Where a statement lives: its parent compound and position, plus whether
+/// any ancestor is an if (staging cannot be hoisted across divergence).
+struct StmtPlace {
+  CompoundStmt *Parent = nullptr;
+  size_t Index = 0;
+  bool UnderIf = false;
+  std::vector<ForStmt *> LoopChain; // outermost first
+};
+
+class PlacementMap {
+public:
+  explicit PlacementMap(CompoundStmt *Root) { walk(Root, false, {}); }
+
+  const StmtPlace *find(const Stmt *S) const {
+    auto It = Places.find(S);
+    return It == Places.end() ? nullptr : &It->second;
+  }
+
+private:
+  void walk(CompoundStmt *C, bool UnderIf, std::vector<ForStmt *> Loops) {
+    if (!C)
+      return;
+    for (size_t I = 0; I < C->body().size(); ++I) {
+      Stmt *S = C->body()[I];
+      Places[S] = {C, I, UnderIf, Loops};
+      if (auto *If = dyn_cast<IfStmt>(S)) {
+        walk(If->thenBody(), true, Loops);
+        walk(If->elseBody(), true, Loops);
+      } else if (auto *F = dyn_cast<ForStmt>(S)) {
+        auto Inner = Loops;
+        Inner.push_back(F);
+        walk(F->body(), UnderIf, Inner);
+      }
+    }
+  }
+
+  std::map<const Stmt *, StmtPlace> Places;
+};
+
+void insertBefore(CompoundStmt *Parent, size_t Index,
+                  const std::vector<Stmt *> &NewStmts) {
+  Parent->body().insert(Parent->body().begin() +
+                            static_cast<long>(Index),
+                        NewStmts.begin(), NewStmts.end());
+}
+
+/// Replaces the expression node \p Old (by identity) anywhere under \p Root.
+void replaceExprPtr(Stmt *Root, const Expr *Old, Expr *Repl) {
+  rewriteExprs(Root, [&](Expr *E) -> Expr * {
+    return E == Old ? Repl : nullptr;
+  });
+}
+
+/// True if the affine form is exactly one loop term with coefficient 1.
+bool isPureLoopIndex(const AffineExpr &A, std::string &LoopName) {
+  if (A.Const != 0 || A.CTidx != 0 || A.CTidy != 0 || A.CBidx != 0 ||
+      A.CBidy != 0 || A.LoopCoeffs.size() != 1)
+    return false;
+  const auto &[Name, C] = *A.LoopCoeffs.begin();
+  if (C != 1)
+    return false;
+  LoopName = Name;
+  return true;
+}
+
+/// True if the affine form is m * <loop> with m in {1,2,4,8} — the
+/// paper's A[m*i+n] class (Section 3.3 unrolls such loops by
+/// 16/GCD(m,16); m > 8 has too little reuse and is skipped).
+bool isScaledLoopIndex(const AffineExpr &A, std::string &LoopName,
+                       int &Mult) {
+  if (A.Const != 0 || A.CTidx != 0 || A.CTidy != 0 || A.CBidx != 0 ||
+      A.CBidy != 0 || A.LoopCoeffs.size() != 1)
+    return false;
+  const auto &[Name, C] = *A.LoopCoeffs.begin();
+  if (C != 1 && C != 2 && C != 4 && C != 8)
+    return false;
+  LoopName = Name;
+  Mult = static_cast<int>(C);
+  return true;
+}
+
+/// True if the affine form is exactly idx (tidx + BlockDimX*bidx).
+bool isIdxForm(const AffineExpr &A, const KernelFunction &K, int Mult = 1) {
+  return A.Const == 0 && A.CTidy == 0 && A.CBidy == 0 && !A.hasLoopTerms() &&
+         A.CTidx == Mult && A.CBidx == Mult * K.launch().BlockDimX;
+}
+
+/// True if the affine form is exactly idy.
+bool isIdyForm(const AffineExpr &A, const KernelFunction &K) {
+  return A.Const == 0 && A.CTidx == 0 && A.CBidx == 0 && !A.hasLoopTerms() &&
+         A.CTidy == 1 && A.CBidy == K.launch().BlockDimY;
+}
+
+/// Segment-alignment of everything in the address except the given loop
+/// term and the tidx term: required for the staged copy to coalesce.
+bool stagedSourceAligned(const AccessInfo &A, const std::string &SkipLoop,
+                         long long Seg) {
+  const AffineExpr &Addr = A.Addr;
+  if (Addr.Const % Seg || Addr.CBidx % Seg || Addr.CBidy % Seg ||
+      Addr.CTidy % Seg)
+    return false;
+  for (const auto &[Name, Coeff] : Addr.LoopCoeffs) {
+    if (Name == SkipLoop || Coeff == 0)
+      continue;
+    const LoopInfo *L = A.loopNamed(Name);
+    if (!L || !L->Resolved)
+      return false;
+    if ((Coeff * L->Init) % Seg || (Coeff * L->Step) % Seg)
+      return false;
+  }
+  return true;
+}
+
+} // namespace
+
+CoalesceResult gpuc::convertNonCoalesced(KernelFunction &K, ASTContext &Ctx,
+                                         DiagnosticsEngine &Diags) {
+  CoalesceResult R;
+  auto Idx = [&] { return Ctx.builtin(BuiltinId::Idx); };
+  auto Idy = [&] { return Ctx.builtin(BuiltinId::Idy); };
+  auto Tidx = [&] { return Ctx.builtin(BuiltinId::Tidx); };
+  auto Tidy = [&] { return Ctx.builtin(BuiltinId::Tidy); };
+
+  //=== Phase 1: loop-carried patterns (A and V) ==========================//
+
+  std::vector<AccessInfo> Accesses = collectGlobalAccesses(K);
+
+  // Loops that must be restructured, with their pattern-A/V members.
+  struct LoopWork {
+    ForStmt *Loop = nullptr;
+    /// Element stride of the Pattern A members (all must agree; decided
+    /// by the first member). The loop unrolls by 16/Mult.
+    int Mult = 1;
+    bool MultSet = false;
+    std::vector<AccessInfo> PatternA;
+    std::vector<AccessInfo> PatternV;
+  };
+  std::vector<LoopWork> Work;
+  auto WorkFor = [&](ForStmt *L) -> LoopWork & {
+    for (LoopWork &W : Work)
+      if (W.Loop == L)
+        return W;
+    LoopWork NewWork;
+    NewWork.Loop = L;
+    Work.push_back(std::move(NewWork));
+    return Work.back();
+  };
+
+  for (const AccessInfo &A : Accesses) {
+    if (!A.Resolved)
+      continue;
+    CoalesceInfo CI = checkCoalescing(A, K);
+    if (CI.Coalesced)
+      continue;
+    if (A.IsStore) {
+      ++R.UncoalescedStores;
+      continue;
+    }
+    const AffineExpr &Last = A.DimAffine.back();
+    const long long Seg = 16LL * A.ElemBytes;
+
+    // Pattern A: (possibly scaled) loop index in the contiguous
+    // dimension: A[m*i], unrolled by 16/GCD(m,16).
+    std::string LoopName;
+    int Mult = 1;
+    if (CI.Failure == CoalesceFailure::ZeroStride &&
+        isScaledLoopIndex(Last, LoopName, Mult)) {
+      const LoopInfo *L = A.loopNamed(LoopName);
+      int Unroll = 16 / Mult;
+      if (L && L->Resolved && L->Step == 1 &&
+          (Mult * L->Init) % 16 == 0 &&
+          (L->Bound - L->Init) % Unroll == 0 && L->trip() >= Unroll &&
+          stagedSourceAligned(A, LoopName, Seg) && A.ElemBytes == 4) {
+        LoopWork &W = WorkFor(L->Loop);
+        if (!W.MultSet) {
+          W.Mult = Mult;
+          W.MultSet = true;
+        }
+        if (W.Mult == Mult) {
+          W.PatternA.push_back(A);
+          continue;
+        }
+        // Mixed strides on one loop: convert only the first stride class.
+        ++R.SkippedLoads;
+        continue;
+      }
+    }
+
+    // Pattern V: thread id indexes rows.
+    if (CI.Failure == CoalesceFailure::HighDimThread &&
+        A.DimAffine.size() == 2 && isIdxForm(A.DimAffine[0], K) &&
+        A.ElemBytes == 4) {
+      std::string ColLoop;
+      if (isPureLoopIndex(Last, ColLoop)) {
+        const LoopInfo *L = A.loopNamed(ColLoop);
+        if (L && L->Resolved && L->Step == 1 && L->Init % 16 == 0 &&
+            (L->Bound - L->Init) % 16 == 0 && L->trip() >= 16) {
+          WorkFor(L->Loop).PatternV.push_back(A);
+          continue;
+        }
+      } else if (isIdyForm(Last, K) && K.launch().BlockDimY == 16) {
+        // Loop-free tile (transpose shape), staged across tidy.
+        PlacementMap Places(K.body());
+        const StmtPlace *P = Places.find(A.Owner);
+        if (P && !P->UnderIf) {
+          std::string SV = Ctx.freshName("tile");
+          auto *Decl = Ctx.declShared(SV, Type::floatTy(), {16, 17});
+          Expr *Row = Ctx.add(Ctx.sub(Idx(), Tidx()), Tidy());
+          Expr *Col = Ctx.add(Ctx.sub(Idy(), Tidy()), Tidx());
+          auto *Src = cast<ArrayRef>(cloneExpr(Ctx, A.Ref));
+          Src->setIndex(0, Row);
+          Src->setIndex(1, Col);
+          auto *Store = Ctx.assign(
+              Ctx.arrayRef(SV, {Tidy(), Tidx()}, Type::floatTy()), Src);
+          insertBefore(P->Parent, P->Index,
+                       {Decl, Store, Ctx.syncThreads()});
+          replaceExprPtr(K.body(), A.Ref,
+                         Ctx.arrayRef(SV, {Tidx(), Tidy()},
+                                      Type::floatTy()));
+          StagingInfo SI;
+          SI.Kind = StagingKind::PatternVNoLoop;
+          SI.SharedDecl = Decl;
+          SI.Stores.push_back(Store);
+          SI.ArrayName = SV;
+          R.Stagings.push_back(SI);
+          R.Changed = true;
+          ++R.ConvertedLoads;
+          continue;
+        }
+      }
+    }
+    // Everything else is retried as Pattern H in phase 2 (or skipped).
+  }
+
+  // Restructure each worked loop once and build its stagings.
+  for (LoopWork &W : Work) {
+    ForStmt *L = W.Loop;
+    const int Unroll = 16 / W.Mult; // = 16/GCD(m,16) for m in {1,2,4,8}
+    std::string KName = Ctx.freshName("k");
+    // i -> (i + k) inside the body only.
+    Expr *IK = Ctx.add(Ctx.varRef(L->iterName(), Type::intTy()),
+                       Ctx.varRef(KName, Type::intTy()));
+    substVar(Ctx, L->body(), L->iterName(), IK);
+    auto *Inner = Ctx.forUp(KName, Ctx.intLit(0), Ctx.intLit(Unroll),
+                            Ctx.intLit(1), L->body());
+    auto *NewBody = Ctx.compound();
+    L->setBody(NewBody);
+    L->setStep(Ctx.intLit(Unroll));
+    R.RestructuredLoops.emplace_back(L, KName);
+
+    std::vector<Stmt *> Staging;
+    for (const AccessInfo &A : W.PatternA) {
+      std::string SA = Ctx.freshName("shared");
+      auto *Decl = Ctx.declShared(SA, Type::floatTy(), {16});
+      // Source: one full segment per outer iteration. For stride 1 that
+      // is the (now i+k) access with k -> tidx; for m > 1 the segment is
+      // A[...][m*i + tidx] (the unrolled accesses use every m-th word).
+      auto *Src = cast<ArrayRef>(cloneExpr(Ctx, A.Ref));
+      Expr *SrcE;
+      if (W.Mult == 1) {
+        SrcE = substVarInExpr(Ctx, Src, KName, Tidx());
+      } else {
+        Expr *Base = Ctx.mul(Ctx.varRef(L->iterName(), Type::intTy()),
+                             Ctx.intLit(W.Mult));
+        Src->setIndex(Src->numIndices() - 1, Ctx.add(Base, Tidx()));
+        SrcE = Src;
+      }
+      auto *Store = Ctx.assign(
+          Ctx.arrayRef(SA, {Tidx()}, Type::floatTy()), SrcE);
+      Staging.push_back(Decl);
+      Staging.push_back(Store);
+      Expr *ReplIdx = Ctx.varRef(KName, Type::intTy());
+      if (W.Mult != 1)
+        ReplIdx = Ctx.mul(ReplIdx, Ctx.intLit(W.Mult));
+      replaceExprPtr(Inner, A.Ref,
+                     Ctx.arrayRef(SA, {ReplIdx}, Type::floatTy()));
+      StagingInfo SI;
+      SI.Kind = StagingKind::PatternA;
+      SI.SharedDecl = Decl;
+      SI.Stores.push_back(cast<AssignStmt>(Staging.back()));
+      SI.HomeLoop = L;
+      SI.ArrayName = SA;
+      R.Stagings.push_back(SI);
+      ++R.ConvertedLoads;
+    }
+    for (const AccessInfo &A : W.PatternV) {
+      std::string SV = Ctx.freshName("tile");
+      auto *Decl = Ctx.declShared(SV, Type::floatTy(), {16, 17});
+      std::string LName = Ctx.freshName("l");
+      auto *Src = cast<ArrayRef>(cloneExpr(Ctx, A.Ref));
+      Src->setIndex(0, Ctx.add(Ctx.sub(Idx(), Tidx()),
+                               Ctx.varRef(LName, Type::intTy())));
+      Src->setIndex(1, substVarInExpr(Ctx, Src->index(1), KName, Tidx()));
+      auto *Store = Ctx.assign(
+          Ctx.arrayRef(SV,
+                       {Ctx.varRef(LName, Type::intTy()), Tidx()},
+                       Type::floatTy()),
+          Src);
+      auto *StageBody = Ctx.compound();
+      StageBody->append(Store);
+      auto *StageLoop = Ctx.forUp(LName, Ctx.intLit(0), Ctx.intLit(16),
+                                  Ctx.intLit(1), StageBody);
+      Staging.push_back(Decl);
+      Staging.push_back(StageLoop);
+      replaceExprPtr(Inner, A.Ref,
+                     Ctx.arrayRef(SV,
+                                  {Tidx(), Ctx.varRef(KName, Type::intTy())},
+                                  Type::floatTy()));
+      StagingInfo SI;
+      SI.Kind = StagingKind::PatternV;
+      SI.SharedDecl = Decl;
+      SI.Stores.push_back(Store);
+      SI.StageLoop = StageLoop;
+      SI.HomeLoop = L;
+      SI.ArrayName = SV;
+      R.Stagings.push_back(SI);
+      ++R.ConvertedLoads;
+    }
+    for (Stmt *S : Staging)
+      NewBody->append(S);
+    NewBody->append(Ctx.syncThreads());
+    NewBody->append(Inner);
+    NewBody->append(Ctx.syncThreads());
+    R.Changed = true;
+  }
+
+  //=== Phase 2: halo / misaligned / strided patterns (H) =================//
+
+  Accesses = collectGlobalAccesses(K);
+  struct HMember {
+    AccessInfo Access;
+    long long MinR = 0, MaxR = 0; // residual element-offset range
+  };
+  struct HGroup {
+    std::string Key;
+    int Mult = 1;
+    std::vector<HMember> Members;
+  };
+  std::vector<HGroup> Groups;
+
+  for (const AccessInfo &A : Accesses) {
+    if (!A.Resolved || A.IsStore || A.ElemBytes != 4)
+      continue;
+    if (A.Param == nullptr)
+      continue;
+    CoalesceInfo CI = checkCoalescing(A, K);
+    if (CI.Coalesced)
+      continue;
+    if (CI.Failure != CoalesceFailure::Misaligned &&
+        CI.Failure != CoalesceFailure::BadStride) {
+      ++R.SkippedLoads;
+      continue;
+    }
+    const AffineExpr &Last = A.DimAffine.back();
+    int M = static_cast<int>(Last.CTidx);
+    if ((M != 1 && M != 2 && M != 4 && M != 8) ||
+        Last.CBidx != M * K.launch().BlockDimX || Last.CTidy != 0 ||
+        Last.CBidy != 0) {
+      ++R.SkippedLoads;
+      continue;
+    }
+    // Higher dimensions must not involve tidx and must keep segment
+    // alignment of the staged copies.
+    bool HigherOk = true;
+    for (size_t D = 0; D + 1 < A.DimAffine.size(); ++D)
+      if (A.DimAffine[D].CTidx != 0)
+        HigherOk = false;
+    if (!HigherOk) {
+      ++R.SkippedLoads;
+      continue;
+    }
+    // Residual range of the contiguous dimension (without the idx part).
+    long long MinR = Last.Const, MaxR = Last.Const;
+    bool RangeOk = true;
+    for (const auto &[Name, Coeff] : Last.LoopCoeffs) {
+      if (Coeff == 0)
+        continue;
+      const LoopInfo *L = A.loopNamed(Name);
+      if (!L || !L->Resolved || Coeff < 0) {
+        RangeOk = false;
+        break;
+      }
+      long long LastVal = L->Init + (L->trip() - 1) * L->Step;
+      MinR += Coeff * L->Init;
+      MaxR += Coeff * LastVal;
+    }
+    if (!RangeOk || MaxR - MinR > 48) {
+      ++R.SkippedLoads;
+      continue;
+    }
+    // Group key: array plus the structural row expressions.
+    std::string Key = A.Ref->base();
+    for (size_t D = 0; D + 1 < A.DimAffine.size(); ++D)
+      Key += "|" + A.DimAffine[D].str();
+    Key += strFormat("|m%d", M);
+    HGroup *G = nullptr;
+    for (HGroup &Existing : Groups)
+      if (Existing.Key == Key) {
+        G = &Existing;
+        break;
+      }
+    if (!G) {
+      Groups.push_back({Key, M, {}});
+      G = &Groups.back();
+    }
+    G->Members.push_back({A, MinR, MaxR});
+  }
+
+  for (HGroup &G : Groups) {
+    // Rebuilt per group: earlier insertions shift positions.
+    PlacementMap Places(K.body());
+    // Reuse gate (Section 3.4): staging one lone constant-offset access
+    // buys nothing.
+    bool HasLoopResidual = false;
+    for (const HMember &M : G.Members)
+      if (M.MaxR != M.MinR)
+        HasLoopResidual = true;
+    if (G.Members.size() < 2 && !HasLoopResidual) {
+      R.SkippedLoads += static_cast<int>(G.Members.size());
+      continue;
+    }
+    long long MinR = G.Members.front().MinR;
+    long long MaxR = G.Members.front().MaxR;
+    for (const HMember &M : G.Members) {
+      MinR = std::min(MinR, M.MinR);
+      MaxR = std::max(MaxR, M.MaxR);
+    }
+    long long AlignedLow = MinR >= 0 ? MinR / 16 * 16 : -((-MinR + 15) / 16 * 16);
+    long long High = G.Mult * 15 + MaxR;
+    long long W = (High - AlignedLow + 16) / 16 * 16;
+    int Segs = static_cast<int>(W / 16);
+
+    // Anchor: before the outermost loop whose iterator appears in a
+    // residual; otherwise before the first member's statement.
+    const AccessInfo &A0 = G.Members.front().Access;
+    Stmt *Anchor = A0.Owner;
+    for (const LoopInfo &L : A0.Loops) {
+      bool Used = false;
+      for (const HMember &M : G.Members)
+        if (M.Access.DimAffine.back().loopCoeff(L.Loop->iterName()) != 0)
+          Used = true;
+      if (Used) {
+        Anchor = L.Loop;
+        break;
+      }
+    }
+    const StmtPlace *P = Places.find(Anchor);
+    if (!P || P->UnderIf) {
+      R.SkippedLoads += static_cast<int>(G.Members.size());
+      continue;
+    }
+
+    std::string SH = Ctx.freshName("halo");
+    auto *Decl =
+        Ctx.declShared(SH, Type::floatTy(), {static_cast<int>(W)});
+    std::vector<Stmt *> NewStmts{Decl};
+    StagingInfo SI;
+    SI.Kind = StagingKind::PatternH;
+    SI.SharedDecl = Decl;
+    SI.ArrayName = SH;
+    SI.Mult = G.Mult;
+    for (int J = 0; J < Segs; ++J) {
+      auto *Src = cast<ArrayRef>(cloneExpr(Ctx, A0.Ref));
+      Expr *Base = Ctx.sub(Idx(), Tidx());
+      if (G.Mult != 1)
+        Base = Ctx.mul(Base, Ctx.intLit(G.Mult));
+      Expr *LastIdx =
+          Ctx.add(Ctx.addConst(Base, AlignedLow + J * 16), Tidx());
+      Src->setIndex(Src->numIndices() - 1, LastIdx);
+      auto *Store = Ctx.assign(
+          Ctx.arrayRef(SH, {Ctx.addConst(Tidx(), J * 16)},
+                       Type::floatTy()),
+          Src);
+      NewStmts.push_back(Store);
+      SI.Stores.push_back(Store);
+    }
+    NewStmts.push_back(Ctx.syncThreads());
+    insertBefore(P->Parent, P->Index, NewStmts);
+    // Re-staging hazard: if the staging repeats inside an enclosing loop,
+    // the consumers must finish before the next round overwrites it.
+    if (!P->LoopChain.empty()) {
+      // Anchor index shifted by the inserted statements.
+      size_t AnchorIdx = P->Index + NewStmts.size();
+      P->Parent->body().insert(
+          P->Parent->body().begin() + static_cast<long>(AnchorIdx + 1),
+          Ctx.syncThreads());
+    }
+    for (const HMember &M : G.Members) {
+      // Replacement index: m*tidx + (residual expr) - alignedLow, where
+      // the residual is the original contiguous index with idx zeroed.
+      Expr *Residual = substBuiltinInExpr(
+          Ctx, cloneExpr(Ctx, M.Access.Ref->indices().back()),
+          BuiltinId::Idx, Ctx.intLit(0));
+      Expr *TidxPart = Tidx();
+      if (G.Mult != 1)
+        TidxPart = Ctx.mul(TidxPart, Ctx.intLit(G.Mult));
+      Expr *Repl = Ctx.add(TidxPart,
+                           Ctx.addConst(Residual, -AlignedLow));
+      replaceExprPtr(K.body(), M.Access.Ref,
+                     Ctx.arrayRef(SH, {Repl}, Type::floatTy()));
+      ++R.ConvertedLoads;
+    }
+    R.Stagings.push_back(SI);
+    R.Changed = true;
+  }
+
+  (void)Diags;
+  return R;
+}

@@ -1,0 +1,95 @@
+//===-- core/CoalesceTransform.h - Non-coalesced -> coalesced ---*- C++ -*-===//
+//
+// Part of the gpuc project: a reproduction of "A GPGPU Compiler for Memory
+// Optimization and Parallelism Management" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 3.3: converts non-coalesced global loads into coalesced ones
+/// through shared-memory staging. Three conversion patterns cover the
+/// paper's cases:
+///
+///  * Pattern A ("loop index", Figure 3a): the subscript walks a row with
+///    a loop iterator (a[idy][i], b[i]). The loop is unrolled by
+///    16/GCD(m,16): the outer loop steps by 16, an inner 16-iteration loop
+///    is introduced, a 16-element shared array is staged with
+///    base[...][i+tidx], and the access becomes shared[k].
+///
+///  * Pattern V ("thread id in a higher-order dimension", Figure 3b): the
+///    thread id indexes rows (a[idx][i]). A 16x16(+1 padding) tile is
+///    staged with an introduced 16-iteration loop
+///    shared[l][tidx] = a[(idx-tidx)+l][i+tidx], and the access becomes
+///    shared[tidx][k]. The loop-free variant (a[idx][idy], after the
+///    thread block has been grown to 16x16) distributes the staging over
+///    tidy instead of an l loop.
+///
+///  * Pattern H ("misaligned / halo"): the subscript is idx plus small
+///    offsets (img[idy+ky][idx+kx], a[2*idx+1]). The union of coalesced
+///    segments covering the footprint is staged and the access becomes
+///    shared[m*tidx + offset].
+///
+/// Loads whose staged data would have no reuse are left unconverted
+/// (Section 3.4's gating rule). Non-coalesced stores are not converted
+/// (the tp kernel is handled by the idx/idy exchange in the driver).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUC_CORE_COALESCETRANSFORM_H
+#define GPUC_CORE_COALESCETRANSFORM_H
+
+#include "core/Coalescing.h"
+#include "support/Diagnostics.h"
+
+namespace gpuc {
+
+/// What kind of staging produced a shared array (block merge treats them
+/// differently).
+enum class StagingKind { PatternA, PatternV, PatternVNoLoop, PatternH };
+
+/// One staged conversion, recorded for the merge passes.
+struct StagingInfo {
+  StagingKind Kind;
+  DeclStmt *SharedDecl = nullptr;
+  /// The copy statements (global -> shared); for Pattern V this is the
+  /// assignment inside the introduced l loop.
+  std::vector<AssignStmt *> Stores;
+  /// The introduced staging loop (Pattern V with loop), if any.
+  ForStmt *StageLoop = nullptr;
+  /// The restructured home loop (outer, 16-stepping), if any.
+  ForStmt *HomeLoop = nullptr;
+  std::string ArrayName;
+  /// Element stride multiplier of a Pattern H staging (1 for halo loads,
+  /// 2/4/8 for strided pair loads like a[2*idx]).
+  int Mult = 1;
+};
+
+/// Result of the conversion pass.
+struct CoalesceResult {
+  bool Changed = false;
+  std::vector<StagingInfo> Stagings;
+  /// Loops restructured into (outer step-16, inner k) form, with the inner
+  /// iterator name.
+  std::vector<std::pair<ForStmt *, std::string>> RestructuredLoops;
+  int ConvertedLoads = 0;
+  int SkippedLoads = 0;       // non-coalesced loads left alone (no reuse)
+  int UncoalescedStores = 0;  // diagnosable but not converted
+  /// True if any statement of the kernel was a staging store (used by the
+  /// G2S/G2R classification of Section 3.5.3).
+  bool isStagingStore(const Stmt *S) const {
+    for (const StagingInfo &SI : Stagings)
+      for (const AssignStmt *St : SI.Stores)
+        if (St == S)
+          return true;
+    return false;
+  }
+};
+
+/// Runs the conversion on \p K (launch configuration must already be the
+/// post-check one, blocks of 16 threads along X). Allocates in \p Ctx.
+CoalesceResult convertNonCoalesced(KernelFunction &K, ASTContext &Ctx,
+                                   DiagnosticsEngine &Diags);
+
+} // namespace gpuc
+
+#endif // GPUC_CORE_COALESCETRANSFORM_H

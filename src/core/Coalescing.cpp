@@ -1,0 +1,86 @@
+//===-- core/Coalescing.cpp - Memory-coalescing checker -------------------===//
+
+#include "core/Coalescing.h"
+
+using namespace gpuc;
+
+const char *gpuc::coalesceFailureName(CoalesceFailure F) {
+  switch (F) {
+  case CoalesceFailure::None:
+    return "coalesced";
+  case CoalesceFailure::Unresolved:
+    return "unresolved index";
+  case CoalesceFailure::ZeroStride:
+    return "same address across half warp";
+  case CoalesceFailure::BadStride:
+    return "thread stride != element size";
+  case CoalesceFailure::HighDimThread:
+    return "thread id in higher-order dimension";
+  case CoalesceFailure::Misaligned:
+    return "base address not segment-aligned";
+  }
+  return "?";
+}
+
+CoalesceInfo gpuc::checkCoalescing(const AccessInfo &A,
+                                   const KernelFunction &K) {
+  CoalesceInfo CI;
+  if (!A.Resolved) {
+    CI.Failure = CoalesceFailure::Unresolved;
+    return CI;
+  }
+
+  const long long Seg = 16LL * A.ElemBytes;
+  const AffineExpr &Addr = A.Addr;
+  CI.ThreadStrideBytes = Addr.CTidx;
+
+  // A half warp has consecutive tidx and (for BlockDimX >= 16) constant
+  // tidy; the address must advance by exactly the element size per lane.
+  if (Addr.CTidx == 0) {
+    CI.Failure = CoalesceFailure::ZeroStride;
+    return CI;
+  }
+  if (Addr.CTidx != A.ElemBytes) {
+    // Distinguish "tidx lands in a higher-order dimension" (stride is a
+    // whole row) from a plain bad stride; the conversion patterns differ.
+    bool HighDim = false;
+    if (A.DimAffine.size() >= 2) {
+      for (size_t D = 0; D + 1 < A.DimAffine.size(); ++D)
+        if (A.DimAffine[D].CTidx != 0)
+          HighDim = true;
+    }
+    CI.Failure =
+        HighDim ? CoalesceFailure::HighDimThread : CoalesceFailure::BadStride;
+    return CI;
+  }
+
+  // Base address (the tidx = 0 lane) must be Seg-aligned for the whole
+  // iteration space and every block:
+  //  * the constant part,
+  //  * every block-id multiple (any bidx/bidy can be live),
+  //  * tidy (half warps exist at each tidy when BlockDimX >= 16),
+  //  * and every value each loop iterator takes (checked via init and
+  //    step, which generate the whole value lattice).
+  auto Misaligned = [&](long long Coeff) { return Coeff % Seg != 0; };
+  bool Bad = Misaligned(Addr.Const) || Misaligned(Addr.CBidx) ||
+             Misaligned(Addr.CBidy);
+  if (K.launch().BlockDimY > 1 && Misaligned(Addr.CTidy))
+    Bad = true;
+  for (const auto &[Name, Coeff] : Addr.LoopCoeffs) {
+    if (Coeff == 0)
+      continue;
+    const LoopInfo *L = A.loopNamed(Name);
+    if (!L || !L->Resolved) {
+      CI.Failure = CoalesceFailure::Unresolved;
+      return CI;
+    }
+    if (Misaligned(Coeff * L->Init) || Misaligned(Coeff * L->Step))
+      Bad = true;
+  }
+  if (Bad) {
+    CI.Failure = CoalesceFailure::Misaligned;
+    return CI;
+  }
+  CI.Coalesced = true;
+  return CI;
+}

@@ -1,0 +1,54 @@
+//===-- core/Coalescing.h - Memory-coalescing checker -----------*- C++ -*-===//
+//
+// Part of the gpuc project: a reproduction of "A GPGPU Compiler for Memory
+// Optimization and Parallelism Management" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implements the checking rules of Section 3.2: for every global access,
+/// the addresses of the 16 threads of a half warp are examined (the base
+/// address must be segment-aligned and the offsets must be exactly words
+/// 0..15); loop indices are checked for their first 16 iteration values,
+/// after which the behaviour repeats.
+///
+/// The affine address model makes the enumeration analytic, and the
+/// checker is property-tested against brute-force enumeration.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUC_CORE_COALESCING_H
+#define GPUC_CORE_COALESCING_H
+
+#include "core/Accesses.h"
+
+namespace gpuc {
+
+/// Why an access fails to coalesce — used to pick a conversion pattern in
+/// Section 3.3 and for diagnostics.
+enum class CoalesceFailure {
+  None,          ///< coalesced
+  Unresolved,    ///< paper's "unresolved index": skipped entirely
+  ZeroStride,    ///< all 16 threads read the same address (e.g. a[idy][i])
+  BadStride,     ///< tidx stride != element size (e.g. a[2*idx])
+  HighDimThread, ///< tidx appears in a non-contiguous dimension (a[idx][i])
+  Misaligned     ///< right stride but base not segment-aligned (b[idx+i])
+};
+
+/// Verdict for one access.
+struct CoalesceInfo {
+  bool Coalesced = false;
+  CoalesceFailure Failure = CoalesceFailure::None;
+  /// Byte stride between consecutive threads of a half warp.
+  long long ThreadStrideBytes = 0;
+};
+
+/// Checks one collected access under \p K's current launch configuration.
+CoalesceInfo checkCoalescing(const AccessInfo &A, const KernelFunction &K);
+
+/// Human-readable failure name.
+const char *coalesceFailureName(CoalesceFailure F);
+
+} // namespace gpuc
+
+#endif // GPUC_CORE_COALESCING_H

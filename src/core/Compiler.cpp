@@ -1,0 +1,201 @@
+//===-- core/Compiler.cpp - Compilation pipeline --------------------------===//
+
+#include "core/Compiler.h"
+
+#include "ast/Clone.h"
+#include "ast/Verifier.h"
+#include "core/BlockMerge.h"
+#include "core/Coalescing.h"
+#include "core/ConstantFold.h"
+#include "core/Prefetch.h"
+#include "core/AmdVectorize.h"
+#include "core/ThreadMerge.h"
+#include "core/Vectorize.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+
+using namespace gpuc;
+
+namespace {
+
+/// Sets the post-coalescing launch shape: one half warp per block
+/// (Section 3.3: "the thread block size is also set to 16").
+bool setHalfWarpLaunch(KernelFunction &K) {
+  if (K.workDomainX() % 16 != 0)
+    return false;
+  LaunchConfig &L = K.launch();
+  L.BlockDimX = 16;
+  L.BlockDimY = 1;
+  L.GridDimX = K.workDomainX() / 16;
+  L.GridDimY = K.workDomainY();
+  L.DiagonalRemap = false;
+  return true;
+}
+
+int countUncoalescedStores(KernelFunction &K) {
+  int N = 0;
+  for (const AccessInfo &A : collectGlobalAccesses(K))
+    if (A.IsStore && A.Resolved && !checkCoalescing(A, K).Coalesced)
+      ++N;
+  return N;
+}
+
+/// True if some load needs the loop-free transpose tile (Pattern V with an
+/// idy-shaped contiguous dimension), which wants a 16x16 block.
+bool needsTransposeTile(KernelFunction &K) {
+  for (const AccessInfo &A : collectGlobalAccesses(K)) {
+    if (A.IsStore || !A.Resolved || A.DimAffine.size() != 2)
+      continue;
+    CoalesceInfo CI = checkCoalescing(A, K);
+    if (CI.Failure != CoalesceFailure::HighDimThread)
+      continue;
+    const AffineExpr &Last = A.DimAffine.back();
+    if (!Last.hasLoopTerms() && Last.CTidy == 1 &&
+        Last.CBidy == K.launch().BlockDimY && Last.CTidx == 0 &&
+        Last.CBidx == 0)
+      return true;
+  }
+  return false;
+}
+
+} // namespace
+
+KernelFunction *GpuCompiler::compileVariant(const KernelFunction &Naive,
+                                            const CompileOptions &Opt,
+                                            int BlockN, int ThreadM,
+                                            MergePlan *PlanOut,
+                                            PartitionCampResult *CampOut) {
+  std::string Name =
+      strFormat("%s_opt_b%d_t%d", Naive.name().c_str(), BlockN, ThreadM);
+  KernelFunction *V = cloneKernel(M, &Naive, Name);
+  ASTContext &Ctx = M.context();
+
+  if (Opt.Vectorize) {
+    vectorizeAccesses(*V, Ctx);
+    // Section 3.1: ATI/AMD targets also group neighboring threads' X
+    // accesses into wide vectors (float4 is their fastest class).
+    if (Opt.Device.PreferWideVectors && amdVectorize(*V, Ctx, 4))
+      setHalfWarpLaunch(*V);
+  }
+
+  if (!Opt.Coalesce)
+    return V;
+
+  if (!setHalfWarpLaunch(*V))
+    return V; // domain not tileable; keep the naive launch
+
+  // Transpose-shaped kernels: if stores are non-coalesced and exchanging
+  // idx/idy fixes them, exchange (Section 3.3's loop-interchange analog).
+  int BadStores = countUncoalescedStores(*V);
+  if (BadStores > 0 && V->workDomainY() > 1) {
+    exchangeIdxIdy(*V, Ctx);
+    setHalfWarpLaunch(*V);
+    if (countUncoalescedStores(*V) >= BadStores) {
+      exchangeIdxIdy(*V, Ctx); // no improvement: undo
+      setHalfWarpLaunch(*V);
+    }
+  }
+
+  // The loop-free tile pattern needs a 16x16 block before conversion.
+  if (needsTransposeTile(*V) && V->launch().GridDimY % 16 == 0)
+    blockMergeY(*V, 16);
+
+  CoalesceResult CR = convertNonCoalesced(*V, Ctx, Diags);
+
+  MergePlan Plan = planMerges(*V, CR);
+  if (PlanOut)
+    *PlanOut = Plan;
+
+  if (Opt.Merge) {
+    if (Plan.BlockMergeX && BlockN > 1)
+      blockMergeX(*V, Ctx, CR, BlockN);
+    if (ThreadM > 1) {
+      if (Plan.ThreadMergeY)
+        threadMerge(*V, Ctx, ThreadM, /*AlongY=*/true);
+      else if (Plan.ThreadMergeX)
+        threadMerge(*V, Ctx, ThreadM, /*AlongY=*/false);
+    }
+  }
+
+  // Camping rotation must precede prefetch (see header note).
+  PartitionCampResult Camp;
+  if (Opt.PartitionElim)
+    Camp = eliminatePartitionCamping(*V, Ctx, Opt.Device);
+  if (CampOut)
+    *CampOut = Camp;
+
+  if (Opt.Prefetch)
+    insertPrefetch(*V, Ctx);
+
+  if (Opt.Fold)
+    foldKernel(*V, Ctx);
+
+  if (Opt.Verify) {
+    for (const std::string &Violation : verifyKernel(*V))
+      Diags.error(SourceLocation(),
+                  strFormat("%s: %s", V->name().c_str(), Violation.c_str()));
+  }
+  return V;
+}
+
+CompileOutput GpuCompiler::compile(const KernelFunction &Naive,
+                                   const CompileOptions &Opt) {
+  CompileOutput Out;
+
+  // Probe the merge plan with a unit variant.
+  KernelFunction *Probe =
+      compileVariant(Naive, Opt, /*BlockN=*/1, /*ThreadM=*/1, &Out.Plan,
+                     &Out.Camping);
+  if (!Probe || Diags.hasErrors()) {
+    Out.Log += "probe compilation failed\n";
+    return Out;
+  }
+
+  // Candidate factors (Section 4.1): block merges giving 128/256/512
+  // threads per block, thread-merge degrees 4..32.
+  std::vector<int> BlockNs{1};
+  if (Opt.Merge && Out.Plan.BlockMergeX)
+    BlockNs = {1, 8, 16, 32};
+  std::vector<int> ThreadMs{1};
+  if (Opt.Merge && Out.Plan.anyThreadMerge())
+    ThreadMs = {1, 4, 8, 16, 32};
+
+  Simulator Sim(Opt.Device);
+  for (int N : BlockNs) {
+    for (int Mm : ThreadMs) {
+      VariantResult VR;
+      VR.BlockMergeN = N;
+      VR.ThreadMergeM = Mm;
+      VR.Kernel = (N == 1 && Mm == 1)
+                      ? Probe
+                      : compileVariant(Naive, Opt, N, Mm);
+      if (!VR.Kernel)
+        continue;
+      Occupancy Occ = computeOccupancy(Opt.Device, *VR.Kernel);
+      if (Occ.Infeasible) {
+        Out.Log += strFormat("b%d t%d: infeasible (%s)\n", N, Mm,
+                             Occ.LimitedBy);
+        Out.Variants.push_back(VR);
+        continue;
+      }
+      BufferSet Buffers;
+      DiagnosticsEngine RunDiags;
+      VR.Perf = Sim.runPerformance(*VR.Kernel, Buffers, RunDiags);
+      VR.Feasible = VR.Perf.Valid;
+      if (!VR.Feasible)
+        Out.Log += strFormat("b%d t%d: %s", N, Mm, RunDiags.str().c_str());
+      Out.Variants.push_back(VR);
+      if (VR.Feasible &&
+          (!Out.Best || VR.Perf.TimeMs < Out.BestVariant.Perf.TimeMs)) {
+        Out.Best = VR.Kernel;
+        Out.BestVariant = VR;
+      }
+    }
+  }
+  if (!Out.Best && Probe) {
+    Out.Best = Probe;
+    Out.BestVariant.Kernel = Probe;
+  }
+  return Out;
+}

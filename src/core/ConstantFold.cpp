@@ -1,0 +1,156 @@
+//===-- core/ConstantFold.cpp - Expression simplification -----------------===//
+
+#include "core/ConstantFold.h"
+
+#include "ast/Walk.h"
+
+using namespace gpuc;
+
+namespace {
+
+bool intValue(const Expr *E, long long &Out) {
+  if (const auto *L = dyn_cast<IntLit>(E)) {
+    Out = L->value();
+    return true;
+  }
+  return false;
+}
+
+/// One local rewrite; null when nothing applies.
+Expr *foldOnce(ASTContext &Ctx, Expr *E, bool &Changed) {
+  auto *B = dyn_cast<Binary>(E);
+  if (!B || !B->type().isInt())
+    return nullptr;
+  long long L = 0, R = 0;
+  bool LC = intValue(B->lhs(), L);
+  bool RC = intValue(B->rhs(), R);
+
+  if (LC && RC) {
+    long long V = 0;
+    switch (B->op()) {
+    case BinOp::Add:
+      V = L + R;
+      break;
+    case BinOp::Sub:
+      V = L - R;
+      break;
+    case BinOp::Mul:
+      V = L * R;
+      break;
+    case BinOp::Div:
+      if (R == 0)
+        return nullptr;
+      V = L / R;
+      break;
+    case BinOp::Rem:
+      if (R == 0)
+        return nullptr;
+      V = L % R;
+      break;
+    default:
+      return nullptr;
+    }
+    Changed = true;
+    return Ctx.intLit(V);
+  }
+
+  switch (B->op()) {
+  case BinOp::Add:
+    if (RC && R == 0) {
+      Changed = true;
+      return B->lhs();
+    }
+    if (LC && L == 0) {
+      Changed = true;
+      return B->rhs();
+    }
+    // (e + c1) + c2 -> e + (c1 + c2)
+    if (RC) {
+      if (auto *Inner = dyn_cast<Binary>(B->lhs())) {
+        long long C1;
+        if (Inner->op() == BinOp::Add && Inner->type().isInt() &&
+            intValue(Inner->rhs(), C1)) {
+          Changed = true;
+          return Ctx.add(Inner->lhs(), Ctx.intLit(C1 + R));
+        }
+        if (Inner->op() == BinOp::Sub && Inner->type().isInt() &&
+            intValue(Inner->rhs(), C1)) {
+          Changed = true;
+          return Ctx.add(Inner->lhs(), Ctx.intLit(R - C1));
+        }
+      }
+    }
+    return nullptr;
+  case BinOp::Sub:
+    if (RC && R == 0) {
+      Changed = true;
+      return B->lhs();
+    }
+    return nullptr;
+  case BinOp::Mul:
+    if ((RC && R == 1)) {
+      Changed = true;
+      return B->lhs();
+    }
+    if (LC && L == 1) {
+      Changed = true;
+      return B->rhs();
+    }
+    if ((RC && R == 0) || (LC && L == 0)) {
+      Changed = true;
+      return Ctx.intLit(0);
+    }
+    return nullptr;
+  case BinOp::Div:
+    if (RC && R == 1) {
+      Changed = true;
+      return B->lhs();
+    }
+    return nullptr;
+  default:
+    return nullptr;
+  }
+}
+
+} // namespace
+
+Expr *gpuc::foldExpr(ASTContext &Ctx, Expr *E) {
+  bool Dummy = false;
+  // Iterate to a fixed point; each pass rewrites bottom-up.
+  for (int Round = 0; Round < 8; ++Round) {
+    bool Changed = false;
+    E = rewriteExpr(E, [&](Expr *Sub) -> Expr * {
+      return foldOnce(Ctx, Sub, Changed);
+    });
+    if (!Changed)
+      break;
+    Dummy = true;
+  }
+  (void)Dummy;
+  return E;
+}
+
+int gpuc::foldKernel(KernelFunction &K, ASTContext &Ctx) {
+  int Simplified = 0;
+  rewriteExprs(K.body(), [&](Expr *E) -> Expr * {
+    bool Changed = false;
+    Expr *New = foldOnce(Ctx, E, Changed);
+    if (Changed)
+      ++Simplified;
+    return New;
+  });
+  // A second fixed-point sweep catches rewrites enabled by the first.
+  for (int Round = 0; Round < 4; ++Round) {
+    int Before = Simplified;
+    rewriteExprs(K.body(), [&](Expr *E) -> Expr * {
+      bool Changed = false;
+      Expr *New = foldOnce(Ctx, E, Changed);
+      if (Changed)
+        ++Simplified;
+      return New;
+    });
+    if (Simplified == Before)
+      break;
+  }
+  return Simplified;
+}

@@ -1,0 +1,37 @@
+//===-- core/ConstantFold.h - Expression simplification ---------*- C++ -*-===//
+//
+// Part of the gpuc project: a reproduction of "A GPGPU Compiler for Memory
+// Optimization and Parallelism Management" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Algebraic cleanup of transformed kernels. The staging and merge passes
+/// compose indices mechanically, leaving shapes like `(i + 0)`,
+/// `((2*0) + 1)` or `(idy*1)`; folding them keeps the emitted CUDA
+/// readable — the paper's "understandability of the optimized code" is a
+/// headline claim (Section 1), so this is a first-class pass, not
+/// cosmetics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUC_CORE_CONSTANTFOLD_H
+#define GPUC_CORE_CONSTANTFOLD_H
+
+#include "ast/Kernel.h"
+
+namespace gpuc {
+
+/// Folds one expression tree bottom-up. \returns the new root (may be the
+/// original node). Rules: integer constant arithmetic, +0 / -0 / *1 / *0
+/// identities, and re-association of nested constant additions
+/// ((e + c1) + c2 -> e + (c1+c2)).
+Expr *foldExpr(ASTContext &Ctx, Expr *E);
+
+/// Applies foldExpr to every expression of \p K's body.
+/// \returns number of nodes simplified.
+int foldKernel(KernelFunction &K, ASTContext &Ctx);
+
+} // namespace gpuc
+
+#endif // GPUC_CORE_CONSTANTFOLD_H

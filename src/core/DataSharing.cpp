@@ -1,0 +1,88 @@
+//===-- core/DataSharing.cpp - Sharing analysis & merge planning ----------===//
+
+#include "core/DataSharing.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+
+using namespace gpuc;
+
+MergePlan gpuc::planMerges(KernelFunction &K, const CoalesceResult &CR) {
+  MergePlan Plan;
+  std::vector<AccessInfo> Accesses = collectGlobalAccesses(K);
+
+  // Group loads of one array with identical block-id strides; the group's
+  // combined footprint decides whether neighboring blocks' segments
+  // overlap (Section 3.4 compares segment address ranges).
+  struct Group {
+    bool IsG2S = false;
+    long long DX = 0, DY = 0;
+    long long MinConst = 0, MaxConst = 0;
+    long long Extent = 0; // per-block footprint beyond the min const
+    const ArrayRef *First = nullptr;
+    bool Any = false;
+  };
+  std::map<std::string, Group> Groups;
+
+  for (const AccessInfo &A : Accesses) {
+    if (A.IsStore || !A.Resolved)
+      continue;
+    bool IsG2S = A.Owner && CR.isStagingStore(A.Owner);
+    std::string Key = A.Ref->base() + (IsG2S ? "|s" : "|r") + "|" +
+                      std::to_string(A.Addr.CBidx) + "|" +
+                      std::to_string(A.Addr.CBidy);
+    Group &G = Groups[Key];
+    long long HalfWarpSpan =
+        A.Addr.CTidx > 0 ? 16LL * A.Addr.CTidx : A.ElemBytes;
+    if (!G.Any) {
+      G.Any = true;
+      G.IsG2S = IsG2S;
+      G.DX = std::llabs(A.Addr.CBidx);
+      G.DY = std::llabs(A.Addr.CBidy);
+      G.MinConst = G.MaxConst = A.Addr.Const;
+      G.Extent = HalfWarpSpan;
+      G.First = A.Ref;
+    } else {
+      G.MinConst = std::min(G.MinConst, A.Addr.Const);
+      G.MaxConst = std::max(G.MaxConst, A.Addr.Const);
+      G.Extent = std::max(G.Extent, HalfWarpSpan);
+    }
+  }
+
+  for (auto &[Key, G] : Groups) {
+    (void)Key;
+    SharingRecord Rec;
+    Rec.Ref = G.First;
+    Rec.IsG2S = G.IsG2S;
+    long long Span = G.MaxConst - G.MinConst + G.Extent;
+    // Identical segments (stride 0) or strictly overlapping footprints.
+    Rec.SharedAlongX = G.DX < Span;
+    Rec.SharedAlongY = G.DY < Span;
+    if (K.launch().GridDimX <= 1)
+      Rec.SharedAlongX = false;
+    if (K.launch().GridDimY <= 1)
+      Rec.SharedAlongY = false;
+    Plan.Records.push_back(Rec);
+
+    if (Rec.IsG2S) {
+      // Section 3.5.3: sharing through a G2S access prefers thread-block
+      // merge (better shared-memory utilization).
+      Plan.BlockMergeX |= Rec.SharedAlongX;
+      Plan.BlockMergeY |= Rec.SharedAlongY;
+    } else {
+      // G2R sharing prefers thread merge (register reuse).
+      Plan.ThreadMergeX |= Rec.SharedAlongX;
+      Plan.ThreadMergeY |= Rec.SharedAlongY;
+    }
+  }
+
+  // "If a block does not have enough threads, thread-block merge ... is
+  // also used to increase the number of threads in a block."
+  if (!Plan.anyBlockMerge() && K.launch().threadsPerBlock() < 128 &&
+      K.launch().GridDimX > 1) {
+    Plan.BlockMergeX = true;
+    Plan.BlockMergeForThreads = true;
+  }
+  return Plan;
+}

@@ -1,0 +1,51 @@
+//===-- core/DataSharing.h - Sharing analysis & merge planning --*- C++ -*-===//
+//
+// Part of the gpuc project: a reproduction of "A GPGPU Compiler for Memory
+// Optimization and Parallelism Management" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 3.4/3.5.3: detects data sharing between neighboring thread
+/// blocks by overlapping the address ranges of coalesced segments, and
+/// picks between thread-block merge (G2S sharing -> shared-memory reuse)
+/// and thread merge (G2R sharing -> register reuse). Blocks with too few
+/// threads get a block merge even without sharing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUC_CORE_DATASHARING_H
+#define GPUC_CORE_DATASHARING_H
+
+#include "core/CoalesceTransform.h"
+
+namespace gpuc {
+
+/// One load classified for sharing.
+struct SharingRecord {
+  const ArrayRef *Ref = nullptr;
+  bool IsG2S = false; ///< load feeding a shared-memory staging store
+  bool SharedAlongX = false;
+  bool SharedAlongY = false;
+};
+
+/// The merge directions Section 3.5.3's heuristic selects.
+struct MergePlan {
+  bool BlockMergeX = false;
+  bool BlockMergeY = false;
+  bool ThreadMergeX = false;
+  bool ThreadMergeY = false;
+  /// Set when a block merge is only needed to reach enough threads.
+  bool BlockMergeForThreads = false;
+  std::vector<SharingRecord> Records;
+
+  bool anyBlockMerge() const { return BlockMergeX || BlockMergeY; }
+  bool anyThreadMerge() const { return ThreadMergeX || ThreadMergeY; }
+};
+
+/// Analyzes \p K (after coalescing conversion \p CR) and plans merges.
+MergePlan planMerges(KernelFunction &K, const CoalesceResult &CR);
+
+} // namespace gpuc
+
+#endif // GPUC_CORE_DATASHARING_H

@@ -1,0 +1,40 @@
+//===-- core/PartitionCamp.h - Partition-camping elimination ----*- C++ -*-===//
+//
+// Part of the gpuc project: a reproduction of "A GPGPU Compiler for Memory
+// Optimization and Parallelism Management" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 3.7: detects partition camping — the address stride between
+/// neighboring (concurrently active) blocks along X being a multiple of
+/// (partition width * number of partitions) — and eliminates it: 1-D grids
+/// get a per-block address offset into the reduction dimension (Figure 9),
+/// 2-D grids get the diagonal block reordering of [Ruetsch & Micikevicius].
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUC_CORE_PARTITIONCAMP_H
+#define GPUC_CORE_PARTITIONCAMP_H
+
+#include "ast/Kernel.h"
+#include "sim/DeviceSpec.h"
+
+namespace gpuc {
+
+/// What the pass did.
+struct PartitionCampResult {
+  bool Detected = false;
+  bool AppliedOffset = false;   // 1-D grid: address-offset insertion
+  bool AppliedDiagonal = false; // 2-D grid: block-id remapping
+  int CampingAccesses = 0;
+};
+
+/// Detects and eliminates partition camping on \p K for \p Device.
+PartitionCampResult eliminatePartitionCamping(KernelFunction &K,
+                                              ASTContext &Ctx,
+                                              const DeviceSpec &Device);
+
+} // namespace gpuc
+
+#endif // GPUC_CORE_PARTITIONCAMP_H

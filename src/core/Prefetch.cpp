@@ -1,0 +1,131 @@
+//===-- core/Prefetch.cpp - Data prefetching ------------------------------===//
+
+#include "core/Prefetch.h"
+
+#include "ast/Clone.h"
+#include "ast/Subst.h"
+#include "ast/Walk.h"
+#include "sim/Occupancy.h"
+
+using namespace gpuc;
+
+namespace {
+
+/// A staging store eligible for prefetching: `shared[...] = global[...]`
+/// directly in a loop body, with the loop iterator in the source index.
+struct PrefetchSite {
+  ForStmt *Loop = nullptr;
+  size_t StoreIndex = 0;
+  AssignStmt *Store = nullptr;
+  /// Redundancy guard the store sits under (block merge, Figure 5).
+  Expr *GuardCond = nullptr;
+};
+
+} // namespace
+
+int gpuc::insertPrefetch(KernelFunction &K, ASTContext &Ctx) {
+  if (estimateRegistersPerThread(K) > PrefetchRegisterBudget)
+    return 0;
+
+  std::vector<PrefetchSite> Sites;
+  forEachStmt(K.body(), [&](Stmt *S) {
+    auto *F = dyn_cast<ForStmt>(S);
+    if (!F)
+      return;
+    // Walk direct children (including one guard level, Figure 5 shape).
+    auto Candidate = [&](Stmt *S, size_t TopIndex, Expr *GuardCond) {
+      auto *A = dyn_cast<AssignStmt>(S);
+      if (!A || A->op() != AssignOp::Assign)
+        return;
+      auto *LHS = dyn_cast<ArrayRef>(A->lhs());
+      auto *RHS = dyn_cast<ArrayRef>(A->rhs());
+      if (!LHS || !RHS)
+        return;
+      bool LhsShared = K.findParam(LHS->base()) == nullptr;
+      bool RhsGlobal = K.findParam(RHS->base()) != nullptr;
+      if (!LhsShared || !RhsGlobal)
+        return;
+      if (!containsVar(RHS, F->iterName()))
+        return;
+      Sites.push_back({F, TopIndex, A, GuardCond});
+    };
+    CompoundStmt *Body = F->body();
+    for (size_t I = 0; I < Body->body().size(); ++I) {
+      Stmt *Child = Body->body()[I];
+      // The store may sit under a block-merge redundancy guard (Figure 5).
+      if (auto *If = dyn_cast<IfStmt>(Child)) {
+        for (Stmt *Inner : If->thenBody()->body())
+          Candidate(Inner, I, If->cond());
+      } else {
+        Candidate(Child, I, nullptr);
+      }
+    }
+  });
+
+  int Inserted = 0;
+  for (const PrefetchSite &Site : Sites) {
+    ForStmt *F = Site.Loop;
+    // tmp = src(i = init), before the loop.
+    size_t LoopIdx = 0;
+    CompoundStmt *LoopParent = nullptr;
+    forEachStmt(K.body(), [&](Stmt *S) {
+      if (auto *C = dyn_cast<CompoundStmt>(S)) {
+        for (size_t I = 0; I < C->body().size(); ++I)
+          if (C->body()[I] == F) {
+            LoopParent = C;
+            LoopIdx = I;
+          }
+      }
+    });
+    if (!LoopParent)
+      continue;
+
+    std::string Tmp = Ctx.freshName("pref");
+    Expr *FirstSrc = substVarInExpr(
+        Ctx, cloneExpr(Ctx, Site.Store->rhs()), F->iterName(),
+        cloneExpr(Ctx, F->init()));
+    // The initial load must respect the store's redundancy guard (and a
+    // possibly zero-trip loop), so it is emitted as a guarded assignment.
+    Expr *FirstGuard = Ctx.lt(cloneExpr(Ctx, F->init()),
+                              cloneExpr(Ctx, F->bound()));
+    if (Site.GuardCond)
+      FirstGuard = Ctx.land(cloneExpr(Ctx, Site.GuardCond), FirstGuard);
+    auto *FirstThen = Ctx.compound();
+    FirstThen->append(
+        Ctx.assign(Ctx.varRef(Tmp, Type::floatTy()), FirstSrc));
+    LoopParent->body().insert(
+        LoopParent->body().begin() + static_cast<long>(LoopIdx),
+        {Ctx.declScalar(Tmp, Type::floatTy(), Ctx.floatLit(0)),
+         Ctx.ifStmt(FirstGuard, FirstThen)});
+
+    // Next-iteration load guarded by the loop bound (Figure 8's check),
+    // placed after the first barrier following the store.
+    Expr *NextI = Ctx.add(Ctx.varRef(F->iterName(), Type::intTy()),
+                          cloneExpr(Ctx, F->step()));
+    Expr *NextSrc = substVarInExpr(Ctx, cloneExpr(Ctx, Site.Store->rhs()),
+                                   F->iterName(), NextI);
+    Expr *Guard = Ctx.lt(cloneExpr(Ctx, NextI), cloneExpr(Ctx, F->bound()));
+    if (Site.GuardCond)
+      Guard = Ctx.land(cloneExpr(Ctx, Site.GuardCond), Guard);
+    auto *Then = Ctx.compound();
+    Then->append(Ctx.assign(Ctx.varRef(Tmp, Type::floatTy()), NextSrc));
+    auto *PrefIf = Ctx.ifStmt(Guard, Then);
+
+    // Rewrite the staging store to consume the temporary.
+    Site.Store->setRHS(Ctx.varRef(Tmp, Type::floatTy()));
+
+    CompoundStmt *Body = F->body();
+    size_t SyncIdx = Body->body().size();
+    for (size_t I = Site.StoreIndex; I < Body->body().size(); ++I) {
+      if (auto *Sync = dyn_cast<SyncStmt>(Body->body()[I])) {
+        (void)Sync;
+        SyncIdx = I + 1;
+        break;
+      }
+    }
+    Body->body().insert(Body->body().begin() + static_cast<long>(SyncIdx),
+                        PrefIf);
+    ++Inserted;
+  }
+  return Inserted;
+}

@@ -1,0 +1,35 @@
+//===-- core/Prefetch.h - Data prefetching ----------------------*- C++ -*-===//
+//
+// Part of the gpuc project: a reproduction of "A GPGPU Compiler for Memory
+// Optimization and Parallelism Management" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 3.6 (Figure 8): overlaps the global-to-shared staging load of
+/// the next loop iteration with the current iteration's computation using
+/// a register temporary. Skipped when the kernel's register pressure is
+/// already high — the paper observes that after thread merge the registers
+/// are usually spent, which is why prefetching contributes little in
+/// Figure 12.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUC_CORE_PREFETCH_H
+#define GPUC_CORE_PREFETCH_H
+
+#include "ast/Kernel.h"
+
+namespace gpuc {
+
+/// Register budget above which prefetching is skipped.
+constexpr int PrefetchRegisterBudget = 20;
+
+/// Applies the Figure 8 transformation to every direct global-to-shared
+/// staging store in a 16-stepping loop. \returns number of prefetches
+/// inserted (0 when skipped).
+int insertPrefetch(KernelFunction &K, ASTContext &Ctx);
+
+} // namespace gpuc
+
+#endif // GPUC_CORE_PREFETCH_H

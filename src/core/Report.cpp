@@ -1,0 +1,95 @@
+//===-- core/Report.cpp - Compilation analysis reports --------------------===//
+
+#include "core/Report.h"
+
+#include "ast/Printer.h"
+#include "core/Coalescing.h"
+#include "support/StringUtils.h"
+
+#include <sstream>
+
+using namespace gpuc;
+
+std::string gpuc::coalescingReport(KernelFunction &K) {
+  std::ostringstream OS;
+  OS << "== coalescing analysis (" << K.name() << ") ==\n";
+  for (const AccessInfo &A : collectGlobalAccesses(K)) {
+    CoalesceInfo CI = checkCoalescing(A, K);
+    OS << strFormat("  %-6s %-28s %s\n", A.IsStore ? "store" : "load",
+                    printExpr(A.Ref).c_str(),
+                    coalesceFailureName(CI.Failure));
+  }
+  return OS.str();
+}
+
+std::string gpuc::planReport(const CompileOutput &Out) {
+  std::ostringstream OS;
+  OS << strFormat("== merge plan ==\n  block-merge X:%d Y:%d  "
+                  "thread-merge X:%d Y:%d%s\n",
+                  Out.Plan.BlockMergeX, Out.Plan.BlockMergeY,
+                  Out.Plan.ThreadMergeX, Out.Plan.ThreadMergeY,
+                  Out.Plan.BlockMergeForThreads ? "  (for thread count)"
+                                                : "");
+  if (Out.Camping.Detected)
+    OS << strFormat("  partition camping: detected, %s\n",
+                    Out.Camping.AppliedDiagonal
+                        ? "diagonal block reordering"
+                    : Out.Camping.AppliedOffset ? "address offset inserted"
+                                                : "not eliminable");
+  return OS.str();
+}
+
+std::string gpuc::designSpaceReport(const CompileOutput &Out) {
+  std::ostringstream OS;
+  OS << "== design space ==\n";
+  for (const VariantResult &V : Out.Variants) {
+    OS << strFormat("  blocks=%-3d threads=%-3d %s%s\n", V.BlockMergeN,
+                    V.ThreadMergeM,
+                    V.Feasible
+                        ? strFormat("%8.4f ms", V.Perf.TimeMs).c_str()
+                        : "infeasible",
+                    V.Kernel && V.Kernel == Out.Best ? "  <= selected" : "");
+  }
+  return OS.str();
+}
+
+std::string gpuc::trafficReport(const KernelFunction &K,
+                                const DeviceSpec &Device) {
+  std::ostringstream OS;
+  Simulator Sim(Device);
+  BufferSet B;
+  DiagnosticsEngine D;
+  PerfOptions PO;
+  PO.TrackSites = true;
+  PerfResult R = Sim.runPerformance(K, B, D, PO);
+  if (!R.Valid)
+    return "== traffic ==\n  (performance run failed)\n";
+  OS << strFormat("== traffic by access (%s on %s) ==\n", K.name().c_str(),
+                  Device.Name.c_str());
+  for (const auto &[Label, T] : R.Sites)
+    OS << strFormat("  %-40s %12.0f txns %10.2f MB%s\n", Label.c_str(),
+                    T.Transactions, T.BytesMoved / 1e6,
+                    T.CoalescedHalfWarps + 0.5 < T.HalfWarps
+                        ? "  (NOT fully coalesced)"
+                        : "");
+  OS << strFormat("  total: %.2f MB moved for %.2f MB useful, "
+                  "camping factor %.2f, %.4f ms\n",
+                  R.Stats.bytesMovedTotal() / 1e6, R.Stats.UsefulBytes / 1e6,
+                  R.Timing.CampingFactor, R.TimeMs);
+  Occupancy O = computeOccupancy(Device, K);
+  OS << strFormat("== occupancy ==\n  %d regs/thread, %lld B shared, "
+                  "%d blocks/SM (%s-limited), %d active threads/SM\n",
+                  O.RegsPerThread, O.SharedBytesPerBlock, O.BlocksPerSM,
+                  O.LimitedBy, O.ActiveThreadsPerSM);
+  return OS.str();
+}
+
+std::string gpuc::fullReport(KernelFunction &Naive, const CompileOutput &Out,
+                             const DeviceSpec &Device) {
+  std::string S = coalescingReport(Naive);
+  S += "\n" + planReport(Out);
+  S += "\n" + designSpaceReport(Out);
+  if (Out.Best)
+    S += "\n" + trafficReport(*Out.Best, Device);
+  return S;
+}

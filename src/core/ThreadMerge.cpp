@@ -1,0 +1,271 @@
+//===-- core/ThreadMerge.cpp - Thread merge -------------------------------===//
+
+#include "core/ThreadMerge.h"
+
+#include "ast/Clone.h"
+#include "ast/Subst.h"
+#include "ast/Walk.h"
+
+#include <set>
+
+using namespace gpuc;
+
+namespace {
+
+class ThreadMerger {
+public:
+  ThreadMerger(KernelFunction &K, ASTContext &Ctx, int M, bool AlongY)
+      : K(K), Ctx(Ctx), M(M), AlongY(AlongY),
+        Target(AlongY ? BuiltinId::Idy : BuiltinId::Idx) {}
+
+  bool run() {
+    LaunchConfig &L = K.launch();
+    long long &Grid = AlongY ? L.GridDimY : L.GridDimX;
+    if (M <= 1 || Grid % M != 0)
+      return false;
+    computeTaint();
+    rewriteCompound(K.body());
+    Grid /= M;
+    return true;
+  }
+
+private:
+  /// The index expression replacing idy (or idx) in replica \p R.
+  Expr *replacementFor(int R) {
+    const LaunchConfig &L = K.launch();
+    int Bd = AlongY ? L.BlockDimY : L.BlockDimX;
+    if (Bd == 1) {
+      // idy*M + r (Figure 7's shape).
+      Expr *E = Ctx.mul(Ctx.builtin(Target), Ctx.intLit(M));
+      return Ctx.addConst(E, R);
+    }
+    // General form: (bid*M + r)*blockDim + tid.
+    BuiltinId Bid = AlongY ? BuiltinId::Bidy : BuiltinId::Bidx;
+    BuiltinId Tid = AlongY ? BuiltinId::Tidy : BuiltinId::Tidx;
+    Expr *Block = Ctx.addConst(Ctx.mul(Ctx.builtin(Bid), Ctx.intLit(M)), R);
+    return Ctx.add(Ctx.mul(Block, Ctx.intLit(Bd)), Ctx.builtin(Tid));
+  }
+
+  bool exprTainted(const Expr *E) const {
+    return anyExprIn(E, [&](const Expr *Sub) {
+      if (const auto *B = dyn_cast<BuiltinRef>(Sub))
+        return B->id() == Target;
+      if (const auto *V = dyn_cast<VarRef>(Sub))
+        return Tainted.count(V->name()) > 0;
+      if (const auto *A = dyn_cast<ArrayRef>(Sub))
+        return Tainted.count(A->base()) > 0;
+      return false;
+    });
+  }
+
+  bool stmtTainted(const Stmt *S) const {
+    if (anyExpr(S, [&](const Expr *Sub) {
+          if (const auto *B = dyn_cast<BuiltinRef>(Sub))
+            return B->id() == Target;
+          if (const auto *V = dyn_cast<VarRef>(Sub))
+            return Tainted.count(V->name()) > 0;
+          if (const auto *A = dyn_cast<ArrayRef>(Sub))
+            return Tainted.count(A->base()) > 0;
+          return false;
+        }))
+      return true;
+    // Declarations of tainted names must replicate even if their
+    // initializer is clean (float sum = 0).
+    bool DeclTainted = false;
+    forEachStmt(const_cast<Stmt *>(S), [&](Stmt *Child) {
+      if (auto *D = dyn_cast<DeclStmt>(Child))
+        if (Tainted.count(D->name()))
+          DeclTainted = true;
+    });
+    return DeclTainted;
+  }
+
+  /// One taint-propagation round; definitions under direction-dependent
+  /// control flow (a tainted if condition or loop bound) are themselves
+  /// tainted — they take different values per replica.
+  void taintWalkStmt(Stmt *S, bool CtxTainted, bool &Changed) {
+    switch (S->kind()) {
+    case StmtKind::Compound:
+      for (Stmt *Child : cast<CompoundStmt>(S)->body())
+        taintWalkStmt(Child, CtxTainted, Changed);
+      return;
+    case StmtKind::If: {
+      auto *If = cast<IfStmt>(S);
+      bool C = CtxTainted || exprTainted(If->cond());
+      taintWalkStmt(If->thenBody(), C, Changed);
+      if (If->elseBody())
+        taintWalkStmt(If->elseBody(), C, Changed);
+      return;
+    }
+    case StmtKind::For: {
+      auto *F = cast<ForStmt>(S);
+      bool C = CtxTainted || exprTainted(F->init()) ||
+               exprTainted(F->bound()) || exprTainted(F->step());
+      taintWalkStmt(F->body(), C, Changed);
+      return;
+    }
+    case StmtKind::Sync:
+      return;
+    case StmtKind::Decl:
+    case StmtKind::Assign:
+      break;
+    }
+    std::string Def;
+    std::vector<const Expr *> Sources;
+    if (auto *D = dyn_cast<DeclStmt>(S)) {
+      if (D->isShared())
+        return; // shared arrays taint through their stores
+      Def = D->name();
+      if (D->init())
+        Sources.push_back(D->init());
+    } else if (auto *A = dyn_cast<AssignStmt>(S)) {
+      if (auto *V = dyn_cast<VarRef>(A->lhs())) {
+        Def = V->name();
+      } else if (auto *Arr = dyn_cast<ArrayRef>(A->lhs())) {
+        // Only shared arrays live in the taint set; global stores
+        // replicate via their index expressions.
+        if (!K.findParam(Arr->base()))
+          Def = Arr->base();
+        for (const Expr *I : Arr->indices())
+          Sources.push_back(I);
+      } else if (auto *Mem = dyn_cast<Member>(A->lhs())) {
+        if (auto *V = dyn_cast<VarRef>(Mem->baseExpr()))
+          Def = V->name();
+      }
+      Sources.push_back(A->rhs());
+    }
+    if (Def.empty() || Tainted.count(Def))
+      return;
+    bool Taint = CtxTainted && isa<AssignStmt>(S);
+    for (const Expr *Src : Sources)
+      if (Src && exprTainted(Src))
+        Taint = true;
+    if (Taint) {
+      Tainted.insert(Def);
+      Changed = true;
+    }
+  }
+
+  void computeTaint() {
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      taintWalkStmt(K.body(), /*CtxTainted=*/false, Changed);
+    }
+  }
+
+  /// Clones \p S for replica \p R: substitutes the merged index and
+  /// renames every tainted symbol.
+  Stmt *replica(const Stmt *S, int R) {
+    Stmt *C = cloneStmt(Ctx, S);
+    substBuiltin(Ctx, C, Target, replacementFor(R));
+    for (const std::string &Name : Tainted)
+      renameVar(C, Name, Name + "_" + std::to_string(R));
+    return C;
+  }
+
+  /// Hoists direction-invariant global loads of a to-be-replicated
+  /// statement into register temporaries (Figure 7's r0).
+  void hoistInvariantLoads(AssignStmt *A, std::vector<Stmt *> &Out) {
+    std::vector<ArrayRef *> Loads;
+    forEachExprIn(A->rhs(), [&](Expr *E) {
+      auto *Ref = dyn_cast<ArrayRef>(E);
+      if (!Ref)
+        return;
+      const ParamDecl *P = K.findParam(Ref->base());
+      if (!P || !P->IsArray)
+        return;
+      if (exprTainted(Ref))
+        return;
+      Loads.push_back(Ref);
+    });
+    for (ArrayRef *Ref : Loads) {
+      std::string Tmp = Ctx.freshName("r");
+      Out.push_back(Ctx.declScalar(Tmp, Ref->type(),
+                                   cloneExpr(Ctx, Ref)));
+      replaceLoad(A, Ref, Ctx.varRef(Tmp, Ref->type()));
+    }
+  }
+
+  void replaceLoad(AssignStmt *A, const ArrayRef *Old, Expr *New) {
+    A->setRHS(rewriteExpr(A->rhs(), [&](Expr *E) -> Expr * {
+      return E == Old ? New : nullptr;
+    }));
+  }
+
+  void rewriteCompound(CompoundStmt *C) {
+    std::vector<Stmt *> NewBody;
+    for (Stmt *S : C->body()) {
+      if (!stmtTainted(S)) {
+        // Still recurse: an untainted control statement may guard tainted
+        // work... (it cannot, by definition of stmtTainted covering the
+        // whole subtree), so keep as-is.
+        NewBody.push_back(S);
+        continue;
+      }
+      switch (S->kind()) {
+      case StmtKind::For: {
+        auto *F = cast<ForStmt>(S);
+        bool ControlTainted = exprTainted(F->init()) ||
+                              exprTainted(F->bound()) ||
+                              exprTainted(F->step());
+        if (!ControlTainted) {
+          rewriteCompound(F->body());
+          NewBody.push_back(S);
+        } else {
+          for (int R = 0; R < M; ++R)
+            NewBody.push_back(replica(S, R));
+        }
+        break;
+      }
+      case StmtKind::If: {
+        auto *If = cast<IfStmt>(S);
+        if (!exprTainted(If->cond())) {
+          rewriteCompound(If->thenBody());
+          if (If->elseBody())
+            rewriteCompound(If->elseBody());
+          NewBody.push_back(S);
+        } else {
+          for (int R = 0; R < M; ++R)
+            NewBody.push_back(replica(S, R));
+        }
+        break;
+      }
+      case StmtKind::Compound:
+        rewriteCompound(cast<CompoundStmt>(S));
+        NewBody.push_back(S);
+        break;
+      case StmtKind::Assign: {
+        auto *A = cast<AssignStmt>(S);
+        hoistInvariantLoads(A, NewBody);
+        for (int R = 0; R < M; ++R)
+          NewBody.push_back(replica(S, R));
+        break;
+      }
+      case StmtKind::Decl: {
+        for (int R = 0; R < M; ++R)
+          NewBody.push_back(replica(S, R));
+        break;
+      }
+      case StmtKind::Sync:
+        NewBody.push_back(S);
+        break;
+      }
+    }
+    C->body() = std::move(NewBody);
+  }
+
+  KernelFunction &K;
+  ASTContext &Ctx;
+  int M;
+  bool AlongY;
+  BuiltinId Target;
+  std::set<std::string> Tainted;
+};
+
+} // namespace
+
+bool gpuc::threadMerge(KernelFunction &K, ASTContext &Ctx, int M,
+                       bool AlongY) {
+  return ThreadMerger(K, Ctx, M, AlongY).run();
+}

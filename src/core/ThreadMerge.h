@@ -1,0 +1,32 @@
+//===-- core/ThreadMerge.h - Thread merge -----------------------*- C++ -*-===//
+//
+// Part of the gpuc project: a reproduction of "A GPGPU Compiler for Memory
+// Optimization and Parallelism Management" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 3.5.2: merges the threads of M neighboring blocks into one
+/// thread (the compiler's way of achieving loop unrolling, Figure 7).
+/// Statements depending on the merged direction's index replicate M times
+/// with idy -> idy*M + r (registers and shared staging arrays replicate
+/// with them); direction-invariant statements — loop control, and global
+/// loads that get hoisted into a register temporary (Figure 7's r0) —
+/// keep a single copy, which is where the register reuse comes from.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUC_CORE_THREADMERGE_H
+#define GPUC_CORE_THREADMERGE_H
+
+#include "ast/Kernel.h"
+
+namespace gpuc {
+
+/// Merges M blocks' threads along Y (AlongY) or X. \returns false when the
+/// grid does not divide by M.
+bool threadMerge(KernelFunction &K, ASTContext &Ctx, int M, bool AlongY);
+
+} // namespace gpuc
+
+#endif // GPUC_CORE_THREADMERGE_H

@@ -1,0 +1,155 @@
+//===-- core/Vectorize.cpp - float2 vectorization -------------------------===//
+
+#include "core/Vectorize.h"
+
+#include "ast/Clone.h"
+#include "ast/Subst.h"
+#include "ast/Walk.h"
+#include "core/Accesses.h"
+
+#include <algorithm>
+
+using namespace gpuc;
+
+namespace {
+
+/// Rebuilds a readable index expression from the halved affine form,
+/// preferring `idx`/`idy` spellings when the launch shape allows.
+Expr *halvedIndexExpr(ASTContext &Ctx, AffineExpr A,
+                      const KernelFunction &K) {
+  assert(A.Const % 2 == 0 && A.CTidx % 2 == 0 && A.CTidy % 2 == 0 &&
+         A.CBidx % 2 == 0 && A.CBidy % 2 == 0 && "pair base must be even");
+  A.Const /= 2;
+  A.CTidx /= 2;
+  A.CTidy /= 2;
+  A.CBidx /= 2;
+  A.CBidy /= 2;
+  for (auto &[Name, C] : A.LoopCoeffs) {
+    assert(C % 2 == 0 && "pair base must be even");
+    C /= 2;
+  }
+  Expr *E = nullptr;
+  auto Append = [&](Expr *T) { E = E ? Ctx.add(E, T) : T; };
+  // Fold bidx*BDX + tidx back into idx (and same for Y) for readability.
+  const LaunchConfig &L = K.launch();
+  if (A.CTidx != 0 && A.CBidx == A.CTidx * L.BlockDimX) {
+    Expr *T = Ctx.builtin(BuiltinId::Idx);
+    Append(A.CTidx == 1 ? T : Ctx.mul(T, Ctx.intLit(A.CTidx)));
+    A.CTidx = A.CBidx = 0;
+  }
+  if (A.CTidy != 0 && A.CBidy == A.CTidy * L.BlockDimY) {
+    Expr *T = Ctx.builtin(BuiltinId::Idy);
+    Append(A.CTidy == 1 ? T : Ctx.mul(T, Ctx.intLit(A.CTidy)));
+    A.CTidy = A.CBidy = 0;
+  }
+  Expr *Rest = affineToExpr(Ctx, A);
+  if (auto *Lit = dyn_cast<IntLit>(Rest)) {
+    if (Lit->value() != 0)
+      Append(Rest);
+    else if (!E)
+      E = Rest;
+  } else {
+    Append(Rest);
+  }
+  return E;
+}
+
+} // namespace
+
+int gpuc::vectorizeAccesses(KernelFunction &K, ASTContext &Ctx) {
+  std::vector<AccessInfo> Accesses = collectGlobalAccesses(K);
+  int Pairs = 0;
+
+  for (size_t I = 0; I < Accesses.size(); ++I) {
+    AccessInfo &A = Accesses[I];
+    if (!A.Resolved || A.IsStore || A.Ref->vecWidth() != 1 ||
+        !A.Ref->type().isFloat() || A.Ref->numIndices() != 1)
+      continue;
+    for (size_t J = 0; J < Accesses.size(); ++J) {
+      if (I == J)
+        continue;
+      AccessInfo &B = Accesses[J];
+      if (!B.Resolved || B.IsStore || B.Ref->vecWidth() != 1 ||
+          B.Ref->base() != A.Ref->base() || B.Ref->numIndices() != 1 ||
+          B.Ref == A.Ref)
+        continue;
+      // Require B == A + 1 with A's form even in every coefficient:
+      // the paper's 2*idx+N / 2*idx+N+1 rule.
+      AffineExpr Diff = B.DimAffine[0];
+      Diff -= A.DimAffine[0];
+      if (!Diff.isConstant() || Diff.Const != 1)
+        continue;
+      const AffineExpr &Base = A.DimAffine[0];
+      bool Even = Base.Const % 2 == 0 && Base.CTidx % 2 == 0 &&
+                  Base.CTidy % 2 == 0 && Base.CBidx % 2 == 0 &&
+                  Base.CBidy % 2 == 0;
+      for (const auto &[Name, C] : Base.LoopCoeffs)
+        if (C % 2 != 0)
+          Even = false;
+      if (!Even)
+        continue;
+
+      // Both owners must live in the same block; insert
+      // `float2 fN = ((float2*)a)[f];` before the earlier one and rewrite
+      // the pair to fN.x / fN.y.
+      size_t IdxA = 0, IdxB = 0;
+      CompoundStmt *ParA = nullptr, *ParB = nullptr;
+      forEachStmt(K.body(), [&](Stmt *S) {
+        if (auto *C = dyn_cast<CompoundStmt>(S)) {
+          for (size_t Pos = 0; Pos < C->body().size(); ++Pos) {
+            if (C->body()[Pos] == A.Owner) {
+              ParA = C;
+              IdxA = Pos;
+            }
+            if (C->body()[Pos] == B.Owner) {
+              ParB = C;
+              IdxB = Pos;
+            }
+          }
+        }
+      });
+      if (!ParA || ParA != ParB)
+        continue;
+      std::string FName = Ctx.freshName("f2_");
+      Expr *Index = halvedIndexExpr(Ctx, Base, K);
+      auto *Load = Ctx.arrayRef(A.Ref->base(), {Index}, Type::float2Ty(),
+                                /*VecWidth=*/2);
+      ParA->body().insert(ParA->body().begin() +
+                              static_cast<long>(std::min(IdxA, IdxB)),
+                          Ctx.declScalar(FName, Type::float2Ty(), Load));
+      auto Rewrite = [&](Expr *E) -> Expr * {
+        if (E == A.Ref)
+          return Ctx.member(Ctx.varRef(FName, Type::float2Ty()), 0);
+        if (E == B.Ref)
+          return Ctx.member(Ctx.varRef(FName, Type::float2Ty()), 1);
+        return nullptr;
+      };
+      rewriteExprs(A.Owner, Rewrite);
+      if (B.Owner != A.Owner)
+        rewriteExprs(B.Owner, Rewrite);
+      ++Pairs;
+      // Both accesses are consumed; avoid re-pairing either.
+      A.Resolved = false;
+      B.Resolved = false;
+      break;
+    }
+  }
+  return Pairs;
+}
+
+void gpuc::exchangeIdxIdy(KernelFunction &K, ASTContext &Ctx) {
+  // Swap via a temporary marker builtin (GridDimX is never used in kernel
+  // bodies of this dialect, so it serves as the scratch symbol).
+  rewriteExprs(K.body(), [&](Expr *E) -> Expr * {
+    auto *B = dyn_cast<BuiltinRef>(E);
+    if (!B)
+      return nullptr;
+    if (B->id() == BuiltinId::Idx)
+      return Ctx.builtin(BuiltinId::Idy);
+    if (B->id() == BuiltinId::Idy)
+      return Ctx.builtin(BuiltinId::Idx);
+    return nullptr;
+  });
+  long long DX = K.workDomainX(), DY = K.workDomainY();
+  K.setWorkDomain(DY, DX);
+}

@@ -1,0 +1,34 @@
+//===-- core/Vectorize.h - float2 vectorization -----------------*- C++ -*-===//
+//
+// Part of the gpuc project: a reproduction of "A GPGPU Compiler for Memory
+// Optimization and Parallelism Management" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 3.1: when a statement loads a[2*f+N] and a[2*f+N+1] (N even) —
+/// the layout of interleaved complex numbers — the pair becomes one float2
+/// load at offset f+N/2 whose .x/.y replace the original accesses. This is
+/// the strict rule the paper uses for NVIDIA targets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUC_CORE_VECTORIZE_H
+#define GPUC_CORE_VECTORIZE_H
+
+#include "ast/Kernel.h"
+
+namespace gpuc {
+
+/// Applies the float2 pairing rule. \returns number of pairs vectorized.
+int vectorizeAccesses(KernelFunction &K, ASTContext &Ctx);
+
+/// The transpose helper of Section 3.3: exchanges idx and idy throughout
+/// the kernel (the equivalent of loop interchange), swapping the work
+/// domain. Used by the driver when the store is non-coalesced but the
+/// exchanged form is.
+void exchangeIdxIdy(KernelFunction &K, ASTContext &Ctx);
+
+} // namespace gpuc
+
+#endif // GPUC_CORE_VECTORIZE_H

@@ -1,0 +1,338 @@
+//===-- parser/Lexer.cpp - Tokenizer --------------------------------------===//
+
+#include "parser/Lexer.h"
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+using namespace gpuc;
+
+const char *gpuc::tokKindName(TokKind K) {
+  switch (K) {
+  case TokKind::Eof:
+    return "end of input";
+  case TokKind::Identifier:
+    return "identifier";
+  case TokKind::IntLiteral:
+    return "integer literal";
+  case TokKind::FloatLiteral:
+    return "float literal";
+  case TokKind::KwGlobal:
+    return "__global__";
+  case TokKind::KwShared:
+    return "__shared__";
+  case TokKind::KwVoid:
+    return "void";
+  case TokKind::KwInt:
+    return "int";
+  case TokKind::KwFloat:
+    return "float";
+  case TokKind::KwFloat2:
+    return "float2";
+  case TokKind::KwFloat4:
+    return "float4";
+  case TokKind::KwFor:
+    return "for";
+  case TokKind::KwIf:
+    return "if";
+  case TokKind::KwElse:
+    return "else";
+  case TokKind::KwSyncThreads:
+    return "__syncthreads";
+  case TokKind::KwGlobalSync:
+    return "__globalSync";
+  case TokKind::LParen:
+    return "(";
+  case TokKind::RParen:
+    return ")";
+  case TokKind::LBracket:
+    return "[";
+  case TokKind::RBracket:
+    return "]";
+  case TokKind::LBrace:
+    return "{";
+  case TokKind::RBrace:
+    return "}";
+  case TokKind::Comma:
+    return ",";
+  case TokKind::Semi:
+    return ";";
+  case TokKind::Dot:
+    return ".";
+  case TokKind::Assign:
+    return "=";
+  case TokKind::PlusAssign:
+    return "+=";
+  case TokKind::MinusAssign:
+    return "-=";
+  case TokKind::StarAssign:
+    return "*=";
+  case TokKind::PlusPlus:
+    return "++";
+  case TokKind::Plus:
+    return "+";
+  case TokKind::Minus:
+    return "-";
+  case TokKind::Star:
+    return "*";
+  case TokKind::Slash:
+    return "/";
+  case TokKind::Percent:
+    return "%";
+  case TokKind::Less:
+    return "<";
+  case TokKind::Greater:
+    return ">";
+  case TokKind::LessEq:
+    return "<=";
+  case TokKind::GreaterEq:
+    return ">=";
+  case TokKind::EqEq:
+    return "==";
+  case TokKind::NotEq:
+    return "!=";
+  case TokKind::AmpAmp:
+    return "&&";
+  case TokKind::PipePipe:
+    return "||";
+  case TokKind::Bang:
+    return "!";
+  case TokKind::Unknown:
+    return "unknown token";
+  }
+  return "?";
+}
+
+Lexer::Lexer(std::string Source, DiagnosticsEngine &Diags)
+    : Src(std::move(Source)), Diags(Diags) {}
+
+char Lexer::peek(int Ahead) const {
+  size_t P = Pos + static_cast<size_t>(Ahead);
+  return P < Src.size() ? Src[P] : '\0';
+}
+
+char Lexer::advance() {
+  char C = peek();
+  if (C == '\0')
+    return C;
+  ++Pos;
+  if (C == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  return C;
+}
+
+bool Lexer::match(char C) {
+  if (peek() != C)
+    return false;
+  advance();
+  return true;
+}
+
+void Lexer::skipTrivia() {
+  while (true) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (peek() != '\n' && peek() != '\0')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      advance();
+      advance();
+      while (!(peek() == '*' && peek(1) == '/') && peek() != '\0')
+        advance();
+      advance();
+      advance();
+      continue;
+    }
+    if (C == '#') {
+      // Collect "#pragma gpuc <payload>" lines; ignore other directives.
+      std::string LineText;
+      while (peek() != '\n' && peek() != '\0')
+        LineText.push_back(advance());
+      std::string Trimmed = trimString(LineText);
+      const std::string Prefix = "#pragma gpuc";
+      if (startsWith(Trimmed, Prefix))
+        Pragmas.push_back(trimString(Trimmed.substr(Prefix.size())));
+      continue;
+    }
+    return;
+  }
+}
+
+static const std::map<std::string, TokKind> &keywordTable() {
+  static const std::map<std::string, TokKind> Table = {
+      {"__global__", TokKind::KwGlobal},
+      {"__shared__", TokKind::KwShared},
+      {"void", TokKind::KwVoid},
+      {"int", TokKind::KwInt},
+      {"float", TokKind::KwFloat},
+      {"float2", TokKind::KwFloat2},
+      {"float4", TokKind::KwFloat4},
+      {"for", TokKind::KwFor},
+      {"if", TokKind::KwIf},
+      {"else", TokKind::KwElse},
+      {"__syncthreads", TokKind::KwSyncThreads},
+      {"__globalSync", TokKind::KwGlobalSync}};
+  return Table;
+}
+
+Token Lexer::next() {
+  skipTrivia();
+  Token T;
+  T.Loc = here();
+  char C = peek();
+  if (C == '\0') {
+    T.Kind = TokKind::Eof;
+    return T;
+  }
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+    std::string Name;
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+      Name.push_back(advance());
+    auto It = keywordTable().find(Name);
+    if (It != keywordTable().end()) {
+      T.Kind = It->second;
+    } else {
+      T.Kind = TokKind::Identifier;
+      T.Text = Name;
+    }
+    return T;
+  }
+  if (std::isdigit(static_cast<unsigned char>(C))) {
+    std::string Num;
+    bool IsFloat = false;
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      Num.push_back(advance());
+    if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+      IsFloat = true;
+      Num.push_back(advance());
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        Num.push_back(advance());
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      IsFloat = true;
+      Num.push_back(advance());
+      if (peek() == '+' || peek() == '-')
+        Num.push_back(advance());
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        Num.push_back(advance());
+    }
+    if (peek() == 'f' || peek() == 'F') {
+      IsFloat = true;
+      advance();
+    }
+    T.Text = Num;
+    if (IsFloat) {
+      T.Kind = TokKind::FloatLiteral;
+      T.FloatValue = std::strtod(Num.c_str(), nullptr);
+    } else {
+      T.Kind = TokKind::IntLiteral;
+      T.IntValue = std::strtoll(Num.c_str(), nullptr, 10);
+    }
+    return T;
+  }
+  advance();
+  switch (C) {
+  case '(':
+    T.Kind = TokKind::LParen;
+    break;
+  case ')':
+    T.Kind = TokKind::RParen;
+    break;
+  case '[':
+    T.Kind = TokKind::LBracket;
+    break;
+  case ']':
+    T.Kind = TokKind::RBracket;
+    break;
+  case '{':
+    T.Kind = TokKind::LBrace;
+    break;
+  case '}':
+    T.Kind = TokKind::RBrace;
+    break;
+  case ',':
+    T.Kind = TokKind::Comma;
+    break;
+  case ';':
+    T.Kind = TokKind::Semi;
+    break;
+  case '.':
+    T.Kind = TokKind::Dot;
+    break;
+  case '=':
+    T.Kind = match('=') ? TokKind::EqEq : TokKind::Assign;
+    break;
+  case '+':
+    if (match('='))
+      T.Kind = TokKind::PlusAssign;
+    else if (match('+'))
+      T.Kind = TokKind::PlusPlus;
+    else
+      T.Kind = TokKind::Plus;
+    break;
+  case '-':
+    T.Kind = match('=') ? TokKind::MinusAssign : TokKind::Minus;
+    break;
+  case '*':
+    T.Kind = match('=') ? TokKind::StarAssign : TokKind::Star;
+    break;
+  case '/':
+    T.Kind = TokKind::Slash;
+    break;
+  case '%':
+    T.Kind = TokKind::Percent;
+    break;
+  case '<':
+    T.Kind = match('=') ? TokKind::LessEq : TokKind::Less;
+    break;
+  case '>':
+    T.Kind = match('=') ? TokKind::GreaterEq : TokKind::Greater;
+    break;
+  case '!':
+    T.Kind = match('=') ? TokKind::NotEq : TokKind::Bang;
+    break;
+  case '&':
+    if (match('&')) {
+      T.Kind = TokKind::AmpAmp;
+    } else {
+      T.Kind = TokKind::Unknown;
+      Diags.error(T.Loc, "stray '&'");
+    }
+    break;
+  case '|':
+    if (match('|')) {
+      T.Kind = TokKind::PipePipe;
+    } else {
+      T.Kind = TokKind::Unknown;
+      Diags.error(T.Loc, "stray '|'");
+    }
+    break;
+  default:
+    T.Kind = TokKind::Unknown;
+    Diags.error(T.Loc, strFormat("unexpected character '%c'", C));
+    break;
+  }
+  return T;
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  while (true) {
+    Tokens.push_back(next());
+    if (Tokens.back().is(TokKind::Eof))
+      return Tokens;
+  }
+}

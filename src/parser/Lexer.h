@@ -1,0 +1,53 @@
+//===-- parser/Lexer.h - Tokenizer ------------------------------*- C++ -*-===//
+//
+// Part of the gpuc project: a reproduction of "A GPGPU Compiler for Memory
+// Optimization and Parallelism Management" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written scanner for the naive-kernel dialect. `#pragma gpuc` lines
+/// are collected separately and skipped in the token stream; `//` and
+/// `/* */` comments are ignored.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUC_PARSER_LEXER_H
+#define GPUC_PARSER_LEXER_H
+
+#include "parser/Token.h"
+#include "support/Diagnostics.h"
+
+#include <vector>
+
+namespace gpuc {
+
+class Lexer {
+public:
+  Lexer(std::string Source, DiagnosticsEngine &Diags);
+
+  /// Lexes the whole buffer; the final token is Eof.
+  std::vector<Token> lexAll();
+
+  /// The `#pragma gpuc ...` payloads found (text after "gpuc"), in order.
+  const std::vector<std::string> &pragmas() const { return Pragmas; }
+
+private:
+  Token next();
+  char peek(int Ahead = 0) const;
+  char advance();
+  bool match(char C);
+  void skipTrivia();
+  SourceLocation here() const { return SourceLocation(Line, Col); }
+
+  std::string Src;
+  DiagnosticsEngine &Diags;
+  size_t Pos = 0;
+  int Line = 1;
+  int Col = 1;
+  std::vector<std::string> Pragmas;
+};
+
+} // namespace gpuc
+
+#endif // GPUC_PARSER_LEXER_H

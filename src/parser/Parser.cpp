@@ -1,0 +1,653 @@
+//===-- parser/Parser.cpp - Naive-kernel parser ---------------------------===//
+
+#include "parser/Parser.h"
+
+#include "ast/Walk.h"
+#include "support/StringUtils.h"
+
+#include <cstdlib>
+
+using namespace gpuc;
+
+Parser::Parser(std::string Source, DiagnosticsEngine &Diags) : Diags(Diags) {
+  Lexer Lex(std::move(Source), Diags);
+  Tokens = Lex.lexAll();
+  Pragmas = Lex.pragmas();
+}
+
+const Token &Parser::peekTok(int Ahead) const {
+  size_t P = Index + static_cast<size_t>(Ahead);
+  return P < Tokens.size() ? Tokens[P] : Tokens.back();
+}
+
+bool Parser::consumeIf(TokKind Kind) {
+  if (!cur().is(Kind))
+    return false;
+  consume();
+  return true;
+}
+
+bool Parser::expect(TokKind Kind, const char *Context) {
+  if (consumeIf(Kind))
+    return true;
+  Diags.error(cur().Loc, strFormat("expected '%s' %s, found '%s'",
+                                   tokKindName(Kind), Context,
+                                   tokKindName(cur().Kind)));
+  return false;
+}
+
+static bool isTypeKeyword(TokKind K) {
+  return K == TokKind::KwInt || K == TokKind::KwFloat ||
+         K == TokKind::KwFloat2 || K == TokKind::KwFloat4;
+}
+
+static Type typeForKeyword(TokKind K) {
+  switch (K) {
+  case TokKind::KwInt:
+    return Type::intTy();
+  case TokKind::KwFloat:
+    return Type::floatTy();
+  case TokKind::KwFloat2:
+    return Type::float2Ty();
+  case TokKind::KwFloat4:
+    return Type::float4Ty();
+  default:
+    return Type::voidTy();
+  }
+}
+
+static bool lookupBuiltinId(const std::string &Name, BuiltinId &Id) {
+  static const std::pair<const char *, BuiltinId> Table[] = {
+      {"idx", BuiltinId::Idx},   {"idy", BuiltinId::Idy},
+      {"tidx", BuiltinId::Tidx}, {"tidy", BuiltinId::Tidy},
+      {"bidx", BuiltinId::Bidx}, {"bidy", BuiltinId::Bidy},
+      {"bdx", BuiltinId::BlockDimX}, {"bdy", BuiltinId::BlockDimY},
+      {"gdx", BuiltinId::GridDimX}, {"gdy", BuiltinId::GridDimY}};
+  for (const auto &[N, I] : Table) {
+    if (Name == N) {
+      Id = I;
+      return true;
+    }
+  }
+  return false;
+}
+
+KernelFunction *Parser::parseKernel(Module &M) {
+  Ctx = &M.context();
+  if (!expect(TokKind::KwGlobal, "at start of kernel") ||
+      !expect(TokKind::KwVoid, "after __global__"))
+    return nullptr;
+  if (!cur().is(TokKind::Identifier)) {
+    Diags.error(cur().Loc, "expected kernel name");
+    return nullptr;
+  }
+  std::string Name = cur().Text;
+  consume();
+  K = M.createKernel(Name, nullptr);
+  if (!expect(TokKind::LParen, "after kernel name") || !parseParams(K))
+    return nullptr;
+  if (!cur().is(TokKind::LBrace)) {
+    Diags.error(cur().Loc, "expected '{' to start kernel body");
+    return nullptr;
+  }
+  CompoundStmt *Body = parseCompound();
+  if (!Body || Diags.hasErrors())
+    return nullptr;
+  K->setBody(Body);
+  applyPragmas(K);
+
+  // Infer the output array if no pragma named one: any stored-to array.
+  if (K->outputName().empty()) {
+    forEachStmt(Body, [&](Stmt *S) {
+      auto *A = dyn_cast<AssignStmt>(S);
+      if (!A)
+        return;
+      auto *Ref = dyn_cast<ArrayRef>(A->lhs());
+      if (!Ref)
+        return;
+      if (ParamDecl *P = K->findParam(Ref->base()))
+        P->IsOutput = true;
+    });
+  }
+  if (K->outputName().empty()) {
+    Diags.error(SourceLocation(), "kernel stores to no array parameter");
+    return nullptr;
+  }
+
+  // Work domain: one work item per output element (unless #pragma domain).
+  if (K->workDomainX() == 1 && K->workDomainY() == 1) {
+    const ParamDecl *Out = K->findParam(K->outputName());
+    if (Out->Dims.size() >= 2) {
+      K->setWorkDomain(Out->Dims[1], Out->Dims[0]);
+    } else {
+      K->setWorkDomain(Out->Dims.empty() ? 1 : Out->Dims[0], 1);
+    }
+  }
+
+  // Default naive launch configuration: one half warp per block, the
+  // paper's conceptual naive mapping ("assume every block only has one
+  // thread" — the minimum the hardware needs is a half warp). The
+  // optimizer replaces this.
+  LaunchConfig &L = K->launch();
+  L.BlockDimX = static_cast<int>(std::min<long long>(16, K->workDomainX()));
+  L.BlockDimY = 1;
+  L.GridDimX = (K->workDomainX() + L.BlockDimX - 1) / L.BlockDimX;
+  L.GridDimY = (K->workDomainY() + L.BlockDimY - 1) / L.BlockDimY;
+  return Diags.hasErrors() ? nullptr : K;
+}
+
+bool Parser::parseParams(KernelFunction *Fn) {
+  if (consumeIf(TokKind::RParen))
+    return true;
+  while (true) {
+    if (!isTypeKeyword(cur().Kind)) {
+      Diags.error(cur().Loc, "expected parameter type");
+      return false;
+    }
+    Type Ty = typeForKeyword(cur().Kind);
+    consume();
+    if (!cur().is(TokKind::Identifier)) {
+      Diags.error(cur().Loc, "expected parameter name");
+      return false;
+    }
+    ParamDecl P;
+    P.Name = cur().Text;
+    P.ElemTy = Ty;
+    consume();
+    while (consumeIf(TokKind::LBracket)) {
+      P.IsArray = true;
+      if (!cur().is(TokKind::IntLiteral)) {
+        Diags.error(cur().Loc, "array dimensions must be integer literals");
+        return false;
+      }
+      P.Dims.push_back(cur().IntValue);
+      consume();
+      if (!expect(TokKind::RBracket, "after array dimension"))
+        return false;
+    }
+    if (P.IsArray)
+      ArrayElemTypes[P.Name] = P.ElemTy;
+    else
+      ScalarTypes[P.Name] = P.ElemTy;
+    Fn->params().push_back(std::move(P));
+    if (consumeIf(TokKind::RParen))
+      return true;
+    if (!expect(TokKind::Comma, "between parameters"))
+      return false;
+  }
+}
+
+CompoundStmt *Parser::parseCompound() {
+  expect(TokKind::LBrace, "to open block");
+  auto *C = Ctx->compound();
+  while (!cur().is(TokKind::RBrace) && !cur().is(TokKind::Eof)) {
+    Stmt *S = parseStmt();
+    if (!S)
+      return C; // error already reported
+    C->append(S);
+  }
+  expect(TokKind::RBrace, "to close block");
+  return C;
+}
+
+CompoundStmt *Parser::parseStmtAsCompound() {
+  if (cur().is(TokKind::LBrace))
+    return parseCompound();
+  Stmt *S = parseStmt();
+  auto *C = Ctx->compound();
+  if (S)
+    C->append(S);
+  return C;
+}
+
+Stmt *Parser::parseStmt() {
+  switch (cur().Kind) {
+  case TokKind::LBrace:
+    return parseCompound();
+  case TokKind::KwShared:
+  case TokKind::KwInt:
+  case TokKind::KwFloat:
+  case TokKind::KwFloat2:
+  case TokKind::KwFloat4:
+    return parseDecl();
+  case TokKind::KwFor:
+    return parseFor();
+  case TokKind::KwIf:
+    return parseIf();
+  case TokKind::KwSyncThreads: {
+    consume();
+    expect(TokKind::LParen, "after __syncthreads");
+    expect(TokKind::RParen, "after __syncthreads(");
+    expect(TokKind::Semi, "after __syncthreads()");
+    return Ctx->syncThreads();
+  }
+  case TokKind::KwGlobalSync: {
+    consume();
+    expect(TokKind::LParen, "after __globalSync");
+    expect(TokKind::RParen, "after __globalSync(");
+    expect(TokKind::Semi, "after __globalSync()");
+    return Ctx->globalSync();
+  }
+  default:
+    return parseAssignOrError();
+  }
+}
+
+Stmt *Parser::parseDecl() {
+  bool IsShared = consumeIf(TokKind::KwShared);
+  if (!isTypeKeyword(cur().Kind)) {
+    Diags.error(cur().Loc, "expected type in declaration");
+    return nullptr;
+  }
+  Type Ty = typeForKeyword(cur().Kind);
+  consume();
+  if (!cur().is(TokKind::Identifier)) {
+    Diags.error(cur().Loc, "expected variable name");
+    return nullptr;
+  }
+  std::string Name = cur().Text;
+  consume();
+  if (IsShared) {
+    std::vector<int> Dims;
+    while (consumeIf(TokKind::LBracket)) {
+      if (!cur().is(TokKind::IntLiteral)) {
+        Diags.error(cur().Loc, "shared array dimensions must be literals");
+        return nullptr;
+      }
+      Dims.push_back(static_cast<int>(cur().IntValue));
+      consume();
+      if (!expect(TokKind::RBracket, "after shared array dimension"))
+        return nullptr;
+    }
+    if (Dims.empty()) {
+      Diags.error(cur().Loc, "__shared__ variables must be arrays");
+      return nullptr;
+    }
+    expect(TokKind::Semi, "after shared declaration");
+    ArrayElemTypes[Name] = Ty;
+    return Ctx->declShared(Name, Ty, std::move(Dims));
+  }
+  Expr *Init = nullptr;
+  if (consumeIf(TokKind::Assign))
+    Init = parseExpr();
+  expect(TokKind::Semi, "after declaration");
+  ScalarTypes[Name] = Ty;
+  return Ctx->declScalar(Name, Ty, Init);
+}
+
+Stmt *Parser::parseFor() {
+  consume(); // for
+  if (!expect(TokKind::LParen, "after 'for'"))
+    return nullptr;
+  // Init: `int i = expr` (iterator must be freshly declared).
+  if (!consumeIf(TokKind::KwInt)) {
+    Diags.error(cur().Loc, "loop iterator must be declared 'int i = ...'");
+    return nullptr;
+  }
+  if (!cur().is(TokKind::Identifier)) {
+    Diags.error(cur().Loc, "expected loop iterator name");
+    return nullptr;
+  }
+  std::string Iter = cur().Text;
+  consume();
+  ScalarTypes[Iter] = Type::intTy();
+  if (!expect(TokKind::Assign, "in loop initializer"))
+    return nullptr;
+  Expr *Init = parseExpr();
+  if (!expect(TokKind::Semi, "after loop initializer"))
+    return nullptr;
+  // Condition: `i CMP bound`.
+  if (!cur().is(TokKind::Identifier) || cur().Text != Iter) {
+    Diags.error(cur().Loc, "loop condition must test the iterator");
+    return nullptr;
+  }
+  consume();
+  CmpKind Cmp;
+  switch (cur().Kind) {
+  case TokKind::Less:
+    Cmp = CmpKind::LT;
+    break;
+  case TokKind::LessEq:
+    Cmp = CmpKind::LE;
+    break;
+  case TokKind::Greater:
+    Cmp = CmpKind::GT;
+    break;
+  case TokKind::GreaterEq:
+    Cmp = CmpKind::GE;
+    break;
+  default:
+    Diags.error(cur().Loc, "expected comparison in loop condition");
+    return nullptr;
+  }
+  consume();
+  Expr *Bound = parseExpr();
+  if (!expect(TokKind::Semi, "after loop condition"))
+    return nullptr;
+  // Step: `i++` | `i += e` | `i = i + e` | `i = i / e`.
+  StepKind SK = StepKind::Add;
+  Expr *Step = nullptr;
+  if (cur().is(TokKind::Identifier) && cur().Text == Iter) {
+    consume();
+    if (consumeIf(TokKind::PlusPlus)) {
+      Step = Ctx->intLit(1);
+    } else if (consumeIf(TokKind::PlusAssign)) {
+      Step = parseExpr();
+    } else if (consumeIf(TokKind::Assign)) {
+      // i = (i + e) or i = (i / e), parens optional.
+      bool HadParen = consumeIf(TokKind::LParen);
+      if (!cur().is(TokKind::Identifier) || cur().Text != Iter) {
+        Diags.error(cur().Loc, "loop step must update the iterator");
+        return nullptr;
+      }
+      consume();
+      if (consumeIf(TokKind::Plus)) {
+        SK = StepKind::Add;
+      } else if (consumeIf(TokKind::Slash)) {
+        SK = StepKind::Div;
+      } else {
+        Diags.error(cur().Loc, "loop step must be i + e or i / e");
+        return nullptr;
+      }
+      Step = parseExpr();
+      if (HadParen)
+        expect(TokKind::RParen, "in loop step");
+    }
+  }
+  if (!Step) {
+    Diags.error(cur().Loc, "unsupported loop step");
+    return nullptr;
+  }
+  if (!expect(TokKind::RParen, "after loop header"))
+    return nullptr;
+  CompoundStmt *Body = parseStmtAsCompound();
+  return Ctx->create<ForStmt>(Iter, Init, Cmp, Bound, SK, Step, Body);
+}
+
+Stmt *Parser::parseIf() {
+  consume(); // if
+  if (!expect(TokKind::LParen, "after 'if'"))
+    return nullptr;
+  Expr *Cond = parseExpr();
+  if (!expect(TokKind::RParen, "after if condition"))
+    return nullptr;
+  CompoundStmt *Then = parseStmtAsCompound();
+  CompoundStmt *Else = nullptr;
+  if (consumeIf(TokKind::KwElse))
+    Else = parseStmtAsCompound();
+  return Ctx->ifStmt(Cond, Then, Else);
+}
+
+Stmt *Parser::parseAssignOrError() {
+  Expr *LHS = parsePostfix();
+  if (!LHS)
+    return nullptr;
+  AssignOp Op;
+  switch (cur().Kind) {
+  case TokKind::Assign:
+    Op = AssignOp::Assign;
+    break;
+  case TokKind::PlusAssign:
+    Op = AssignOp::AddAssign;
+    break;
+  case TokKind::MinusAssign:
+    Op = AssignOp::SubAssign;
+    break;
+  case TokKind::StarAssign:
+    Op = AssignOp::MulAssign;
+    break;
+  default:
+    Diags.error(cur().Loc, "expected assignment operator");
+    return nullptr;
+  }
+  consume();
+  Expr *RHS = parseExpr();
+  if (!RHS)
+    return nullptr;
+  expect(TokKind::Semi, "after assignment");
+  return Ctx->create<AssignStmt>(LHS, Op, RHS);
+}
+
+static int binPrec(TokKind K) {
+  switch (K) {
+  case TokKind::PipePipe:
+    return 1;
+  case TokKind::AmpAmp:
+    return 2;
+  case TokKind::EqEq:
+  case TokKind::NotEq:
+    return 3;
+  case TokKind::Less:
+  case TokKind::Greater:
+  case TokKind::LessEq:
+  case TokKind::GreaterEq:
+    return 4;
+  case TokKind::Plus:
+  case TokKind::Minus:
+    return 5;
+  case TokKind::Star:
+  case TokKind::Slash:
+  case TokKind::Percent:
+    return 6;
+  default:
+    return -1;
+  }
+}
+
+static BinOp binOpFor(TokKind K) {
+  switch (K) {
+  case TokKind::PipePipe:
+    return BinOp::LOr;
+  case TokKind::AmpAmp:
+    return BinOp::LAnd;
+  case TokKind::EqEq:
+    return BinOp::EQ;
+  case TokKind::NotEq:
+    return BinOp::NE;
+  case TokKind::Less:
+    return BinOp::LT;
+  case TokKind::Greater:
+    return BinOp::GT;
+  case TokKind::LessEq:
+    return BinOp::LE;
+  case TokKind::GreaterEq:
+    return BinOp::GE;
+  case TokKind::Plus:
+    return BinOp::Add;
+  case TokKind::Minus:
+    return BinOp::Sub;
+  case TokKind::Star:
+    return BinOp::Mul;
+  case TokKind::Slash:
+    return BinOp::Div;
+  default:
+    return BinOp::Rem;
+  }
+}
+
+Expr *Parser::parseExpr() { return parseBinaryRHS(1, parseUnary()); }
+
+Expr *Parser::parseBinaryRHS(int MinPrec, Expr *LHS) {
+  if (!LHS)
+    return nullptr;
+  while (true) {
+    int Prec = binPrec(cur().Kind);
+    if (Prec < MinPrec)
+      return LHS;
+    BinOp Op = binOpFor(cur().Kind);
+    consume();
+    Expr *RHS = parseUnary();
+    if (!RHS)
+      return nullptr;
+    int NextPrec = binPrec(cur().Kind);
+    if (NextPrec > Prec)
+      RHS = parseBinaryRHS(Prec + 1, RHS);
+    LHS = Ctx->bin(Op, LHS, RHS);
+  }
+}
+
+Expr *Parser::parseUnary() {
+  if (consumeIf(TokKind::Minus)) {
+    Expr *Sub = parseUnary();
+    return Sub ? Ctx->neg(Sub) : nullptr;
+  }
+  if (consumeIf(TokKind::Bang)) {
+    Expr *Sub = parseUnary();
+    return Sub ? Ctx->logicalNot(Sub) : nullptr;
+  }
+  return parsePostfix();
+}
+
+Type Parser::lookupVarType(const std::string &Name, bool &Known) const {
+  auto It = ScalarTypes.find(Name);
+  if (It != ScalarTypes.end()) {
+    Known = true;
+    return It->second;
+  }
+  Known = false;
+  return Type::floatTy();
+}
+
+Expr *Parser::parsePostfix() {
+  Expr *E = parsePrimary();
+  while (E) {
+    if (cur().is(TokKind::Dot)) {
+      consume();
+      if (!cur().is(TokKind::Identifier) || cur().Text.size() != 1) {
+        Diags.error(cur().Loc, "expected vector field after '.'");
+        return nullptr;
+      }
+      int Field;
+      switch (cur().Text[0]) {
+      case 'x':
+        Field = 0;
+        break;
+      case 'y':
+        Field = 1;
+        break;
+      case 'z':
+        Field = 2;
+        break;
+      case 'w':
+        Field = 3;
+        break;
+      default:
+        Diags.error(cur().Loc, "vector field must be x, y, z or w");
+        return nullptr;
+      }
+      consume();
+      E = Ctx->member(E, Field);
+      continue;
+    }
+    return E;
+  }
+  return nullptr;
+}
+
+Expr *Parser::parsePrimary() {
+  switch (cur().Kind) {
+  case TokKind::IntLiteral: {
+    long long V = cur().IntValue;
+    consume();
+    return Ctx->intLit(V);
+  }
+  case TokKind::FloatLiteral: {
+    double V = cur().FloatValue;
+    consume();
+    return Ctx->floatLit(V);
+  }
+  case TokKind::LParen: {
+    consume();
+    Expr *E = parseExpr();
+    expect(TokKind::RParen, "to close parenthesized expression");
+    return E;
+  }
+  case TokKind::Identifier: {
+    std::string Name = cur().Text;
+    SourceLocation Loc = cur().Loc;
+    consume();
+    BuiltinId Id;
+    if (lookupBuiltinId(Name, Id))
+      return Ctx->builtin(Id);
+    if (cur().is(TokKind::LParen)) {
+      // Math builtin call.
+      consume();
+      std::vector<Expr *> Args;
+      if (!cur().is(TokKind::RParen)) {
+        while (true) {
+          Expr *A = parseExpr();
+          if (!A)
+            return nullptr;
+          Args.push_back(A);
+          if (!consumeIf(TokKind::Comma))
+            break;
+        }
+      }
+      expect(TokKind::RParen, "to close call");
+      return Ctx->call(Name, std::move(Args), Type::floatTy());
+    }
+    if (cur().is(TokKind::LBracket)) {
+      auto It = ArrayElemTypes.find(Name);
+      if (It == ArrayElemTypes.end()) {
+        Diags.error(Loc, strFormat("unknown array '%s'", Name.c_str()));
+        return nullptr;
+      }
+      std::vector<Expr *> Indices;
+      while (consumeIf(TokKind::LBracket)) {
+        Expr *I = parseExpr();
+        if (!I)
+          return nullptr;
+        Indices.push_back(I);
+        if (!expect(TokKind::RBracket, "to close subscript"))
+          return nullptr;
+      }
+      return Ctx->arrayRef(Name, std::move(Indices), It->second);
+    }
+    bool Known;
+    Type Ty = lookupVarType(Name, Known);
+    if (!Known) {
+      Diags.error(Loc, strFormat("unknown identifier '%s'", Name.c_str()));
+      return nullptr;
+    }
+    return Ctx->varRef(Name, Ty);
+  }
+  default:
+    Diags.error(cur().Loc, strFormat("unexpected token '%s' in expression",
+                                     tokKindName(cur().Kind)));
+    return nullptr;
+  }
+}
+
+void Parser::applyPragmas(KernelFunction *Fn) {
+  for (const std::string &P : Pragmas) {
+    if (startsWith(P, "output(")) {
+      std::string Name = trimString(P.substr(7, P.find(')') - 7));
+      if (ParamDecl *Param = Fn->findParam(Name))
+        Param->IsOutput = true;
+      else
+        Diags.warning(SourceLocation(),
+                      strFormat("pragma output names unknown parameter '%s'",
+                                Name.c_str()));
+    } else if (startsWith(P, "bind(")) {
+      std::string Body = P.substr(5, P.find(')') - 5);
+      for (const std::string &Piece : splitString(Body, ',')) {
+        auto Eq = Piece.find('=');
+        if (Eq == std::string::npos)
+          continue;
+        std::string Name = trimString(Piece.substr(0, Eq));
+        long long V = std::strtoll(Piece.substr(Eq + 1).c_str(), nullptr, 10);
+        Fn->bindScalar(Name, V);
+      }
+    } else if (startsWith(P, "domain(")) {
+      std::string Body = P.substr(7, P.find(')') - 7);
+      std::vector<std::string> Parts = splitString(Body, ',');
+      if (Parts.size() == 2) {
+        Fn->setWorkDomain(std::strtoll(Parts[0].c_str(), nullptr, 10),
+                          std::strtoll(Parts[1].c_str(), nullptr, 10));
+      }
+    } else {
+      Diags.warning(SourceLocation(),
+                    strFormat("unknown gpuc pragma '%s'", P.c_str()));
+    }
+  }
+}

@@ -1,0 +1,86 @@
+//===-- parser/Parser.h - Naive-kernel parser -------------------*- C++ -*-===//
+//
+// Part of the gpuc project: a reproduction of "A GPGPU Compiler for Memory
+// Optimization and Parallelism Management" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the naive-kernel dialect:
+///
+///   #pragma gpuc output(c)          // declare the output array
+///   #pragma gpuc bind(w=1024)       // compile-time scalar binding
+///   #pragma gpuc domain(1024,1024)  // work-domain override (optional)
+///   __global__ void mm(float a[1024][1024], float b[1024][1024],
+///                      float c[1024][1024], int w) {
+///     float sum = 0;
+///     for (int i = 0; i < w; i++)
+///       sum += a[idy][i] * b[i][idx];
+///     c[idy][idx] = sum;
+///   }
+///
+/// idx/idy/tidx/tidy/bidx/bidy are predefined. On success the kernel gets
+/// a default naive launch configuration ((16,16) blocks for 2-D domains,
+/// (256,1) for 1-D) that the optimizer later replaces.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUC_PARSER_PARSER_H
+#define GPUC_PARSER_PARSER_H
+
+#include "ast/Kernel.h"
+#include "parser/Lexer.h"
+
+#include <map>
+
+namespace gpuc {
+
+class Parser {
+public:
+  Parser(std::string Source, DiagnosticsEngine &Diags);
+
+  /// Parses one kernel into \p M. \returns null on error (see Diags).
+  KernelFunction *parseKernel(Module &M);
+
+private:
+  // Token helpers.
+  const Token &cur() const { return Tokens[Index]; }
+  const Token &peekTok(int Ahead = 1) const;
+  void consume() { ++Index; }
+  bool consumeIf(TokKind K);
+  bool expect(TokKind K, const char *Context);
+
+  // Grammar productions.
+  bool parseParams(KernelFunction *K);
+  CompoundStmt *parseCompound();
+  Stmt *parseStmt();
+  Stmt *parseDecl();
+  Stmt *parseFor();
+  Stmt *parseIf();
+  Stmt *parseAssignOrError();
+  CompoundStmt *parseStmtAsCompound();
+
+  Expr *parseExpr();
+  Expr *parseBinaryRHS(int MinPrec, Expr *LHS);
+  Expr *parseUnary();
+  Expr *parsePostfix();
+  Expr *parsePrimary();
+
+  void applyPragmas(KernelFunction *K);
+  Type lookupVarType(const std::string &Name, bool &Known) const;
+
+  ASTContext *Ctx = nullptr;
+  KernelFunction *K = nullptr;
+  DiagnosticsEngine &Diags;
+  std::vector<Token> Tokens;
+  std::vector<std::string> Pragmas;
+  size_t Index = 0;
+  /// Scalar-variable types (params + locals + loop iterators).
+  std::map<std::string, Type> ScalarTypes;
+  /// Element types of arrays (params + shared).
+  std::map<std::string, Type> ArrayElemTypes;
+};
+
+} // namespace gpuc
+
+#endif // GPUC_PARSER_PARSER_H

@@ -1,0 +1,88 @@
+//===-- parser/Token.h - Token definitions ----------------------*- C++ -*-===//
+//
+// Part of the gpuc project: a reproduction of "A GPGPU Compiler for Memory
+// Optimization and Parallelism Management" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokens of the naive-kernel dialect.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUC_PARSER_TOKEN_H
+#define GPUC_PARSER_TOKEN_H
+
+#include "support/SourceLocation.h"
+
+#include <string>
+
+namespace gpuc {
+
+enum class TokKind {
+  Eof,
+  Identifier,
+  IntLiteral,
+  FloatLiteral,
+  // Keywords.
+  KwGlobal,   // __global__
+  KwShared,   // __shared__
+  KwVoid,
+  KwInt,
+  KwFloat,
+  KwFloat2,
+  KwFloat4,
+  KwFor,
+  KwIf,
+  KwElse,
+  KwSyncThreads, // __syncthreads
+  KwGlobalSync,  // __globalSync
+  // Punctuation.
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  LBrace,
+  RBrace,
+  Comma,
+  Semi,
+  Dot,
+  Assign,
+  PlusAssign,
+  MinusAssign,
+  StarAssign,
+  PlusPlus,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Less,
+  Greater,
+  LessEq,
+  GreaterEq,
+  EqEq,
+  NotEq,
+  AmpAmp,
+  PipePipe,
+  Bang,
+  Unknown
+};
+
+/// One lexed token. Text is the raw spelling (identifiers and literals).
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  std::string Text;
+  long long IntValue = 0;
+  double FloatValue = 0;
+  SourceLocation Loc;
+
+  bool is(TokKind K) const { return Kind == K; }
+};
+
+/// Human-readable name of a token kind, for diagnostics.
+const char *tokKindName(TokKind K);
+
+} // namespace gpuc
+
+#endif // GPUC_PARSER_TOKEN_H

@@ -1,0 +1,63 @@
+//===-- sim/DeviceSpec.cpp - GPU hardware descriptions --------------------===//
+
+#include "sim/DeviceSpec.h"
+
+using namespace gpuc;
+
+DeviceSpec DeviceSpec::gtx8800() {
+  DeviceSpec D;
+  D.Name = "GTX8800";
+  D.NumSMs = 16;
+  D.SPsPerSM = 8;
+  D.CoreClockGHz = 1.35;
+  D.RegFileBytesPerSM = 32 * 1024;
+  D.SharedBytesPerSM = 16 * 1024;
+  D.MaxThreadsPerSM = 768;
+  D.MaxBlocksPerSM = 8;
+  D.NumPartitions = 6;
+  D.BWFloatGBs = 70.0;
+  D.BWFloat2GBs = 72.0;
+  D.BWFloat4GBs = 56.0;
+  return D;
+}
+
+DeviceSpec DeviceSpec::gtx280() {
+  DeviceSpec D;
+  D.Name = "GTX280";
+  D.NumSMs = 30;
+  D.SPsPerSM = 8;
+  D.CoreClockGHz = 1.296;
+  D.RegFileBytesPerSM = 64 * 1024;
+  D.SharedBytesPerSM = 16 * 1024;
+  D.MaxThreadsPerSM = 1024;
+  D.MaxBlocksPerSM = 8;
+  D.NumPartitions = 8;
+  D.RelaxedCoalescing = true;
+  // Sustained bandwidths quoted in Section 2 for GTX 280:
+  // 98 / 101 / 79 GB/s for float / float2 / float4.
+  D.BWFloatGBs = 98.0;
+  D.BWFloat2GBs = 101.0;
+  D.BWFloat4GBs = 79.0;
+  return D;
+}
+
+DeviceSpec DeviceSpec::hd5870() {
+  DeviceSpec D;
+  D.Name = "HD5870";
+  D.NumSMs = 20;  // SIMD engines
+  D.SPsPerSM = 16; // 16-wide wavefront issue (x5 VLIW folded into IPC)
+  D.CoreClockGHz = 0.85;
+  D.RegFileBytesPerSM = 256 * 1024;
+  D.SharedBytesPerSM = 32 * 1024;
+  D.MaxThreadsPerSM = 1024;
+  D.MaxBlocksPerSM = 8;
+  D.NumPartitions = 8;
+  D.RelaxedCoalescing = true;
+  D.PreferWideVectors = true;
+  // Sustained bandwidths quoted in Section 2 for the HD 5870:
+  // 71 / 98 / 101 GB/s for float / float2 / float4.
+  D.BWFloatGBs = 71.0;
+  D.BWFloat2GBs = 98.0;
+  D.BWFloat4GBs = 101.0;
+  return D;
+}

@@ -1,0 +1,160 @@
+//===-- sim/Interpreter.h - SPMD kernel interpreter -------------*- C++ -*-===//
+//
+// Part of the gpuc project: a reproduction of "A GPGPU Compiler for Memory
+// Optimization and Parallelism Management" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes kernels in SPMD-vector style: each statement runs for every
+/// active thread of the interpreted group before the next statement starts,
+/// which makes __syncthreads()/__globalSync() natural and lets the memory
+/// model see whole half-warps per access site.
+///
+/// Two grouping modes:
+///  * block mode — one thread block at a time (memory-frugal; used for
+///    functional runs of sync-free kernels and for sampled performance
+///    runs);
+///  * grid mode — the entire grid as one group (required for functional
+///    correctness of kernels that use __globalSync()).
+///
+/// In performance mode, uniform loops longer than a threshold execute only
+/// their first few iterations and the statistics delta is extrapolated
+/// (addresses in the paper's kernels are data-independent, so the access
+/// pattern of the remaining iterations is exactly periodic — the same
+/// observation Section 3.2 makes about checking only 16 iterations).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUC_SIM_INTERPRETER_H
+#define GPUC_SIM_INTERPRETER_H
+
+#include "ast/Kernel.h"
+#include "sim/DeviceSpec.h"
+#include "sim/Memory.h"
+#include "sim/MemoryModel.h"
+#include "sim/Stats.h"
+#include "support/Diagnostics.h"
+
+#include <cstdint>
+#include <map>
+
+namespace gpuc {
+
+/// Options controlling one interpretation run.
+struct InterpOptions {
+  /// Collect SimStats / feed the memory model.
+  bool CollectStats = false;
+  SimStats *Stats = nullptr;
+  MemoryModel *MM = nullptr;
+  /// When > 0, uniform loops with more iterations than this are sampled.
+  int LoopSampleThreshold = 0;
+  /// Number of iterations actually executed for a sampled loop.
+  int LoopSampleCount = 4;
+};
+
+/// Interprets one kernel against one buffer set.
+class Interpreter {
+public:
+  Interpreter(const DeviceSpec &Device, const KernelFunction &K,
+              BufferSet &Buffers, DiagnosticsEngine &Diags);
+
+  /// Resolves names, assigns device addresses and shared offsets.
+  /// \returns false on binding errors (missing buffers, size mismatches).
+  bool prepare();
+
+  /// Runs blocks [Begin, End) one at a time.
+  void runBlocks(long long Begin, long long End, const InterpOptions &Opt);
+
+  /// Runs the whole grid as a single SPMD group (__globalSync capable).
+  void runGrid(const InterpOptions &Opt);
+
+  bool ok() const { return !Failed; }
+
+private:
+  struct Value {
+    float F0 = 0, F1 = 0, F2 = 0, F3 = 0;
+    int I = 0;
+  };
+
+  struct GlobalArray {
+    std::vector<float> *Data = nullptr;
+    long long BaseAddr = 0;
+    std::vector<long long> Strides; // element-unit strides per dimension
+    long long ElemCount = 0;
+    int ElemLanes = 1; // floats per element
+  };
+
+  struct SharedArray {
+    long long ByteOffset = 0;
+    std::vector<long long> Strides;
+    long long ElemCount = 0;
+    int ElemLanes = 1;
+  };
+
+  // Resolution.
+  void resolveStmt(Stmt *S);
+  void resolveExprTree(Expr *E);
+  int slotFor(const std::string &Name);
+
+  // Execution over the current group.
+  void setupGroup(long long NumThreads);
+  void bindBlock(long long BlockId, long long ThreadBase);
+  void execStmt(Stmt *S, const std::vector<uint8_t> &Mask);
+  void execAssign(AssignStmt *A, const std::vector<uint8_t> &Mask);
+  void execFor(ForStmt *F, const std::vector<uint8_t> &Mask);
+  bool uniformLoopTrip(ForStmt *F, const std::vector<uint8_t> &Mask,
+                       long long &Trip);
+
+  Value evalExpr(const Expr *E, long long T);
+  float evalFloat(const Expr *E, long long T);
+  int evalInt(const Expr *E, long long T);
+  Value loadArray(const ArrayRef *A, long long T, bool CountStats);
+  void storeArray(const ArrayRef *A, long long T, const Value &V);
+  /// Computes the flat element index; false if out of bounds.
+  bool flattenIndex(const ArrayRef *A, long long T, long long &FlatOut);
+
+  Value &slot(int Slot, long long T) {
+    return Frame[static_cast<size_t>(Slot) * GroupThreads +
+                 static_cast<size_t>(T)];
+  }
+
+  void reportOnce(const std::string &Message);
+
+  const DeviceSpec &Dev;
+  const KernelFunction &K;
+  BufferSet &Buffers;
+  DiagnosticsEngine &Diags;
+
+  // Resolved state.
+  std::map<std::string, int> SlotByName;
+  int NumSlots = 0;
+  std::vector<GlobalArray> Globals;
+  std::vector<SharedArray> Shareds;
+  std::vector<long long> ScalarArgs;
+  long long SharedBytesPerBlock = 0;
+  bool HasGlobalSync = false;
+  bool Prepared = false;
+  bool Failed = false;
+  bool ReportedRuntimeError = false;
+
+  // Group state.
+  long long GroupThreads = 0;
+  long long BlocksInGroup = 1;
+  std::vector<Value> Frame;
+  std::vector<float> SharedData;
+  // Per-thread ids.
+  std::vector<int> TidX, TidY;
+  std::vector<long long> IdX, IdY, BidX, BidY;
+  std::vector<uint8_t> FullMask;
+
+  // Scratch for two-phase assignment.
+  std::vector<Value> RhsScratch;
+
+  // Current run options.
+  const InterpOptions *Opt = nullptr;
+};
+
+} // namespace gpuc
+
+#endif // GPUC_SIM_INTERPRETER_H

@@ -1,0 +1,185 @@
+//===-- sim/MemoryModel.cpp - Coalescing/partition/bank model -------------===//
+
+#include "sim/MemoryModel.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace gpuc;
+
+void MemoryModel::beginStatement() {
+  PendingGlobal.clear();
+  PendingShared.clear();
+}
+
+void MemoryModel::recordGlobal(const void *Site, long long Tid,
+                               long long Addr, int ElemBytes, bool IsStore) {
+  Bucket &B = PendingGlobal[Site];
+  B.ElemBytes = ElemBytes;
+  B.IsStore = IsStore;
+  B.Accesses.push_back({Tid, Addr});
+}
+
+void MemoryModel::recordShared(const void *Site, long long Tid,
+                               long long Offset, int ElemBytes) {
+  Bucket &B = PendingShared[Site];
+  B.ElemBytes = ElemBytes;
+  B.Accesses.push_back({Tid, Offset});
+}
+
+void MemoryModel::addPartitionBytes(SimStats &Stats, long long Addr,
+                                    double Bytes) {
+  if (Stats.PartitionBytes.size() !=
+      static_cast<size_t>(Dev.NumPartitions))
+    Stats.PartitionBytes.assign(Dev.NumPartitions, 0.0);
+  int Part = static_cast<int>((Addr / Dev.PartitionBytes) % Dev.NumPartitions);
+  Stats.PartitionBytes[static_cast<size_t>(Part)] += Bytes;
+}
+
+void MemoryModel::foldGlobalHalfWarp(const void *Site, const Bucket &B,
+                                     const Access *Lanes, int Count,
+                                     SimStats &Stats) {
+  assert(Count > 0 && Count <= Dev.HalfWarp && "bad half-warp group");
+  SimStats Before = TrackSites ? Stats : SimStats();
+  const int ElemBytes = B.ElemBytes;
+  const long long SegBytes = static_cast<long long>(Dev.HalfWarp) * ElemBytes;
+
+  if (B.IsStore)
+    Stats.GlobalStoreHalfWarps += 1;
+  else
+    Stats.GlobalLoadHalfWarps += 1;
+  Stats.UsefulBytes += static_cast<double>(Count) * ElemBytes;
+
+  // Coalescing rule (Section 2a / 3.2): lane k must access word k of a
+  // SegBytes-aligned segment.
+  long long SegBase = Lanes[0].Addr - (Lanes[0].Tid % Dev.HalfWarp) * ElemBytes;
+  bool Coalesced = SegBase % SegBytes == 0;
+  if (Coalesced) {
+    for (int I = 0; I < Count; ++I) {
+      if (Lanes[I].Addr !=
+          SegBase + (Lanes[I].Tid % Dev.HalfWarp) * ElemBytes) {
+        Coalesced = false;
+        break;
+      }
+    }
+  }
+
+  double *MovedClass = ElemBytes >= 16  ? &Stats.BytesMovedFloat4
+                       : ElemBytes >= 8 ? &Stats.BytesMovedFloat2
+                                        : &Stats.BytesMovedFloat;
+  auto Attribute = [&] {
+    if (!TrackSites)
+      return;
+    SiteTraffic &T = Sites[Site];
+    T.Site = Site;
+    T.IsStore = B.IsStore;
+    T.HalfWarps += 1;
+    T.CoalescedHalfWarps += Stats.CoalescedHalfWarps - Before.CoalescedHalfWarps;
+    T.Transactions += Stats.Transactions - Before.Transactions;
+    T.BytesMoved += Stats.bytesMovedTotal() - Before.bytesMovedTotal();
+  };
+  if (Coalesced) {
+    Stats.CoalescedHalfWarps += 1;
+    // float -> one 64B transaction; float2 -> one 128B; float4 -> two 128B.
+    Stats.Transactions += ElemBytes >= 16 ? 2 : 1;
+    *MovedClass += static_cast<double>(SegBytes);
+    addPartitionBytes(Stats, SegBase, static_cast<double>(SegBytes));
+    Attribute();
+    return;
+  }
+
+  Stats.UncoalescedHalfWarps += 1;
+  const int TxBytes = std::max(Dev.MinTransactionBytes, ElemBytes);
+  if (!Dev.RelaxedCoalescing) {
+    // G80: one separate transaction per lane.
+    for (int I = 0; I < Count; ++I) {
+      Stats.Transactions += 1;
+      *MovedClass += TxBytes;
+      addPartitionBytes(Stats, Lanes[I].Addr, TxBytes);
+    }
+    Attribute();
+    return;
+  }
+  // GT200: minimal set of aligned 32-byte segments covering the lanes.
+  std::vector<long long> SegIds;
+  SegIds.reserve(static_cast<size_t>(Count) * 2);
+  for (int I = 0; I < Count; ++I) {
+    long long First = Lanes[I].Addr / TxBytes;
+    long long Last = (Lanes[I].Addr + ElemBytes - 1) / TxBytes;
+    for (long long S = First; S <= Last; ++S)
+      SegIds.push_back(S);
+  }
+  std::sort(SegIds.begin(), SegIds.end());
+  SegIds.erase(std::unique(SegIds.begin(), SegIds.end()), SegIds.end());
+  for (long long S : SegIds) {
+    Stats.Transactions += 1;
+    *MovedClass += TxBytes;
+    addPartitionBytes(Stats, S * TxBytes, TxBytes);
+  }
+  Attribute();
+}
+
+void MemoryModel::foldSharedHalfWarp(const Bucket &B, const Access *Lanes,
+                                     int Count, SimStats &Stats) {
+  Stats.SharedAccessHalfWarps += 1;
+  // Bank = word index modulo 16. A multi-word element occupies
+  // ElemBytes/4 consecutive banks (float2 shared accesses serialize).
+  const int WordsPerElem = std::max(1, B.ElemBytes / 4);
+  int BankCount[32] = {0};
+  bool AllSameWord = true;
+  long long FirstWord = Lanes[0].Addr / 4;
+  for (int I = 0; I < Count; ++I) {
+    long long Word = Lanes[I].Addr / 4;
+    if (Word != FirstWord)
+      AllSameWord = false;
+    for (int W = 0; W < WordsPerElem; ++W)
+      ++BankCount[(Word + W) % Dev.SharedBanks];
+  }
+  if (AllSameWord && WordsPerElem == 1)
+    return; // broadcast
+  int MaxPerBank = 0;
+  for (int I = 0; I < Dev.SharedBanks; ++I)
+    MaxPerBank = std::max(MaxPerBank, BankCount[I]);
+  Stats.SharedBankExtraCycles += std::max(0, MaxPerBank - 1);
+}
+
+void MemoryModel::endStatement(SimStats &Stats) {
+  auto FoldBuckets = [&](std::map<const void *, Bucket> &Pending,
+                         bool IsShared) {
+    for (auto &[Site, B] : Pending) {
+      std::sort(B.Accesses.begin(), B.Accesses.end(),
+                [](const Access &A1, const Access &A2) {
+                  return A1.Tid < A2.Tid;
+                });
+      size_t I = 0;
+      while (I < B.Accesses.size()) {
+        long long HalfWarpId = B.Accesses[I].Tid / Dev.HalfWarp;
+        size_t J = I;
+        while (J < B.Accesses.size() &&
+               B.Accesses[J].Tid / Dev.HalfWarp == HalfWarpId)
+          ++J;
+        int Count = static_cast<int>(J - I);
+        if (IsShared)
+          foldSharedHalfWarp(B, &B.Accesses[I], Count, Stats);
+        else
+          foldGlobalHalfWarp(Site, B, &B.Accesses[I], Count, Stats);
+        I = J;
+      }
+    }
+    Pending.clear();
+  };
+  FoldBuckets(PendingGlobal, /*IsShared=*/false);
+  FoldBuckets(PendingShared, /*IsShared=*/true);
+}
+
+double MemoryModel::campingFactor(const std::vector<double> &PartitionBytes) {
+  double Total = 0, Max = 0;
+  for (double B : PartitionBytes) {
+    Total += B;
+    Max = std::max(Max, B);
+  }
+  if (Total <= 0 || PartitionBytes.empty())
+    return 1.0;
+  double Factor = Max * static_cast<double>(PartitionBytes.size()) / Total;
+  return std::max(1.0, Factor);
+}

@@ -1,0 +1,105 @@
+//===-- sim/MemoryModel.h - Coalescing/partition/bank model -----*- C++ -*-===//
+//
+// Part of the gpuc project: a reproduction of "A GPGPU Compiler for Memory
+// Optimization and Parallelism Management" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Groups the per-thread global/shared accesses of one executed statement
+/// into half-warps and applies the hardware rules of Section 2:
+///
+///  * a half-warp access is coalesced into one contiguous, aligned segment
+///    (16 * element size bytes) iff thread k reads word k of the segment;
+///    otherwise each thread issues a separate (min 32-byte) transaction;
+///  * each transaction lands in memory partition
+///    (address / partition width) % number of partitions;
+///  * shared-memory accesses serialize per bank ((word index) % 16) with a
+///    broadcast exception when all lanes read the same word.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUC_SIM_MEMORYMODEL_H
+#define GPUC_SIM_MEMORYMODEL_H
+
+#include "sim/DeviceSpec.h"
+#include "sim/Stats.h"
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace gpuc {
+
+/// Traffic attributed to one access expression (for performance reports:
+/// which access moves the bytes).
+struct SiteTraffic {
+  const void *Site = nullptr;
+  bool IsStore = false;
+  double HalfWarps = 0;
+  double CoalescedHalfWarps = 0;
+  double Transactions = 0;
+  double BytesMoved = 0;
+};
+
+/// Collects one statement's worth of memory accesses, then folds them into
+/// SimStats at endStatement().
+class MemoryModel {
+public:
+  explicit MemoryModel(const DeviceSpec &Device) : Dev(Device) {}
+
+  /// Additionally attribute traffic to individual access sites.
+  void enableSiteTracking() { TrackSites = true; }
+  const std::map<const void *, SiteTraffic> &siteTraffic() const {
+    return Sites;
+  }
+
+  void beginStatement();
+
+  /// Records one thread's access to global memory at device address
+  /// \p Addr. \p Site identifies the access expression (accesses from
+  /// different expressions never coalesce with each other). \p Tid is the
+  /// thread's linear id within its block.
+  void recordGlobal(const void *Site, long long Tid, long long Addr,
+                    int ElemBytes, bool IsStore);
+
+  /// Records one thread's access to shared memory at byte offset
+  /// \p Offset within the block's shared region.
+  void recordShared(const void *Site, long long Tid, long long Offset,
+                    int ElemBytes);
+
+  /// Classifies all pending accesses and accumulates into \p Stats.
+  void endStatement(SimStats &Stats);
+
+  /// Partition-camping factor of an accumulated histogram: how much slower
+  /// the memory system runs versus perfectly balanced traffic
+  /// (max-partition bytes * #partitions / total bytes, >= 1).
+  static double campingFactor(const std::vector<double> &PartitionBytes);
+
+private:
+  struct Access {
+    long long Tid;
+    long long Addr; // byte address (global) or byte offset (shared)
+  };
+  struct Bucket {
+    std::vector<Access> Accesses;
+    int ElemBytes = 4;
+    bool IsStore = false;
+  };
+
+  void foldGlobalHalfWarp(const void *Site, const Bucket &B,
+                          const Access *Lanes, int Count, SimStats &Stats);
+  void foldSharedHalfWarp(const Bucket &B, const Access *Lanes, int Count,
+                          SimStats &Stats);
+  void addPartitionBytes(SimStats &Stats, long long Addr, double Bytes);
+
+  const DeviceSpec &Dev;
+  std::map<const void *, Bucket> PendingGlobal;
+  std::map<const void *, Bucket> PendingShared;
+  bool TrackSites = false;
+  std::map<const void *, SiteTraffic> Sites;
+};
+
+} // namespace gpuc
+
+#endif // GPUC_SIM_MEMORYMODEL_H

@@ -1,0 +1,135 @@
+//===-- sim/Occupancy.cpp - SM occupancy calculation ----------------------===//
+
+#include "sim/Occupancy.h"
+
+#include "ast/Walk.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace gpuc;
+
+namespace {
+
+int regsOfStmt(const Stmt *S);
+
+/// Register demand of a block, modeled as the maximum number of
+/// simultaneously live locals: a declaration's live range runs from its
+/// statement to the last statement in the block that mentions it (long-
+/// lived accumulators therefore count everywhere they are reused, while
+/// straight-line temporaries overlap only briefly, like after register
+/// allocation). Nested regions add their own demand at their position;
+/// if/else arms take the max.
+int regsOfCompound(const CompoundStmt *C) {
+  const auto &Body = C->body();
+  const size_t N = Body.size();
+  if (N == 0)
+    return 0;
+  // Live interval per declaration.
+  std::vector<std::pair<size_t, size_t>> Intervals;
+  std::vector<int> Width;
+  for (size_t I = 0; I < N; ++I) {
+    const auto *D = dyn_cast<DeclStmt>(Body[I]);
+    if (!D || D->isShared())
+      continue;
+    size_t Last = I;
+    for (size_t J = I + 1; J < N; ++J)
+      if (containsVar(Body[J], D->name()))
+        Last = J;
+    Intervals.emplace_back(I, Last);
+    Type Ty = D->declType();
+    Width.push_back(Ty.isFloatVector() ? Ty.vectorWidth() : 1);
+  }
+  int MaxDemand = 0;
+  for (size_t P = 0; P < N; ++P) {
+    int Demand = regsOfStmt(Body[P]); // nested region demand
+    for (size_t K = 0; K < Intervals.size(); ++K)
+      if (Intervals[K].first <= P && P <= Intervals[K].second)
+        Demand += Width[K];
+    MaxDemand = std::max(MaxDemand, Demand);
+  }
+  return MaxDemand;
+}
+
+/// Demand contributed by a nested statement at its position.
+int regsOfStmt(const Stmt *S) {
+  switch (S->kind()) {
+  case StmtKind::Compound:
+    return regsOfCompound(cast<CompoundStmt>(S));
+  case StmtKind::If: {
+    const auto *If = cast<IfStmt>(S);
+    int ThenRegs = regsOfCompound(If->thenBody());
+    int ElseRegs = If->elseBody() ? regsOfCompound(If->elseBody()) : 0;
+    return std::max(ThenRegs, ElseRegs);
+  }
+  case StmtKind::For:
+    return 1 + regsOfCompound(cast<ForStmt>(S)->body());
+  case StmtKind::Decl:
+  case StmtKind::Assign:
+  case StmtKind::Sync:
+    return 0;
+  }
+  return 0;
+}
+
+} // namespace
+
+int gpuc::estimateRegistersPerThread(const KernelFunction &K) {
+  // Maximum simultaneously-live locals plus a fixed allowance for address
+  // computation and the idx/idy preamble, mirroring nvcc's allocation.
+  const int AddressingAllowance = 6;
+  return regsOfCompound(K.body()) + AddressingAllowance;
+}
+
+Occupancy gpuc::computeOccupancy(const DeviceSpec &Device,
+                                 const KernelFunction &K) {
+  Occupancy O;
+  O.RegsPerThread = estimateRegistersPerThread(K);
+  O.SharedBytesPerBlock = K.sharedBytes();
+  long long ThreadsPerBlock = K.launch().threadsPerBlock();
+
+  if (ThreadsPerBlock > Device.MaxThreadsPerBlock ||
+      O.SharedBytesPerBlock > Device.SharedBytesPerSM ||
+      O.RegsPerThread * ThreadsPerBlock > Device.regFileRegsPerSM()) {
+    O.Infeasible = true;
+    O.BlocksPerSM = 0;
+    O.ActiveThreadsPerSM = 0;
+    O.LimitedBy = "infeasible";
+    return O;
+  }
+
+  int ByBlocks = Device.MaxBlocksPerSM;
+  int ByThreads =
+      static_cast<int>(Device.MaxThreadsPerSM / std::max<long long>(1,
+          ThreadsPerBlock));
+  int ByShared =
+      O.SharedBytesPerBlock == 0
+          ? Device.MaxBlocksPerSM
+          : static_cast<int>(Device.SharedBytesPerSM / O.SharedBytesPerBlock);
+  long long RegsPerBlock = O.RegsPerThread * ThreadsPerBlock;
+  int ByRegs = RegsPerBlock == 0
+                   ? Device.MaxBlocksPerSM
+                   : static_cast<int>(Device.regFileRegsPerSM() / RegsPerBlock);
+
+  O.BlocksPerSM = std::min(std::min(ByBlocks, ByThreads),
+                           std::min(ByShared, ByRegs));
+  if (O.BlocksPerSM == ByBlocks)
+    O.LimitedBy = "blocks";
+  if (O.BlocksPerSM == ByThreads)
+    O.LimitedBy = "threads";
+  if (O.BlocksPerSM == ByShared)
+    O.LimitedBy = "shared";
+  if (O.BlocksPerSM == ByRegs)
+    O.LimitedBy = "registers";
+
+  // Never more resident blocks than the grid provides per SM.
+  long long GridBlocks = K.launch().numBlocks();
+  long long PerSM = (GridBlocks + Device.NumSMs - 1) / Device.NumSMs;
+  if (PerSM < O.BlocksPerSM) {
+    O.BlocksPerSM = static_cast<int>(std::max<long long>(1, PerSM));
+    O.LimitedBy = "grid";
+  }
+
+  O.ActiveThreadsPerSM = static_cast<int>(O.BlocksPerSM * ThreadsPerBlock);
+  return O;
+}

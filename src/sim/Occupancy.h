@@ -1,0 +1,47 @@
+//===-- sim/Occupancy.h - SM occupancy calculation --------------*- C++ -*-===//
+//
+// Part of the gpuc project: a reproduction of "A GPGPU Compiler for Memory
+// Optimization and Parallelism Management" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Computes how many thread blocks fit on one SM given the kernel's shared
+/// memory and register consumption — the "balanced resource usage"
+/// constraint of Section 2(c) that the design-space exploration of
+/// Section 4 trades off against memory reuse.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUC_SIM_OCCUPANCY_H
+#define GPUC_SIM_OCCUPANCY_H
+
+#include "ast/Kernel.h"
+#include "sim/DeviceSpec.h"
+
+namespace gpuc {
+
+/// Resource usage and resulting residency of one kernel on one SM.
+struct Occupancy {
+  int RegsPerThread = 0;
+  long long SharedBytesPerBlock = 0;
+  int BlocksPerSM = 0;
+  int ActiveThreadsPerSM = 0;
+  /// Which resource capped BlocksPerSM ("blocks", "threads", "shared",
+  /// "registers", or "grid").
+  const char *LimitedBy = "blocks";
+  /// True if the kernel cannot run at all (block too big for the SM).
+  bool Infeasible = false;
+};
+
+/// Static register-pressure estimate: scalar locals + loop iterators +
+/// an addressing/temporary allowance. Used both by occupancy and by the
+/// prefetch pass's "skip when registers are used up" rule (Section 3.6).
+int estimateRegistersPerThread(const KernelFunction &K);
+
+/// Computes occupancy of \p K on \p Device.
+Occupancy computeOccupancy(const DeviceSpec &Device, const KernelFunction &K);
+
+} // namespace gpuc
+
+#endif // GPUC_SIM_OCCUPANCY_H

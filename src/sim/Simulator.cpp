@@ -1,0 +1,113 @@
+//===-- sim/Simulator.cpp - Simulation facade -----------------------------===//
+
+#include "sim/Simulator.h"
+
+#include "ast/Printer.h"
+#include "ast/Walk.h"
+
+#include <algorithm>
+#include <limits>
+
+using namespace gpuc;
+
+static bool kernelHasGlobalSync(const KernelFunction &K) {
+  bool Found = false;
+  forEachStmt(K.body(), [&](Stmt *S) {
+    if (auto *Sync = dyn_cast<SyncStmt>(S))
+      if (Sync->isGlobal())
+        Found = true;
+  });
+  return Found;
+}
+
+bool Simulator::runFunctional(const KernelFunction &K, BufferSet &Buffers,
+                              DiagnosticsEngine &Diags) {
+  Interpreter Interp(Dev, K, Buffers, Diags);
+  if (!Interp.prepare())
+    return false;
+  InterpOptions Opt; // no statistics, full execution
+  if (kernelHasGlobalSync(K))
+    Interp.runGrid(Opt);
+  else
+    Interp.runBlocks(0, K.launch().numBlocks(), Opt);
+  return Interp.ok();
+}
+
+PerfResult Simulator::runPerformance(const KernelFunction &K,
+                                     BufferSet &Buffers,
+                                     DiagnosticsEngine &Diags,
+                                     const PerfOptions &Options) {
+  PerfResult R;
+  R.Occ = computeOccupancy(Dev, K);
+  if (R.Occ.Infeasible) {
+    R.Valid = false;
+    R.TimeMs = std::numeric_limits<double>::infinity();
+    return R;
+  }
+
+  Interpreter Interp(Dev, K, Buffers, Diags);
+  if (!Interp.prepare())
+    return R;
+
+  SimStats Sampled;
+  MemoryModel MM(Dev);
+  if (Options.TrackSites)
+    MM.enableSiteTracking();
+  InterpOptions Opt;
+  Opt.CollectStats = true;
+  Opt.Stats = &Sampled;
+  Opt.MM = &MM;
+  // Loop sampling extrapolates aggregate statistics but not the per-site
+  // attribution, so site tracking runs loops in full.
+  Opt.LoopSampleThreshold =
+      Options.TrackSites ? 0 : Options.LoopSampleThreshold;
+  Opt.LoopSampleCount = Options.LoopSampleCount;
+
+  const long long NumBlocks = K.launch().numBlocks();
+  long long PerCluster =
+      std::min<long long>(NumBlocks, Options.BlocksPerCluster);
+  // Clusters of consecutive block ids spread over the grid; consecutive
+  // ids co-reside, which is what the partition model needs to see.
+  long long SampledBlocks = 0;
+  int Clusters = std::max(1, Options.SampleClusters);
+  long long Stride = NumBlocks / Clusters;
+  for (int C = 0; C < Clusters; ++C) {
+    long long Begin = std::min<long long>(C * Stride, NumBlocks - PerCluster);
+    Begin = std::max<long long>(0, Begin);
+    long long End = std::min<long long>(Begin + PerCluster, NumBlocks);
+    if (C > 0 && Begin == 0)
+      break; // grid smaller than cluster layout
+    Interp.runBlocks(Begin, End, Opt);
+    SampledBlocks += End - Begin;
+    if (End >= NumBlocks)
+      break;
+  }
+  if (!Interp.ok() || SampledBlocks == 0)
+    return R;
+
+  R.Stats = Sampled;
+  const double Scale = static_cast<double>(NumBlocks) /
+                       static_cast<double>(SampledBlocks);
+  R.Stats.scale(Scale);
+  if (Options.TrackSites) {
+    for (const auto &[Site, Traffic] : MM.siteTraffic()) {
+      SiteTraffic T = Traffic;
+      T.HalfWarps *= Scale;
+      T.CoalescedHalfWarps *= Scale;
+      T.Transactions *= Scale;
+      T.BytesMoved *= Scale;
+      const auto *Ref = static_cast<const ArrayRef *>(Site);
+      std::string Label =
+          (T.IsStore ? "store " : "load  ") + printExpr(Ref);
+      R.Sites.emplace_back(std::move(Label), T);
+    }
+    std::sort(R.Sites.begin(), R.Sites.end(),
+              [](const auto &A, const auto &B) {
+                return A.second.BytesMoved > B.second.BytesMoved;
+              });
+  }
+  R.Timing = estimateTime(Dev, R.Stats, R.Occ, NumBlocks);
+  R.TimeMs = R.Timing.TotalMs;
+  R.Valid = true;
+  return R;
+}

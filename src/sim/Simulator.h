@@ -1,0 +1,89 @@
+//===-- sim/Simulator.h - Simulation facade ---------------------*- C++ -*-===//
+//
+// Part of the gpuc project: a reproduction of "A GPGPU Compiler for Memory
+// Optimization and Parallelism Management" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The substrate replacing the paper's physical GTX 8800 / GTX 280 GPUs:
+/// functional execution for correctness, sampled execution + analytical
+/// timing for performance. The compiler's empirical design-space search
+/// (Section 4) test-runs candidate kernels here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUC_SIM_SIMULATOR_H
+#define GPUC_SIM_SIMULATOR_H
+
+#include "sim/DeviceSpec.h"
+#include "sim/Interpreter.h"
+#include "sim/Memory.h"
+#include "sim/Occupancy.h"
+#include "sim/Timing.h"
+
+namespace gpuc {
+
+/// Sampling parameters for performance runs.
+struct PerfOptions {
+  /// Number of sampled clusters of consecutive blocks.
+  int SampleClusters = 2;
+  /// Consecutive blocks per cluster (consecutive block ids are what
+  /// co-reside, which is what partition camping depends on).
+  int BlocksPerCluster = 8;
+  /// Uniform loops longer than this execute sampled iterations only.
+  int LoopSampleThreshold = 24;
+  int LoopSampleCount = 4;
+  /// Attribute traffic to individual access expressions (reports).
+  bool TrackSites = false;
+};
+
+/// Result of a performance run.
+struct PerfResult {
+  bool Valid = false;
+  /// Whole-grid extrapolated statistics.
+  SimStats Stats;
+  Occupancy Occ;
+  TimingBreakdown Timing;
+  double TimeMs = 0;
+  /// Per-access traffic (labelled with the access expression), largest
+  /// mover first; filled when PerfOptions::TrackSites is set. Counts are
+  /// extrapolated to the whole grid.
+  std::vector<std::pair<std::string, SiteTraffic>> Sites;
+
+  double gflops(double UsefulFlops) const {
+    return TimeMs > 0 ? UsefulFlops / (TimeMs * 1e6) : 0;
+  }
+  /// Effective bandwidth in GB/s for \p UsefulBytes of algorithmic traffic.
+  double effectiveBandwidthGBs(double UsefulBytes) const {
+    return TimeMs > 0 ? UsefulBytes / (TimeMs * 1e6) : 0;
+  }
+};
+
+/// Runs kernels on a modeled device.
+class Simulator {
+public:
+  explicit Simulator(DeviceSpec Device) : Dev(std::move(Device)) {}
+
+  const DeviceSpec &device() const { return Dev; }
+
+  /// Executes the whole grid with correct semantics, updating \p Buffers.
+  /// Kernels containing __globalSync run as one grid-wide SPMD group.
+  /// \returns false on execution errors (reported to \p Diags).
+  bool runFunctional(const KernelFunction &K, BufferSet &Buffers,
+                     DiagnosticsEngine &Diags);
+
+  /// Samples block clusters, extrapolates statistics to the whole grid and
+  /// estimates the kernel time. Buffer contents after the call are not
+  /// meaningful.
+  PerfResult runPerformance(const KernelFunction &K, BufferSet &Buffers,
+                            DiagnosticsEngine &Diags,
+                            const PerfOptions &Options = PerfOptions());
+
+private:
+  DeviceSpec Dev;
+};
+
+} // namespace gpuc
+
+#endif // GPUC_SIM_SIMULATOR_H

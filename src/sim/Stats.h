@@ -1,0 +1,112 @@
+//===-- sim/Stats.h - Simulation statistics ---------------------*- C++ -*-===//
+//
+// Part of the gpuc project: a reproduction of "A GPGPU Compiler for Memory
+// Optimization and Parallelism Management" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Counters collected by the interpreter + memory model. The performance
+/// mode extrapolates sampled counters to the whole grid, so the struct
+/// supports scaling and accumulation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUC_SIM_STATS_H
+#define GPUC_SIM_STATS_H
+
+#include <vector>
+
+namespace gpuc {
+
+/// Aggregate counters for one simulated kernel launch (or sample thereof).
+struct SimStats {
+  /// Dynamic scalar operations executed across all threads.
+  double DynOps = 0;
+  /// Floating-point add/sub/mul(/div weighted) operations.
+  double Flops = 0;
+
+  // Global memory traffic, in half-warp granularity.
+  double GlobalLoadHalfWarps = 0;
+  double GlobalStoreHalfWarps = 0;
+  double CoalescedHalfWarps = 0;
+  double UncoalescedHalfWarps = 0;
+  double Transactions = 0;
+  /// Bytes actually moved on the bus (inflated by uncoalesced waste).
+  double BytesMovedFloat = 0;  // moved by 4-byte-element accesses
+  double BytesMovedFloat2 = 0; // moved by 8-byte-element accesses
+  double BytesMovedFloat4 = 0; // moved by 16-byte-element accesses
+  /// Bytes the program actually consumed.
+  double UsefulBytes = 0;
+
+  // Shared memory.
+  double SharedAccessHalfWarps = 0;
+  /// Sum over half-warp accesses of (bank serialization factor - 1).
+  double SharedBankExtraCycles = 0;
+
+  // Synchronization.
+  double BlockSyncs = 0;
+  double GlobalSyncs = 0;
+
+  /// Bytes per memory partition, per access site aggregated; index is the
+  /// partition id. Used to derive the partition-camping factor.
+  std::vector<double> PartitionBytes;
+
+  double bytesMovedTotal() const {
+    return BytesMovedFloat + BytesMovedFloat2 + BytesMovedFloat4;
+  }
+
+  void scale(double Factor) {
+    DynOps *= Factor;
+    Flops *= Factor;
+    GlobalLoadHalfWarps *= Factor;
+    GlobalStoreHalfWarps *= Factor;
+    CoalescedHalfWarps *= Factor;
+    UncoalescedHalfWarps *= Factor;
+    Transactions *= Factor;
+    BytesMovedFloat *= Factor;
+    BytesMovedFloat2 *= Factor;
+    BytesMovedFloat4 *= Factor;
+    UsefulBytes *= Factor;
+    SharedAccessHalfWarps *= Factor;
+    SharedBankExtraCycles *= Factor;
+    BlockSyncs *= Factor;
+    GlobalSyncs *= Factor;
+    for (double &B : PartitionBytes)
+      B *= Factor;
+  }
+
+  void add(const SimStats &O) {
+    DynOps += O.DynOps;
+    Flops += O.Flops;
+    GlobalLoadHalfWarps += O.GlobalLoadHalfWarps;
+    GlobalStoreHalfWarps += O.GlobalStoreHalfWarps;
+    CoalescedHalfWarps += O.CoalescedHalfWarps;
+    UncoalescedHalfWarps += O.UncoalescedHalfWarps;
+    Transactions += O.Transactions;
+    BytesMovedFloat += O.BytesMovedFloat;
+    BytesMovedFloat2 += O.BytesMovedFloat2;
+    BytesMovedFloat4 += O.BytesMovedFloat4;
+    UsefulBytes += O.UsefulBytes;
+    SharedAccessHalfWarps += O.SharedAccessHalfWarps;
+    SharedBankExtraCycles += O.SharedBankExtraCycles;
+    BlockSyncs += O.BlockSyncs;
+    GlobalSyncs += O.GlobalSyncs;
+    if (PartitionBytes.size() < O.PartitionBytes.size())
+      PartitionBytes.resize(O.PartitionBytes.size(), 0.0);
+    for (size_t I = 0; I < O.PartitionBytes.size(); ++I)
+      PartitionBytes[I] += O.PartitionBytes[I];
+  }
+
+  SimStats delta(const SimStats &Before) const {
+    SimStats D = *this;
+    SimStats Neg = Before;
+    Neg.scale(-1.0);
+    D.add(Neg);
+    return D;
+  }
+};
+
+} // namespace gpuc
+
+#endif // GPUC_SIM_STATS_H

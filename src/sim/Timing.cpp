@@ -1,0 +1,78 @@
+//===-- sim/Timing.cpp - Analytical timing model --------------------------===//
+
+#include "sim/Timing.h"
+
+#include "sim/MemoryModel.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace gpuc;
+
+TimingBreakdown gpuc::estimateTime(const DeviceSpec &Device,
+                                   const SimStats &Total,
+                                   const Occupancy &Occ, long long NumBlocks) {
+  TimingBreakdown TB;
+
+  // Compute pipeline: one scalar op per SP cycle, all SMs busy; each extra
+  // shared-memory bank pass stalls a half warp for one pipeline round.
+  double OpsPerNs =
+      static_cast<double>(Device.NumSMs) * Device.SPsPerSM *
+      Device.CoreClockGHz;
+  double ComputeOps =
+      Total.DynOps + Total.SharedBankExtraCycles * Device.HalfWarp;
+  double ComputeNs = ComputeOps / std::max(1e-9, OpsPerNs);
+
+  // Memory pipeline: class bandwidths from the Section 2 measurements;
+  // partition camping throttles the whole stream.
+  double RawCF = MemoryModel::campingFactor(Total.PartitionBytes);
+  TB.CampingFactor = 1.0 + (RawCF - 1.0) * CampingSeverity;
+  double MemNs = (Total.BytesMovedFloat / Device.BWFloatGBs +
+                  Total.BytesMovedFloat2 / Device.BWFloat2GBs +
+                  Total.BytesMovedFloat4 / Device.BWFloat4GBs) *
+                 TB.CampingFactor;
+
+  // Latency hiding: full overlap of compute and memory needs >= 192
+  // active threads per SM (Section 4.1); below that, the exposed fraction
+  // of the shorter stream serializes.
+  double Active = std::max(1, Occ.ActiveThreadsPerSM);
+  TB.OverlapFraction =
+      std::min(1.0, Active / static_cast<double>(Device.LatencyHideThreads));
+  // A floor: even one warp overlaps a little through pipelining.
+  TB.OverlapFraction = std::max(0.15, TB.OverlapFraction);
+
+  double LongNs = std::max(ComputeNs, MemNs);
+  double ShortNs = std::min(ComputeNs, MemNs);
+  double BodyNs = LongNs + (1.0 - TB.OverlapFraction) * ShortNs;
+
+  // Exposed global-memory latency when too few warps are resident: each
+  // half-warp load pays a fraction of the round-trip latency.
+  if (Active < Device.LatencyHideThreads && Total.GlobalLoadHalfWarps > 0) {
+    double Exposure = 1.0 - Active / Device.LatencyHideThreads;
+    double LoadsPerSM = Total.GlobalLoadHalfWarps / Device.NumSMs;
+    BodyNs += Exposure * LoadsPerSM * Device.GlobalLatencyCycles /
+              Device.CoreClockGHz /
+              std::max(1.0, Active / Device.HalfWarp);
+  }
+
+  // Barriers: each __syncthreads drains the block's pipeline.
+  double SyncNs = 0;
+  if (Total.BlockSyncs > 0) {
+    double SyncsPerSM =
+        Total.BlockSyncs / std::max(1, Device.NumSMs * Occ.BlocksPerSM);
+    SyncNs = SyncsPerSM * 40.0 / Device.CoreClockGHz;
+  }
+
+  // __globalSync is realized as a kernel relaunch; the per-block counter
+  // counted it once per block.
+  double Relaunches =
+      NumBlocks > 0 ? Total.GlobalSyncs / static_cast<double>(NumBlocks) : 0;
+  double LaunchNs = (1.0 + Relaunches) * Device.LaunchOverheadUs * 1000.0;
+
+  TB.ComputeMs = ComputeNs * 1e-6;
+  TB.MemoryMs = MemNs * 1e-6;
+  TB.SyncMs = SyncNs * 1e-6;
+  TB.LaunchMs = LaunchNs * 1e-6;
+  TB.TotalMs = (BodyNs + SyncNs + LaunchNs) * 1e-6;
+  return TB;
+}

@@ -1,0 +1,54 @@
+//===-- sim/Timing.h - Analytical timing model ------------------*- C++ -*-===//
+//
+// Part of the gpuc project: a reproduction of "A GPGPU Compiler for Memory
+// Optimization and Parallelism Management" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Converts extrapolated execution statistics into a kernel time estimate:
+///
+///   compute = dynamic ops / (SMs * SPs * clock) + bank serialization
+///   memory  = sum(bytes moved per class / sustained class bandwidth)
+///             * partition-camping factor
+///   total   = max(compute, memory) + (1 - overlap) * min(compute, memory)
+///             + launch overheads (one relaunch per __globalSync)
+///
+/// where overlap saturates once an SM holds >= 192 active threads — the
+/// latency-hiding rule the paper quotes in Section 4.1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUC_SIM_TIMING_H
+#define GPUC_SIM_TIMING_H
+
+#include "sim/DeviceSpec.h"
+#include "sim/Occupancy.h"
+#include "sim/Stats.h"
+
+namespace gpuc {
+
+/// Timing estimate with its components, for dissection benchmarks.
+struct TimingBreakdown {
+  double ComputeMs = 0;
+  double MemoryMs = 0;
+  double SyncMs = 0;
+  double LaunchMs = 0;
+  double CampingFactor = 1.0;
+  double OverlapFraction = 1.0;
+  double TotalMs = 0;
+};
+
+/// How strongly measured partition imbalance throttles the memory system.
+/// 1.0 would model perfectly lock-stepped blocks; real blocks drift, so
+/// the penalty is tempered.
+constexpr double CampingSeverity = 0.5;
+
+/// Estimates the kernel time from whole-grid statistics. \p NumBlocks is
+/// the grid size (used to de-duplicate per-block global-sync counts).
+TimingBreakdown estimateTime(const DeviceSpec &Device, const SimStats &Total,
+                             const Occupancy &Occ, long long NumBlocks);
+
+} // namespace gpuc
+
+#endif // GPUC_SIM_TIMING_H

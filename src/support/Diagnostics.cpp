@@ -1,0 +1,46 @@
+//===-- support/Diagnostics.cpp - Error reporting -------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include <sstream>
+
+using namespace gpuc;
+
+void DiagnosticsEngine::error(SourceLocation Loc, std::string Message) {
+  Diags.push_back({DiagKind::Error, Loc, std::move(Message)});
+  ++NumErrors;
+}
+
+void DiagnosticsEngine::warning(SourceLocation Loc, std::string Message) {
+  Diags.push_back({DiagKind::Warning, Loc, std::move(Message)});
+}
+
+void DiagnosticsEngine::note(SourceLocation Loc, std::string Message) {
+  Diags.push_back({DiagKind::Note, Loc, std::move(Message)});
+}
+
+std::string DiagnosticsEngine::str() const {
+  std::ostringstream OS;
+  for (const Diagnostic &D : Diags) {
+    if (D.Loc.isValid())
+      OS << D.Loc.Line << ":" << D.Loc.Col << ": ";
+    switch (D.Kind) {
+    case DiagKind::Error:
+      OS << "error: ";
+      break;
+    case DiagKind::Warning:
+      OS << "warning: ";
+      break;
+    case DiagKind::Note:
+      OS << "note: ";
+      break;
+    }
+    OS << D.Message << "\n";
+  }
+  return OS.str();
+}
+
+void DiagnosticsEngine::clear() {
+  Diags.clear();
+  NumErrors = 0;
+}

@@ -1,0 +1,57 @@
+//===-- support/Diagnostics.h - Error reporting -----------------*- C++ -*-===//
+//
+// Part of the gpuc project: a reproduction of "A GPGPU Compiler for Memory
+// Optimization and Parallelism Management" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small diagnostics engine. gpuc is built without exceptions; fallible
+/// components report here and return null/empty results.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUC_SUPPORT_DIAGNOSTICS_H
+#define GPUC_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLocation.h"
+
+#include <string>
+#include <vector>
+
+namespace gpuc {
+
+/// Severity of a reported diagnostic.
+enum class DiagKind { Error, Warning, Note };
+
+/// One reported diagnostic.
+struct Diagnostic {
+  DiagKind Kind = DiagKind::Error;
+  SourceLocation Loc;
+  std::string Message;
+};
+
+/// Collects diagnostics produced while parsing or compiling one kernel.
+class DiagnosticsEngine {
+public:
+  void error(SourceLocation Loc, std::string Message);
+  void warning(SourceLocation Loc, std::string Message);
+  void note(SourceLocation Loc, std::string Message);
+
+  bool hasErrors() const { return NumErrors > 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders every diagnostic as "line:col: kind: message" lines.
+  std::string str() const;
+
+  void clear();
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace gpuc
+
+#endif // GPUC_SUPPORT_DIAGNOSTICS_H

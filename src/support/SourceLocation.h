@@ -1,0 +1,36 @@
+//===-- support/SourceLocation.h - Source positions ------------*- C++ -*-===//
+//
+// Part of the gpuc project: a reproduction of "A GPGPU Compiler for Memory
+// Optimization and Parallelism Management" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Line/column positions used by the lexer, parser and diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUC_SUPPORT_SOURCELOCATION_H
+#define GPUC_SUPPORT_SOURCELOCATION_H
+
+namespace gpuc {
+
+/// A position within a kernel source buffer. Lines and columns are 1-based;
+/// a default-constructed location is "unknown".
+struct SourceLocation {
+  int Line = 0;
+  int Col = 0;
+
+  SourceLocation() = default;
+  SourceLocation(int Line, int Col) : Line(Line), Col(Col) {}
+
+  bool isValid() const { return Line > 0; }
+
+  friend bool operator==(const SourceLocation &A, const SourceLocation &B) {
+    return A.Line == B.Line && A.Col == B.Col;
+  }
+};
+
+} // namespace gpuc
+
+#endif // GPUC_SUPPORT_SOURCELOCATION_H

@@ -1,0 +1,182 @@
+//===-- tests/AffineTest.cpp - affine index model tests -------------------===//
+
+#include "ast/Builder.h"
+#include "ast/Printer.h"
+#include "core/Accesses.h"
+#include "core/Affine.h"
+
+#include <gtest/gtest.h>
+
+using namespace gpuc;
+
+namespace {
+
+/// A kernel context with a 64x64 float array and scalar w=64, launch
+/// blocks of (16, 1).
+struct Fixture {
+  Module M;
+  KernelFunction *K = nullptr;
+  ASTContext &ctx() { return M.context(); }
+
+  Fixture() {
+    KernelBuilder B(M, "k");
+    B.arrayParam("a", Type::floatTy(), {64, 64});
+    B.arrayParam("c", Type::floatTy(), {64, 64}, true);
+    B.scalarParam("w", Type::intTy(), 64);
+    B.assign(B.at("c", {B.idy(), B.idx()}), B.f(0));
+    K = B.finish(16, 1, 64, 64);
+  }
+};
+
+} // namespace
+
+TEST(Affine, IdxExpansion) {
+  Fixture F;
+  AffineExpr A;
+  ASSERT_TRUE(buildAffine(F.ctx().builtin(BuiltinId::Idx), *F.K, A));
+  EXPECT_EQ(A.CTidx, 1);
+  EXPECT_EQ(A.CBidx, 16); // BlockDimX
+  EXPECT_EQ(A.CBidy, 0);
+  EXPECT_EQ(A.Const, 0);
+}
+
+TEST(Affine, IdyExpansionUsesBlockDimY) {
+  Fixture F;
+  AffineExpr A;
+  ASSERT_TRUE(buildAffine(F.ctx().builtin(BuiltinId::Idy), *F.K, A));
+  EXPECT_EQ(A.CTidy, 1);
+  EXPECT_EQ(A.CBidy, 1); // BlockDimY == 1
+}
+
+TEST(Affine, ArithmeticComposition) {
+  Fixture F;
+  ASTContext &Ctx = F.ctx();
+  // 2*idx + w - 3  (w binds to 64)
+  Expr *E = Ctx.sub(Ctx.add(Ctx.mul(Ctx.intLit(2), Ctx.builtin(BuiltinId::Idx)),
+                            Ctx.varRef("w", Type::intTy())),
+                    Ctx.intLit(3));
+  AffineExpr A;
+  ASSERT_TRUE(buildAffine(E, *F.K, A));
+  EXPECT_EQ(A.CTidx, 2);
+  EXPECT_EQ(A.CBidx, 32);
+  EXPECT_EQ(A.Const, 61);
+}
+
+TEST(Affine, LoopIteratorSymbol) {
+  Fixture F;
+  ASTContext &Ctx = F.ctx();
+  Expr *E = Ctx.add(Ctx.mul(Ctx.varRef("i", Type::intTy()), Ctx.intLit(4)),
+                    Ctx.intLit(8));
+  AffineExpr A;
+  ASSERT_TRUE(buildAffine(E, *F.K, A));
+  EXPECT_EQ(A.loopCoeff("i"), 4);
+  EXPECT_EQ(A.Const, 8);
+  EXPECT_TRUE(A.hasLoopTerms());
+}
+
+TEST(Affine, UnresolvedCases) {
+  Fixture F;
+  ASTContext &Ctx = F.ctx();
+  AffineExpr A;
+  // float variable
+  EXPECT_FALSE(buildAffine(Ctx.varRef("f", Type::floatTy()), *F.K, A));
+  // product of two symbols
+  EXPECT_FALSE(buildAffine(Ctx.mul(Ctx.builtin(BuiltinId::Idx),
+                                   Ctx.varRef("i", Type::intTy())),
+                           *F.K, A));
+  // remainder
+  EXPECT_FALSE(buildAffine(Ctx.rem(Ctx.builtin(BuiltinId::Idx), Ctx.intLit(7)),
+                           *F.K, A));
+  // memory load
+  EXPECT_FALSE(buildAffine(Ctx.arrayRef("a", {Ctx.intLit(0), Ctx.intLit(0)},
+                                        Type::floatTy()),
+                           *F.K, A));
+}
+
+TEST(Affine, EvaluateMatchesSymbolic) {
+  AffineExpr A;
+  A.Const = 5;
+  A.CTidx = 2;
+  A.CBidx = 32;
+  A.LoopCoeffs["i"] = 4;
+  EXPECT_EQ(A.evaluate(3, 0, 2, 0, {{"i", 10}}), 5 + 6 + 64 + 40);
+  EXPECT_EQ(A.evaluate(0, 0, 0, 0, {}), 5);
+}
+
+TEST(Affine, RoundTripThroughExpr) {
+  Fixture F;
+  AffineExpr A;
+  A.Const = 7;
+  A.CTidx = 1;
+  A.CBidx = 16;
+  A.LoopCoeffs["i"] = 2;
+  Expr *E = affineToExpr(F.ctx(), A);
+  AffineExpr Back;
+  ASSERT_TRUE(buildAffine(E, *F.K, Back));
+  EXPECT_EQ(Back.Const, 7);
+  EXPECT_EQ(Back.CTidx, 1);
+  EXPECT_EQ(Back.CBidx, 16);
+  EXPECT_EQ(Back.loopCoeff("i"), 2);
+}
+
+TEST(Accesses, CollectsLoadsAndStoresWithLoops) {
+  Module M;
+  KernelBuilder B(M, "k");
+  B.arrayParam("a", Type::floatTy(), {64, 64});
+  B.arrayParam("c", Type::floatTy(), {64}, true);
+  B.scalarParam("w", Type::intTy(), 64);
+  B.decl("s", Type::floatTy(), B.f(0));
+  B.beginFor("i", B.i(0), B.iv("w"), B.i(1));
+  B.addAssign(B.v("s"), B.at("a", {B.idy(), B.iv("i")}));
+  B.endFor();
+  B.assign(B.at("c", {B.idx()}), B.v("s"));
+  KernelFunction *K = B.finish(16, 1, 64, 1);
+
+  auto Accesses = collectGlobalAccesses(*K);
+  ASSERT_EQ(Accesses.size(), 2u);
+  const AccessInfo &Load = Accesses[0];
+  EXPECT_EQ(Load.Ref->base(), "a");
+  EXPECT_FALSE(Load.IsStore);
+  ASSERT_EQ(Load.Loops.size(), 1u);
+  EXPECT_TRUE(Load.Loops[0].Resolved);
+  EXPECT_EQ(Load.Loops[0].Bound, 64);
+  EXPECT_EQ(Load.Loops[0].trip(), 64);
+  ASSERT_TRUE(Load.Resolved);
+  // byte address: idy*64*4 + i*4
+  EXPECT_EQ(Load.Addr.CTidy, 256);
+  EXPECT_EQ(Load.Addr.loopCoeff("i"), 4);
+  EXPECT_EQ(Load.Addr.CTidx, 0);
+
+  const AccessInfo &Store = Accesses[1];
+  EXPECT_TRUE(Store.IsStore);
+  EXPECT_EQ(Store.Ref->base(), "c");
+  EXPECT_TRUE(Store.Loops.empty());
+  EXPECT_EQ(Store.Addr.CTidx, 4);
+  EXPECT_EQ(Store.Addr.CBidx, 64);
+}
+
+TEST(Accesses, CompoundAssignCountsLoadAndStore) {
+  Module M;
+  KernelBuilder B(M, "k");
+  B.arrayParam("c", Type::floatTy(), {64}, true);
+  B.addAssign(B.at("c", {B.idx()}), B.f(1));
+  KernelFunction *K = B.finish(16, 1, 64, 1);
+  auto Accesses = collectGlobalAccesses(*K);
+  ASSERT_EQ(Accesses.size(), 2u);
+  EXPECT_TRUE(Accesses[0].IsStore);
+  EXPECT_FALSE(Accesses[1].IsStore);
+}
+
+TEST(Accesses, UnresolvedSubscriptFlagged) {
+  Module M;
+  KernelBuilder B(M, "k");
+  B.arrayParam("a", Type::floatTy(), {64});
+  B.arrayParam("c", Type::floatTy(), {64}, true);
+  // c[idx] = a[idx % 7]
+  B.assign(B.at("c", {B.idx()}),
+           B.at("a", {B.rem(B.idx(), B.i(7))}));
+  KernelFunction *K = B.finish(16, 1, 64, 1);
+  auto Accesses = collectGlobalAccesses(*K);
+  ASSERT_EQ(Accesses.size(), 2u);
+  EXPECT_FALSE(Accesses[1].Resolved);
+}

@@ -1,0 +1,124 @@
+//===-- tests/AnalysisTest.cpp - sharing/camping/report unit tests --------===//
+
+#include "ast/Printer.h"
+#include "baselines/NaiveKernels.h"
+#include "core/CoalesceTransform.h"
+#include "core/Compiler.h"
+#include "core/DataSharing.h"
+#include "core/Report.h"
+
+#include <gtest/gtest.h>
+
+using namespace gpuc;
+
+namespace {
+
+/// Coalesces a naive kernel and returns the sharing plan, mirroring the
+/// pipeline's internal sequence.
+MergePlan planOf(Module &M, Algo A, long long N) {
+  DiagnosticsEngine D;
+  KernelFunction *K = parseNaive(M, A, N, D);
+  EXPECT_NE(K, nullptr) << D.str();
+  if (!K)
+    return MergePlan();
+  LaunchConfig &L = K->launch();
+  L.BlockDimX = 16;
+  L.BlockDimY = 1;
+  L.GridDimX = K->workDomainX() / 16;
+  L.GridDimY = K->workDomainY();
+  CoalesceResult CR = convertNonCoalesced(*K, M.context(), D);
+  return planMerges(*K, CR);
+}
+
+} // namespace
+
+TEST(DataSharing, MmPrefersBlockXAndThreadY) {
+  // Section 5's case study: the a staging (G2S) repeats across X-neighbor
+  // blocks, the b register load repeats across Y neighbors.
+  Module M;
+  MergePlan P = planOf(M, Algo::MM, 128);
+  EXPECT_TRUE(P.BlockMergeX);
+  EXPECT_TRUE(P.ThreadMergeY);
+  EXPECT_FALSE(P.ThreadMergeX);
+  EXPECT_FALSE(P.BlockMergeForThreads);
+}
+
+TEST(DataSharing, TmvSharesTheVectorAcrossX) {
+  Module M;
+  MergePlan P = planOf(M, Algo::TMV, 128);
+  EXPECT_TRUE(P.BlockMergeX); // b[i] staged, identical for all blocks
+  EXPECT_FALSE(P.ThreadMergeY);
+}
+
+TEST(DataSharing, ConvHaloOverlapsAcrossX) {
+  Module M;
+  MergePlan P = planOf(M, Algo::CONV, 64);
+  EXPECT_TRUE(P.BlockMergeX); // halo windows of neighbors overlap
+}
+
+TEST(DataSharing, VvOnlyNeedsThreads) {
+  Module M;
+  MergePlan P = planOf(M, Algo::VV, 4096);
+  EXPECT_TRUE(P.BlockMergeX);
+  EXPECT_TRUE(P.BlockMergeForThreads);
+  EXPECT_FALSE(P.anyThreadMerge());
+}
+
+TEST(DataSharing, StrsmSharesRowStagingAndColumnLoads) {
+  Module M;
+  MergePlan P = planOf(M, Algo::STRSM, 64);
+  EXPECT_TRUE(P.BlockMergeX);  // l[idy][k] staging, bidx-invariant
+  EXPECT_TRUE(P.ThreadMergeY); // x[k][idx] register load, bidy-invariant
+}
+
+TEST(Report, CoalescingReportNamesEveryAccess) {
+  Module M;
+  DiagnosticsEngine D;
+  KernelFunction *K = parseNaive(M, Algo::MM, 128, D);
+  ASSERT_NE(K, nullptr);
+  std::string R = coalescingReport(*K);
+  EXPECT_NE(R.find("a[idy][i]"), std::string::npos) << R;
+  EXPECT_NE(R.find("same address across half warp"), std::string::npos);
+  EXPECT_NE(R.find("b[i][idx]"), std::string::npos);
+  EXPECT_NE(R.find("coalesced"), std::string::npos);
+}
+
+TEST(Report, FullReportCoversAllSections) {
+  Module M;
+  DiagnosticsEngine D;
+  KernelFunction *K = parseNaive(M, Algo::MM, 256, D);
+  ASSERT_NE(K, nullptr);
+  GpuCompiler GC(M, D);
+  CompileOutput Out = GC.compile(*K);
+  ASSERT_NE(Out.Best, nullptr);
+  std::string R = fullReport(*K, Out, DeviceSpec::gtx280());
+  EXPECT_NE(R.find("== coalescing analysis"), std::string::npos);
+  EXPECT_NE(R.find("== merge plan"), std::string::npos);
+  EXPECT_NE(R.find("== design space"), std::string::npos);
+  EXPECT_NE(R.find("<= selected"), std::string::npos);
+  EXPECT_NE(R.find("== traffic by access"), std::string::npos);
+  EXPECT_NE(R.find("== occupancy"), std::string::npos);
+}
+
+TEST(Report, TrafficReportFlagsUncoalescedAccesses) {
+  Module M;
+  DiagnosticsEngine D;
+  KernelFunction *K = parseNaive(M, Algo::MM, 256, D);
+  ASSERT_NE(K, nullptr);
+  std::string R = trafficReport(*K, DeviceSpec::gtx8800());
+  EXPECT_NE(R.find("NOT fully coalesced"), std::string::npos) << R;
+}
+
+TEST(Report, DesignSpaceMarksSelectedVariant) {
+  Module M;
+  DiagnosticsEngine D;
+  KernelFunction *K = parseNaive(M, Algo::MM, 512, D);
+  ASSERT_NE(K, nullptr);
+  GpuCompiler GC(M, D);
+  CompileOutput Out = GC.compile(*K);
+  std::string R = designSpaceReport(Out);
+  // Exactly one selected marker.
+  size_t First = R.find("<= selected");
+  ASSERT_NE(First, std::string::npos);
+  EXPECT_EQ(R.find("<= selected", First + 1), std::string::npos);
+}

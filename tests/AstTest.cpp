@@ -1,0 +1,169 @@
+//===-- tests/AstTest.cpp - AST construction/printing/rewriting -----------===//
+
+#include "ast/Builder.h"
+#include "ast/Clone.h"
+#include "ast/Printer.h"
+#include "ast/Subst.h"
+#include "ast/Walk.h"
+
+#include <gtest/gtest.h>
+
+using namespace gpuc;
+
+TEST(Type, SizesAndWidths) {
+  EXPECT_EQ(Type::floatTy().sizeInBytes(), 4);
+  EXPECT_EQ(Type::float2Ty().sizeInBytes(), 8);
+  EXPECT_EQ(Type::float4Ty().sizeInBytes(), 16);
+  EXPECT_EQ(Type::intTy().sizeInBytes(), 4);
+  EXPECT_EQ(Type::float2Ty().vectorWidth(), 2);
+  EXPECT_TRUE(Type::float4Ty().isFloatVector());
+  EXPECT_FALSE(Type::floatTy().isFloatVector());
+  EXPECT_EQ(Type::float2Ty().str(), "float2");
+}
+
+TEST(ASTContext, BinaryTypeInference) {
+  ASTContext Ctx;
+  Expr *I = Ctx.intLit(1);
+  Expr *F = Ctx.floatLit(2.0);
+  EXPECT_TRUE(Ctx.add(I, I)->type().isInt());
+  EXPECT_TRUE(Ctx.add(I, F)->type().isFloat());
+  EXPECT_TRUE(Ctx.lt(F, F)->type().isBool());
+  Expr *V2 = Ctx.varRef("v", Type::float2Ty());
+  EXPECT_EQ(Ctx.mul(V2, F)->type().kind(), TypeKind::Float2);
+}
+
+TEST(ASTContext, AddConstFoldsZero) {
+  ASTContext Ctx;
+  Expr *X = Ctx.builtin(BuiltinId::Idx);
+  EXPECT_EQ(Ctx.addConst(X, 0), X);
+  EXPECT_EQ(printExpr(Ctx.addConst(X, 3)), "(idx+3)");
+}
+
+TEST(Printer, Expressions) {
+  ASTContext Ctx;
+  Expr *E = Ctx.add(Ctx.mul(Ctx.builtin(BuiltinId::Idy), Ctx.intLit(16)),
+                    Ctx.builtin(BuiltinId::Tidx));
+  EXPECT_EQ(printExpr(E), "((idy*16)+tidx)");
+  Expr *A = Ctx.arrayRef("a", {Ctx.builtin(BuiltinId::Idy), Ctx.intLit(0)},
+                         Type::floatTy());
+  EXPECT_EQ(printExpr(A), "a[idy][0]");
+  Expr *V = Ctx.arrayRef("a", {Ctx.builtin(BuiltinId::Idx)},
+                         Type::float2Ty(), /*VecWidth=*/2);
+  EXPECT_EQ(printExpr(V), "((float2*)a)[idx]");
+  EXPECT_EQ(printExpr(Ctx.member(Ctx.varRef("f", Type::float2Ty()), 1)),
+            "f.y");
+  EXPECT_EQ(printExpr(Ctx.neg(Ctx.intLit(3))), "(-3)");
+}
+
+TEST(Builder, BuildsRunnableKernelShape) {
+  Module M;
+  KernelBuilder B(M, "saxpy");
+  B.arrayParam("x", Type::floatTy(), {256});
+  B.arrayParam("y", Type::floatTy(), {256}, /*IsOutput=*/true);
+  B.scalarParam("n", Type::intTy(), 256);
+  B.decl("v", Type::floatTy(), B.mul(B.f(2.0), B.at("x", {B.idx()})));
+  B.beginIf(B.lt(B.idx(), B.iv("n")));
+  B.assign(B.at("y", {B.idx()}), B.v("v"));
+  B.endIf();
+  KernelFunction *K = B.finish(64, 1, 256, 1);
+  ASSERT_NE(K, nullptr);
+  EXPECT_EQ(K->launch().GridDimX, 4);
+  std::string Out = printKernel(*K);
+  EXPECT_NE(Out.find("if ((idx<n))"), std::string::npos);
+  EXPECT_NE(Out.find("y[idx] = v"), std::string::npos);
+}
+
+TEST(Clone, DeepCopyIsIndependent) {
+  Module M;
+  KernelBuilder B(M, "k");
+  B.arrayParam("c", Type::floatTy(), {64}, true);
+  B.beginFor("i", B.i(0), B.i(64), B.i(1));
+  B.addAssign(B.at("c", {B.idx()}), B.iv("i"));
+  B.endFor();
+  KernelFunction *K = B.finish(16, 1, 64, 1);
+  KernelFunction *C = cloneKernel(M, K, "k2");
+  EXPECT_EQ(C->name(), "k2");
+  // Same text, different nodes.
+  std::string A = printStmt(K->body());
+  EXPECT_EQ(A, printStmt(C->body()));
+  renameVar(C->body(), "i", "j");
+  EXPECT_EQ(printStmt(K->body()), A); // original untouched
+  EXPECT_NE(printStmt(C->body()), A);
+}
+
+TEST(Subst, BuiltinSubstitution) {
+  Module M;
+  ASTContext &Ctx = M.context();
+  Expr *E = Ctx.add(Ctx.builtin(BuiltinId::Idy), Ctx.intLit(1));
+  auto *S = Ctx.assign(
+      Ctx.arrayRef("c", {E}, Type::floatTy()), Ctx.floatLit(0));
+  auto *Body = Ctx.compound();
+  Body->append(S);
+  Expr *Repl = Ctx.add(Ctx.mul(Ctx.builtin(BuiltinId::Idy), Ctx.intLit(4)),
+                       Ctx.intLit(2));
+  substBuiltin(Ctx, Body, BuiltinId::Idy, Repl);
+  EXPECT_EQ(printStmt(Body), "c[(((idy*4)+2)+1)] = 0.0f;\n");
+}
+
+TEST(Subst, VarSubstitutionAndRename) {
+  Module M;
+  ASTContext &Ctx = M.context();
+  auto *Body = Ctx.compound();
+  Body->append(Ctx.assign(Ctx.varRef("s", Type::floatTy()),
+                          Ctx.add(Ctx.varRef("i", Type::intTy()),
+                                  Ctx.varRef("k", Type::intTy()))));
+  substVar(Ctx, Body, "i",
+           Ctx.add(Ctx.varRef("i", Type::intTy()), Ctx.intLit(16)));
+  EXPECT_EQ(printStmt(Body), "s = ((i+16)+k);\n");
+  renameVar(Body, "k", "kk");
+  EXPECT_EQ(printStmt(Body), "s = ((i+16)+kk);\n");
+}
+
+TEST(Walk, ForEachAndContains) {
+  Module M;
+  ASTContext &Ctx = M.context();
+  auto *Inner = Ctx.compound();
+  Inner->append(Ctx.assign(
+      Ctx.varRef("s", Type::floatTy()),
+      Ctx.arrayRef("a", {Ctx.builtin(BuiltinId::Idx)}, Type::floatTy())));
+  auto *Loop = Ctx.forUp("i", Ctx.intLit(0), Ctx.intLit(8), Ctx.intLit(1),
+                         Inner);
+  auto *Body = Ctx.compound();
+  Body->append(Loop);
+  int Stmts = 0, Exprs = 0;
+  forEachStmt(Body, [&](Stmt *) { ++Stmts; });
+  forEachExpr(Body, [&](Expr *) { ++Exprs; });
+  EXPECT_EQ(Stmts, 4); // body, for, inner compound, assign
+  EXPECT_GT(Exprs, 4);
+  EXPECT_TRUE(containsBuiltin(Body, BuiltinId::Idx));
+  EXPECT_FALSE(containsBuiltin(Body, BuiltinId::Idy));
+  EXPECT_TRUE(containsVar(Body, "s"));
+  EXPECT_FALSE(containsVar(Body, "zz"));
+}
+
+TEST(Walk, RewriteReplacesBottomUp) {
+  Module M;
+  ASTContext &Ctx = M.context();
+  auto *Body = Ctx.compound();
+  Body->append(Ctx.assign(
+      Ctx.varRef("s", Type::floatTy()),
+      Ctx.add(Ctx.intLit(1), Ctx.intLit(2))));
+  rewriteExprs(Body, [&](Expr *E) -> Expr * {
+    auto *L = dyn_cast<IntLit>(E);
+    if (!L)
+      return nullptr;
+    return Ctx.intLit(L->value() * 10);
+  });
+  EXPECT_EQ(printStmt(Body), "s = (10+20);\n");
+}
+
+TEST(Kernel, LaunchConfigHelpers) {
+  LaunchConfig L;
+  L.BlockDimX = 16;
+  L.BlockDimY = 4;
+  L.GridDimX = 8;
+  L.GridDimY = 2;
+  EXPECT_EQ(L.threadsPerBlock(), 64);
+  EXPECT_EQ(L.numBlocks(), 16);
+  EXPECT_EQ(L.totalThreads(), 1024);
+}

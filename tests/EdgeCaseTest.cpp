@@ -1,0 +1,228 @@
+//===-- tests/EdgeCaseTest.cpp - interpreter/dialect edge cases -----------===//
+
+#include "ast/Builder.h"
+#include "parser/Parser.h"
+#include "sim/Simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace gpuc;
+
+namespace {
+
+bool runOk(Module &M, KernelFunction *K, BufferSet &B) {
+  DiagnosticsEngine D;
+  Simulator Sim(DeviceSpec::gtx280());
+  (void)M;
+  return Sim.runFunctional(*K, B, D);
+}
+
+} // namespace
+
+TEST(InterpreterEdge, VectorFieldWrites) {
+  Module M;
+  KernelBuilder B(M, "k");
+  B.arrayParam("c", Type::float2Ty(), {32}, true);
+  B.decl("v", Type::float2Ty(), B.at("c", {B.idx()}));
+  B.assign(B.fieldX(B.v("v", Type::float2Ty())), B.f(1));
+  B.assign(B.fieldY(B.v("v", Type::float2Ty())), B.f(2));
+  B.assign(B.at("c", {B.idx()}), B.v("v", Type::float2Ty()));
+  KernelFunction *K = B.finish(16, 1, 32, 1);
+  BufferSet Buf;
+  Buf.alloc("c", 64);
+  ASSERT_TRUE(runOk(M, K, Buf));
+  for (int I = 0; I < 32; ++I) {
+    EXPECT_FLOAT_EQ(Buf.data("c")[static_cast<size_t>(2 * I)], 1.0f);
+    EXPECT_FLOAT_EQ(Buf.data("c")[static_cast<size_t>(2 * I + 1)], 2.0f);
+  }
+}
+
+TEST(InterpreterEdge, IntDivRemSemantics) {
+  Module M;
+  KernelBuilder B(M, "k");
+  B.arrayParam("c", Type::floatTy(), {32}, true);
+  // c[idx] = (idx / 3) * 10 + idx % 3
+  B.assign(B.at("c", {B.idx()}),
+           B.add(B.mul(B.div(B.idx(), B.i(3)), B.i(10)),
+                 B.rem(B.idx(), B.i(3))));
+  KernelFunction *K = B.finish(16, 1, 32, 1);
+  BufferSet Buf;
+  ASSERT_TRUE(runOk(M, K, Buf));
+  for (int I = 0; I < 32; ++I)
+    EXPECT_FLOAT_EQ(Buf.data("c")[static_cast<size_t>(I)],
+                    static_cast<float>((I / 3) * 10 + I % 3));
+}
+
+TEST(InterpreterEdge, DivisionByZeroIsReported) {
+  Module M;
+  KernelBuilder B(M, "k");
+  B.arrayParam("c", Type::floatTy(), {16}, true);
+  B.scalarParam("z", Type::intTy(), 0);
+  B.assign(B.at("c", {B.idx()}), B.div(B.idx(), B.iv("z")));
+  KernelFunction *K = B.finish(16, 1, 16, 1);
+  BufferSet Buf;
+  DiagnosticsEngine D;
+  Simulator Sim(DeviceSpec::gtx280());
+  EXPECT_FALSE(Sim.runFunctional(*K, Buf, D));
+  EXPECT_NE(D.str().find("division by zero"), std::string::npos);
+}
+
+TEST(InterpreterEdge, ZeroTripLoop) {
+  Module M;
+  KernelBuilder B(M, "k");
+  B.arrayParam("c", Type::floatTy(), {16}, true);
+  B.decl("s", Type::floatTy(), B.f(7));
+  B.beginFor("i", B.i(5), B.i(5), B.i(1)); // 5 < 5: never runs
+  B.addAssign(B.v("s"), B.f(100));
+  B.endFor();
+  B.assign(B.at("c", {B.idx()}), B.v("s"));
+  KernelFunction *K = B.finish(16, 1, 16, 1);
+  BufferSet Buf;
+  ASSERT_TRUE(runOk(M, K, Buf));
+  EXPECT_FLOAT_EQ(Buf.data("c")[0], 7.0f);
+}
+
+TEST(InterpreterEdge, NestedDivergence) {
+  Module M;
+  KernelBuilder B(M, "k");
+  B.arrayParam("c", Type::floatTy(), {64}, true);
+  B.beginIf(B.lt(B.idx(), B.i(32)));
+  B.beginIf(B.lt(B.idx(), B.i(8)));
+  B.assign(B.at("c", {B.idx()}), B.f(1));
+  B.beginElse();
+  B.assign(B.at("c", {B.idx()}), B.f(2));
+  B.endIf();
+  B.beginElse();
+  B.assign(B.at("c", {B.idx()}), B.f(3));
+  B.endIf();
+  KernelFunction *K = B.finish(32, 1, 64, 1);
+  BufferSet Buf;
+  ASSERT_TRUE(runOk(M, K, Buf));
+  for (int I = 0; I < 64; ++I)
+    EXPECT_FLOAT_EQ(Buf.data("c")[static_cast<size_t>(I)],
+                    I < 8 ? 1.0f : I < 32 ? 2.0f : 3.0f);
+}
+
+TEST(InterpreterEdge, PerThreadTripCounts) {
+  // Loop bound depends on idx: each thread runs a different trip count.
+  Module M;
+  KernelBuilder B(M, "k");
+  B.arrayParam("c", Type::floatTy(), {32}, true);
+  B.decl("s", Type::floatTy(), B.f(0));
+  B.beginFor("i", B.i(0), B.idx(), B.i(1));
+  B.addAssign(B.v("s"), B.f(1));
+  B.endFor();
+  B.assign(B.at("c", {B.idx()}), B.v("s"));
+  KernelFunction *K = B.finish(16, 1, 32, 1);
+  BufferSet Buf;
+  ASSERT_TRUE(runOk(M, K, Buf));
+  for (int I = 0; I < 32; ++I)
+    EXPECT_FLOAT_EQ(Buf.data("c")[static_cast<size_t>(I)],
+                    static_cast<float>(I));
+}
+
+TEST(InterpreterEdge, RuntimeScalarOverridesBinding) {
+  Module M;
+  KernelBuilder B(M, "k");
+  B.arrayParam("c", Type::floatTy(), {16}, true);
+  B.scalarParam("n", Type::intTy(), 5); // compile-time binding
+  B.assign(B.at("c", {B.idx()}), B.iv("n"));
+  KernelFunction *K = B.finish(16, 1, 16, 1);
+  BufferSet Buf;
+  Buf.setScalar("n", 9); // runtime value wins
+  ASSERT_TRUE(runOk(M, K, Buf));
+  EXPECT_FLOAT_EQ(Buf.data("c")[0], 9.0f);
+}
+
+TEST(InterpreterEdge, BufferTooSmallIsReported) {
+  Module M;
+  KernelBuilder B(M, "k");
+  B.arrayParam("c", Type::floatTy(), {64}, true);
+  B.assign(B.at("c", {B.idx()}), B.f(1));
+  KernelFunction *K = B.finish(16, 1, 64, 1);
+  BufferSet Buf;
+  Buf.alloc("c", 8); // 64 needed
+  DiagnosticsEngine D;
+  Simulator Sim(DeviceSpec::gtx280());
+  EXPECT_FALSE(Sim.runFunctional(*K, Buf, D));
+  EXPECT_NE(D.str().find("kernel needs"), std::string::npos);
+}
+
+TEST(InterpreterEdge, SharedRegionsIsolatedAcrossBlocksInGridMode) {
+  // Each block writes its bidx into shared, syncs globally, then reads its
+  // OWN shared back: values must not leak between blocks.
+  Module M;
+  KernelBuilder B(M, "k");
+  B.arrayParam("c", Type::floatTy(), {64}, true);
+  B.declShared("s", Type::floatTy(), {16});
+  B.assign(B.at("s", {B.tidx()}), B.bidx());
+  B.syncThreads();
+  B.globalSync(); // forces grid-mode interpretation
+  B.assign(B.at("c", {B.idx()}), B.at("s", {B.tidx()}));
+  KernelFunction *K = B.finish(16, 1, 64, 1);
+  BufferSet Buf;
+  ASSERT_TRUE(runOk(M, K, Buf));
+  for (int I = 0; I < 64; ++I)
+    EXPECT_FLOAT_EQ(Buf.data("c")[static_cast<size_t>(I)],
+                    static_cast<float>(I / 16));
+}
+
+//===----------------------------------------------------------------------===//
+// Parser failure injection
+//===----------------------------------------------------------------------===//
+
+TEST(ParserFailure, MalformedInputsNeverCrash) {
+  const char *Cases[] = {
+      "",
+      "__global__",
+      "__global__ void",
+      "__global__ void k(",
+      "__global__ void k(float a[]) { }",
+      "__global__ void k(float a[16]) { a[idx] = ; }",
+      "__global__ void k(float a[16]) { for (idx = 0;;) a[idx] = 1; }",
+      "__global__ void k(float a[16]) { if a[idx] = 1; }",
+      "__global__ void k(float a[16]) { a[idx] = 1 }",
+      "__global__ void k(float a[16]) { a[idx = 1; }",
+      "__global__ void k(float a[16]) { __shared__ float s; a[idx]=1; }",
+      "__global__ void k(int w) { w = 3; }",
+      "void k(float a[16]) { a[idx] = 1; }",
+      "__global__ void k(float a[16]) { float = 3; }",
+      "#pragma gpuc bind(w)\n__global__ void k(float a[16]){a[idx]=1;}",
+  };
+  for (const char *Src : Cases) {
+    Module M;
+    DiagnosticsEngine D;
+    Parser P(Src, D);
+    KernelFunction *K = P.parseKernel(M);
+    // Either a parse failure with diagnostics, or a benign accept; what
+    // matters is no crash and no silent error-free failure.
+    if (!K) {
+      EXPECT_TRUE(D.hasErrors()) << "silently rejected: " << Src;
+    }
+  }
+}
+
+TEST(ParserFailure, RandomTokenSoupNeverCrashes) {
+  const char *Vocab[] = {"__global__", "void",  "float", "int",   "k",
+                         "(",          ")",     "[",     "]",     "{",
+                         "}",          ";",     "=",     "+",     "idx",
+                         "for",        "if",    "16",    "1.5f",  ",",
+                         "__shared__", "a",     "<",     "else",  "%"};
+  std::mt19937 Rng(42);
+  for (int Trial = 0; Trial < 200; ++Trial) {
+    std::string Src;
+    int Len = std::uniform_int_distribution<int>(1, 40)(Rng);
+    for (int I = 0; I < Len; ++I) {
+      Src += Vocab[std::uniform_int_distribution<size_t>(
+          0, std::size(Vocab) - 1)(Rng)];
+      Src += " ";
+    }
+    Module M;
+    DiagnosticsEngine D;
+    Parser P(Src, D);
+    (void)P.parseKernel(M); // must not crash
+  }
+  SUCCEED();
+}

@@ -1,0 +1,216 @@
+//===-- tests/LexerParserTest.cpp - lexer and parser unit tests -----------===//
+
+#include "ast/Printer.h"
+#include "ast/Walk.h"
+#include "baselines/NaiveKernels.h"
+#include "parser/Lexer.h"
+#include "parser/Parser.h"
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace gpuc;
+
+namespace {
+
+std::vector<Token> lex(const std::string &Src, DiagnosticsEngine &D) {
+  Lexer L(Src, D);
+  return L.lexAll();
+}
+
+} // namespace
+
+TEST(Lexer, Punctuation) {
+  DiagnosticsEngine D;
+  auto Toks = lex("+ += ++ == = <= < != ! && || % . ;", D);
+  std::vector<TokKind> Kinds;
+  for (const Token &T : Toks)
+    Kinds.push_back(T.Kind);
+  std::vector<TokKind> Want = {
+      TokKind::Plus,   TokKind::PlusAssign, TokKind::PlusPlus,
+      TokKind::EqEq,   TokKind::Assign,     TokKind::LessEq,
+      TokKind::Less,   TokKind::NotEq,      TokKind::Bang,
+      TokKind::AmpAmp, TokKind::PipePipe,   TokKind::Percent,
+      TokKind::Dot,    TokKind::Semi,       TokKind::Eof};
+  EXPECT_EQ(Kinds, Want);
+  EXPECT_FALSE(D.hasErrors());
+}
+
+TEST(Lexer, NumbersAndIdentifiers) {
+  DiagnosticsEngine D;
+  auto Toks = lex("42 3.5 1e3 2.5f foo _bar x9", D);
+  EXPECT_EQ(Toks[0].Kind, TokKind::IntLiteral);
+  EXPECT_EQ(Toks[0].IntValue, 42);
+  EXPECT_EQ(Toks[1].Kind, TokKind::FloatLiteral);
+  EXPECT_DOUBLE_EQ(Toks[1].FloatValue, 3.5);
+  EXPECT_EQ(Toks[2].Kind, TokKind::FloatLiteral);
+  EXPECT_DOUBLE_EQ(Toks[2].FloatValue, 1000.0);
+  EXPECT_EQ(Toks[3].Kind, TokKind::FloatLiteral);
+  EXPECT_EQ(Toks[4].Kind, TokKind::Identifier);
+  EXPECT_EQ(Toks[4].Text, "foo");
+  EXPECT_EQ(Toks[5].Text, "_bar");
+  EXPECT_EQ(Toks[6].Text, "x9");
+}
+
+TEST(Lexer, KeywordsAndComments) {
+  DiagnosticsEngine D;
+  auto Toks = lex("__global__ /* skip */ float2 // eol\n for", D);
+  EXPECT_EQ(Toks[0].Kind, TokKind::KwGlobal);
+  EXPECT_EQ(Toks[1].Kind, TokKind::KwFloat2);
+  EXPECT_EQ(Toks[2].Kind, TokKind::KwFor);
+}
+
+TEST(Lexer, PragmaCollection) {
+  DiagnosticsEngine D;
+  Lexer L("#pragma gpuc output(c)\n#pragma once\n#pragma gpuc bind(w=4)\nx",
+          D);
+  L.lexAll();
+  ASSERT_EQ(L.pragmas().size(), 2u);
+  EXPECT_EQ(L.pragmas()[0], "output(c)");
+  EXPECT_EQ(L.pragmas()[1], "bind(w=4)");
+}
+
+TEST(Lexer, TracksLocations) {
+  DiagnosticsEngine D;
+  auto Toks = lex("a\n  b", D);
+  EXPECT_EQ(Toks[0].Loc.Line, 1);
+  EXPECT_EQ(Toks[0].Loc.Col, 1);
+  EXPECT_EQ(Toks[1].Loc.Line, 2);
+  EXPECT_EQ(Toks[1].Loc.Col, 3);
+}
+
+TEST(Parser, ParsesMatrixMultiply) {
+  Module M;
+  DiagnosticsEngine D;
+  KernelFunction *K = parseNaive(M, Algo::MM, 64, D);
+  ASSERT_NE(K, nullptr) << D.str();
+  EXPECT_EQ(K->name(), "mm");
+  ASSERT_EQ(K->params().size(), 4u);
+  EXPECT_TRUE(K->params()[0].IsArray);
+  EXPECT_EQ(K->params()[0].Dims, (std::vector<long long>{64, 64}));
+  EXPECT_FALSE(K->params()[3].IsArray);
+  EXPECT_EQ(K->outputName(), "c");
+  EXPECT_EQ(K->scalarBindingOr("w", -1), 64);
+  EXPECT_EQ(K->workDomainX(), 64);
+  EXPECT_EQ(K->workDomainY(), 64);
+  // naive default launch: one half warp per block
+  EXPECT_EQ(K->launch().BlockDimX, 16);
+  EXPECT_EQ(K->launch().BlockDimY, 1);
+  EXPECT_EQ(K->launch().GridDimX, 4);
+  EXPECT_EQ(K->launch().GridDimY, 64);
+}
+
+TEST(Parser, AllNaiveKernelsParse) {
+  for (Algo A : table1Algos()) {
+    Module M;
+    DiagnosticsEngine D;
+    long long N = 64;
+    if (A == Algo::RD)
+      N = 256;
+    KernelFunction *K = parseNaive(M, A, N, D);
+    EXPECT_NE(K, nullptr) << algoInfo(A).Name << ": " << D.str();
+  }
+}
+
+TEST(Parser, NaiveKernelLinesOfCodeAreClose) {
+  // Table 1 documents the naive kernels' simplicity; our dialect versions
+  // must stay in the same ballpark (within a factor of ~2).
+  for (Algo A : table1Algos()) {
+    int Paper = algoInfo(A).PaperNaiveLoc;
+    int Ours = countCodeLines(naiveSource(A, 1024));
+    EXPECT_LE(Ours, 2 * Paper + 6) << algoInfo(A).Name;
+    EXPECT_GE(Ours, 2) << algoInfo(A).Name;
+  }
+}
+
+TEST(Parser, ForStepVariants) {
+  const char *Src = "#pragma gpuc output(c)\n"
+                    "__global__ void k(float c[64]) {\n"
+                    "  float s = 0;\n"
+                    "  for (int i = 0; i < 64; i++) s += 1;\n"
+                    "  for (int j = 0; j < 64; j += 2) s += 1;\n"
+                    "  for (int k = 0; k < 64; k = k + 4) s += 1;\n"
+                    "  for (int h = 64; h >= 1; h = h / 2) s += 1;\n"
+                    "  c[idx] = s;\n"
+                    "}\n";
+  Module M;
+  DiagnosticsEngine D;
+  Parser P(Src, D);
+  KernelFunction *K = P.parseKernel(M);
+  ASSERT_NE(K, nullptr) << D.str();
+  int Fors = 0;
+  forEachStmt(K->body(), [&](Stmt *S) {
+    if (isa<ForStmt>(S))
+      ++Fors;
+  });
+  EXPECT_EQ(Fors, 4);
+}
+
+TEST(Parser, RejectsUnknownIdentifier) {
+  Module M;
+  DiagnosticsEngine D;
+  Parser P("__global__ void k(float c[16]) { c[idx] = nope; }", D);
+  EXPECT_EQ(P.parseKernel(M), nullptr);
+  EXPECT_TRUE(D.hasErrors());
+}
+
+TEST(Parser, RejectsUnknownArray) {
+  Module M;
+  DiagnosticsEngine D;
+  Parser P("__global__ void k(float c[16]) { c[idx] = d[idx]; }", D);
+  EXPECT_EQ(P.parseKernel(M), nullptr);
+  EXPECT_TRUE(D.hasErrors());
+}
+
+TEST(Parser, RejectsKernelWithoutStores) {
+  Module M;
+  DiagnosticsEngine D;
+  Parser P("__global__ void k(float c[16]) { float x = c[idx]; }", D);
+  EXPECT_EQ(P.parseKernel(M), nullptr);
+  EXPECT_TRUE(D.hasErrors());
+}
+
+TEST(Parser, MemberAccessAndCalls) {
+  const char *Src =
+      "#pragma gpuc output(c)\n"
+      "__global__ void k(float2 a[32], float c[32]) {\n"
+      "  float2 v = a[idx];\n"
+      "  c[idx] = fmaxf(v.x, v.y) + sqrtf(fabsf(v.x));\n"
+      "}\n";
+  Module M;
+  DiagnosticsEngine D;
+  Parser P(Src, D);
+  KernelFunction *K = P.parseKernel(M);
+  ASSERT_NE(K, nullptr) << D.str();
+  std::string Out = printKernel(*K);
+  EXPECT_NE(Out.find("v.x"), std::string::npos);
+  EXPECT_NE(Out.find("fmaxf"), std::string::npos);
+}
+
+TEST(Parser, DomainPragmaOverridesOutputShape) {
+  Module M;
+  DiagnosticsEngine D;
+  KernelFunction *K = parseNaive(M, Algo::RD, 256, D);
+  ASSERT_NE(K, nullptr) << D.str();
+  EXPECT_EQ(K->workDomainX(), 128); // n/2 threads
+  EXPECT_EQ(K->workDomainY(), 1);
+}
+
+TEST(Parser, SharedDeclaration) {
+  const char *Src = "#pragma gpuc output(c)\n"
+                    "__global__ void k(float c[64]) {\n"
+                    "  __shared__ float s[16][17];\n"
+                    "  s[tidy][tidx] = 1.0f;\n"
+                    "  __syncthreads();\n"
+                    "  c[idx] = s[tidx][tidy];\n"
+                    "}\n";
+  Module M;
+  DiagnosticsEngine D;
+  Parser P(Src, D);
+  KernelFunction *K = P.parseKernel(M);
+  ASSERT_NE(K, nullptr) << D.str();
+  auto Decls = K->sharedDecls();
+  ASSERT_EQ(Decls.size(), 1u);
+  EXPECT_EQ(Decls[0]->sharedElemCount(), 16 * 17);
+  EXPECT_EQ(K->sharedBytes(), 16 * 17 * 4);
+}

@@ -1,0 +1,474 @@
+//===-- tests/SimTest.cpp - simulator substrate tests ---------------------===//
+
+#include "ast/Builder.h"
+#include "baselines/CublasLike.h"
+#include "sim/MemoryModel.h"
+#include "sim/Simulator.h"
+
+#include <gtest/gtest.h>
+
+using namespace gpuc;
+
+//===----------------------------------------------------------------------===//
+// Memory model
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+SimStats foldOne(const DeviceSpec &Dev,
+                 const std::vector<std::pair<long long, long long>> &TidAddr,
+                 int ElemBytes, bool IsStore = false) {
+  MemoryModel MM(Dev);
+  MM.beginStatement();
+  int Site = 0;
+  for (auto [Tid, Addr] : TidAddr)
+    MM.recordGlobal(&Site, Tid, Addr, ElemBytes, IsStore);
+  SimStats S;
+  MM.endStatement(S);
+  return S;
+}
+
+} // namespace
+
+TEST(MemoryModel, CoalescedHalfWarpIsOneTransaction) {
+  DeviceSpec Dev = DeviceSpec::gtx280();
+  std::vector<std::pair<long long, long long>> Acc;
+  for (long long T = 0; T < 16; ++T)
+    Acc.push_back({T, 4096 + 4 * T});
+  SimStats S = foldOne(Dev, Acc, 4);
+  EXPECT_EQ(S.Transactions, 1);
+  EXPECT_EQ(S.BytesMovedFloat, 64);
+  EXPECT_EQ(S.CoalescedHalfWarps, 1);
+  EXPECT_EQ(S.UncoalescedHalfWarps, 0);
+  EXPECT_EQ(S.UsefulBytes, 64);
+}
+
+TEST(MemoryModel, MisalignedBaseSerializes) {
+  DeviceSpec Dev = DeviceSpec::gtx8800();
+  std::vector<std::pair<long long, long long>> Acc;
+  for (long long T = 0; T < 16; ++T)
+    Acc.push_back({T, 4100 + 4 * T}); // base not 64-aligned
+  SimStats S = foldOne(Dev, Acc, 4);
+  EXPECT_EQ(S.Transactions, 16);
+  EXPECT_EQ(S.BytesMovedFloat, 16 * 32);
+  EXPECT_EQ(S.UncoalescedHalfWarps, 1);
+}
+
+TEST(MemoryModel, BroadcastIsNotCoalescedOnG80) {
+  DeviceSpec Dev = DeviceSpec::gtx8800();
+  std::vector<std::pair<long long, long long>> Acc;
+  for (long long T = 0; T < 16; ++T)
+    Acc.push_back({T, 4096}); // same address, like b[i]
+  SimStats S = foldOne(Dev, Acc, 4);
+  EXPECT_EQ(S.Transactions, 16);
+}
+
+TEST(MemoryModel, Gt200RelaxedCoalescerMergesSegments) {
+  // GT200 folds a failed half warp into minimal 32-byte segments: a
+  // broadcast costs one transaction, a misaligned walk costs three.
+  DeviceSpec Dev = DeviceSpec::gtx280();
+  ASSERT_TRUE(Dev.RelaxedCoalescing);
+  std::vector<std::pair<long long, long long>> Broadcast;
+  for (long long T = 0; T < 16; ++T)
+    Broadcast.push_back({T, 4096});
+  EXPECT_EQ(foldOne(Dev, Broadcast, 4).Transactions, 1);
+  std::vector<std::pair<long long, long long>> Shifted;
+  for (long long T = 0; T < 16; ++T)
+    Shifted.push_back({T, 4100 + 4 * T}); // spans 3 32B segments
+  EXPECT_EQ(foldOne(Dev, Shifted, 4).Transactions, 3);
+}
+
+TEST(MemoryModel, Float2HalfWarpIsOne128ByteTransaction) {
+  DeviceSpec Dev = DeviceSpec::gtx280();
+  std::vector<std::pair<long long, long long>> Acc;
+  for (long long T = 0; T < 16; ++T)
+    Acc.push_back({T, 8192 + 8 * T});
+  SimStats S = foldOne(Dev, Acc, 8);
+  EXPECT_EQ(S.Transactions, 1);
+  EXPECT_EQ(S.BytesMovedFloat2, 128);
+}
+
+TEST(MemoryModel, PartiallyActiveHalfWarpStillCoalesces) {
+  DeviceSpec Dev = DeviceSpec::gtx280();
+  std::vector<std::pair<long long, long long>> Acc;
+  for (long long T = 0; T < 16; T += 2) // divergent lanes
+    Acc.push_back({T, 4096 + 4 * T});
+  SimStats S = foldOne(Dev, Acc, 4);
+  EXPECT_EQ(S.Transactions, 1);
+  EXPECT_EQ(S.UsefulBytes, 8 * 4);
+}
+
+TEST(MemoryModel, DistinctSitesNeverMerge) {
+  DeviceSpec Dev = DeviceSpec::gtx280();
+  MemoryModel MM(Dev);
+  MM.beginStatement();
+  int SiteA = 0, SiteB = 0;
+  for (long long T = 0; T < 16; ++T) {
+    MM.recordGlobal(&SiteA, T, 4096 + 4 * T, 4, false);
+    MM.recordGlobal(&SiteB, T, 8192 + 4 * T, 4, false);
+  }
+  SimStats S;
+  MM.endStatement(S);
+  EXPECT_EQ(S.Transactions, 2);
+  EXPECT_EQ(S.GlobalLoadHalfWarps, 2);
+}
+
+TEST(MemoryModel, PartitionAttribution) {
+  DeviceSpec Dev = DeviceSpec::gtx280(); // 8 partitions x 256B
+  std::vector<std::pair<long long, long long>> Acc;
+  for (long long T = 0; T < 16; ++T)
+    Acc.push_back({T, 0 + 4 * T});
+  SimStats S = foldOne(Dev, Acc, 4);
+  ASSERT_EQ(S.PartitionBytes.size(), 8u);
+  EXPECT_EQ(S.PartitionBytes[0], 64);
+  // camping factor of a single-partition histogram is the partition count
+  EXPECT_DOUBLE_EQ(MemoryModel::campingFactor(S.PartitionBytes), 8.0);
+  std::vector<double> Balanced(8, 10.0);
+  EXPECT_DOUBLE_EQ(MemoryModel::campingFactor(Balanced), 1.0);
+  EXPECT_DOUBLE_EQ(MemoryModel::campingFactor({}), 1.0);
+}
+
+TEST(MemoryModel, SharedBankConflicts) {
+  DeviceSpec Dev = DeviceSpec::gtx280();
+  MemoryModel MM(Dev);
+  int Site = 0;
+  // 16-way conflict: every lane hits bank 0 (stride 16 words).
+  MM.beginStatement();
+  for (long long T = 0; T < 16; ++T)
+    MM.recordShared(&Site, T, 64 * T, 4);
+  SimStats S1;
+  MM.endStatement(S1);
+  EXPECT_EQ(S1.SharedBankExtraCycles, 15);
+  // Conflict-free: consecutive words.
+  MM.beginStatement();
+  for (long long T = 0; T < 16; ++T)
+    MM.recordShared(&Site, T, 4 * T, 4);
+  SimStats S2;
+  MM.endStatement(S2);
+  EXPECT_EQ(S2.SharedBankExtraCycles, 0);
+  // Broadcast: same word for all lanes.
+  MM.beginStatement();
+  for (long long T = 0; T < 16; ++T)
+    MM.recordShared(&Site, T, 68, 4);
+  SimStats S3;
+  MM.endStatement(S3);
+  EXPECT_EQ(S3.SharedBankExtraCycles, 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Occupancy
+//===----------------------------------------------------------------------===//
+
+TEST(Occupancy, SharedMemoryLimitsBlocks) {
+  Module M;
+  KernelBuilder B(M, "k");
+  B.arrayParam("c", Type::floatTy(), {65536}, true);
+  B.declShared("s", Type::floatTy(), {1200}); // 4.8 KB -> 3 blocks of 16 KB
+  B.assign(B.at("s", {B.tidx()}), B.f(0));
+  B.syncThreads();
+  B.assign(B.at("c", {B.idx()}), B.at("s", {B.tidx()}));
+  KernelFunction *K = B.finish(128, 1, 65536, 1);
+  Occupancy O = computeOccupancy(DeviceSpec::gtx280(), *K);
+  EXPECT_EQ(O.BlocksPerSM, 3);
+  EXPECT_STREQ(O.LimitedBy, "shared");
+}
+
+TEST(Occupancy, ThreadLimit) {
+  Module M;
+  KernelBuilder B(M, "k");
+  B.arrayParam("c", Type::floatTy(), {65536}, true);
+  B.assign(B.at("c", {B.idx()}), B.f(0));
+  KernelFunction *K = B.finish(512, 1, 65536, 1);
+  Occupancy O8800 = computeOccupancy(DeviceSpec::gtx8800(), *K);
+  EXPECT_EQ(O8800.BlocksPerSM, 1); // 768 max threads / 512
+  Occupancy O280 = computeOccupancy(DeviceSpec::gtx280(), *K);
+  EXPECT_EQ(O280.BlocksPerSM, 2); // 1024 / 512
+}
+
+TEST(Occupancy, InfeasibleWhenSharedExceedsSM) {
+  Module M;
+  KernelBuilder B(M, "k");
+  B.arrayParam("c", Type::floatTy(), {4096}, true);
+  B.declShared("s", Type::floatTy(), {8192}); // 32 KB > 16 KB
+  B.assign(B.at("c", {B.idx()}), B.f(0));
+  KernelFunction *K = B.finish(128, 1, 4096, 1);
+  EXPECT_TRUE(computeOccupancy(DeviceSpec::gtx280(), *K).Infeasible);
+}
+
+TEST(Occupancy, RegisterEstimateCountsLiveLocals) {
+  // 20 accumulators all live until the final store must count in full...
+  Module M;
+  KernelBuilder B(M, "k");
+  B.arrayParam("c", Type::floatTy(), {4096}, true);
+  Expr *Sum = B.f(0);
+  for (int I = 0; I < 20; ++I)
+    B.decl("v" + std::to_string(I), Type::floatTy(), B.f(0));
+  for (int I = 0; I < 20; ++I)
+    Sum = B.add(Sum, B.v("v" + std::to_string(I)));
+  B.assign(B.at("c", {B.idx()}), Sum);
+  KernelFunction *K = B.finish(256, 1, 4096, 1);
+  EXPECT_GE(estimateRegistersPerThread(*K), 20);
+}
+
+TEST(Occupancy, RegisterEstimateDiscountsDeadTemporaries) {
+  // ...while straight-line temporaries that die immediately overlap only
+  // briefly, like after real register allocation (the fft8 butterfly
+  // would otherwise look infeasible).
+  Module M;
+  KernelBuilder B(M, "k");
+  B.arrayParam("c", Type::floatTy(), {4096}, true);
+  for (int I = 0; I < 19; ++I)
+    B.decl("v" + std::to_string(I), Type::floatTy(), B.f(0));
+  B.decl("last", Type::floatTy(), B.f(1));
+  B.assign(B.at("c", {B.idx()}), B.v("last"));
+  KernelFunction *K = B.finish(256, 1, 4096, 1);
+  EXPECT_LT(estimateRegistersPerThread(*K), 12);
+}
+
+//===----------------------------------------------------------------------===//
+// Interpreter
+//===----------------------------------------------------------------------===//
+
+TEST(Interpreter, ElementwiseKernel) {
+  Module M;
+  KernelBuilder B(M, "saxpy");
+  B.arrayParam("x", Type::floatTy(), {256});
+  B.arrayParam("y", Type::floatTy(), {256}, true);
+  B.assign(B.at("y", {B.idx()}),
+           B.add(B.mul(B.f(2.0), B.at("x", {B.idx()})), B.at("y", {B.idx()})));
+  KernelFunction *K = B.finish(64, 1, 256, 1);
+  BufferSet Buf;
+  auto &X = Buf.alloc("x", 256);
+  auto &Y = Buf.alloc("y", 256);
+  for (int I = 0; I < 256; ++I) {
+    X[static_cast<size_t>(I)] = static_cast<float>(I);
+    Y[static_cast<size_t>(I)] = 1.0f;
+  }
+  DiagnosticsEngine D;
+  Simulator Sim(DeviceSpec::gtx280());
+  ASSERT_TRUE(Sim.runFunctional(*K, Buf, D)) << D.str();
+  for (int I = 0; I < 256; ++I)
+    EXPECT_FLOAT_EQ(Buf.data("y")[static_cast<size_t>(I)], 2.0f * I + 1.0f);
+}
+
+TEST(Interpreter, DivergentIfMasksThreads) {
+  Module M;
+  KernelBuilder B(M, "k");
+  B.arrayParam("c", Type::floatTy(), {64}, true);
+  B.beginIf(B.lt(B.idx(), B.i(10)));
+  B.assign(B.at("c", {B.idx()}), B.f(1));
+  B.beginElse();
+  B.assign(B.at("c", {B.idx()}), B.f(2));
+  B.endIf();
+  KernelFunction *K = B.finish(32, 1, 64, 1);
+  BufferSet Buf;
+  DiagnosticsEngine D;
+  Simulator Sim(DeviceSpec::gtx280());
+  ASSERT_TRUE(Sim.runFunctional(*K, Buf, D)) << D.str();
+  for (int I = 0; I < 64; ++I)
+    EXPECT_FLOAT_EQ(Buf.data("c")[static_cast<size_t>(I)],
+                    I < 10 ? 1.0f : 2.0f);
+}
+
+TEST(Interpreter, BarrierInDivergentFlowIsAnError) {
+  Module M;
+  KernelBuilder B(M, "k");
+  B.arrayParam("c", Type::floatTy(), {64}, true);
+  B.beginIf(B.lt(B.idx(), B.i(10)));
+  B.syncThreads();
+  B.assign(B.at("c", {B.idx()}), B.f(1));
+  B.endIf();
+  KernelFunction *K = B.finish(32, 1, 64, 1);
+  BufferSet Buf;
+  DiagnosticsEngine D;
+  Simulator Sim(DeviceSpec::gtx280());
+  EXPECT_FALSE(Sim.runFunctional(*K, Buf, D));
+  EXPECT_TRUE(D.hasErrors());
+}
+
+TEST(Interpreter, OutOfBoundsIsReportedNotCrashing) {
+  Module M;
+  KernelBuilder B(M, "k");
+  B.arrayParam("c", Type::floatTy(), {16}, true);
+  B.assign(B.at("c", {B.add(B.idx(), B.i(1000))}), B.f(1));
+  KernelFunction *K = B.finish(16, 1, 16, 1);
+  BufferSet Buf;
+  DiagnosticsEngine D;
+  Simulator Sim(DeviceSpec::gtx280());
+  EXPECT_FALSE(Sim.runFunctional(*K, Buf, D));
+  EXPECT_TRUE(D.hasErrors());
+}
+
+TEST(Interpreter, HalvingLoopAndGlobalSync) {
+  // Mini tree reduction across two blocks: requires grid-wide lockstep.
+  Module M;
+  KernelBuilder B(M, "mini_rd");
+  B.arrayParam("a", Type::floatTy(), {128}, true);
+  B.scalarParam("n", Type::intTy(), 128);
+  B.beginForHalving("s", B.div(B.iv("n"), B.i(2)));
+  B.beginIf(B.lt(B.idx(), B.iv("s")));
+  B.addAssign(B.at("a", {B.idx()}),
+              B.at("a", {B.add(B.idx(), B.iv("s"))}));
+  B.endIf();
+  B.globalSync();
+  B.endFor();
+  KernelFunction *K = B.finish(32, 1, 64, 1); // 2 blocks of 32
+  BufferSet Buf;
+  auto &A = Buf.alloc("a", 128);
+  float Want = 0;
+  for (int I = 0; I < 128; ++I) {
+    A[static_cast<size_t>(I)] = static_cast<float>(I % 7);
+    Want += static_cast<float>(I % 7);
+  }
+  DiagnosticsEngine D;
+  Simulator Sim(DeviceSpec::gtx280());
+  ASSERT_TRUE(Sim.runFunctional(*K, Buf, D)) << D.str();
+  EXPECT_NEAR(Buf.data("a")[0], Want, 1e-3);
+}
+
+TEST(Interpreter, Float2CopyKernel) {
+  Module M;
+  KernelFunction *K = bandwidthCopyKernel(M, 2, 512);
+  BufferSet Buf;
+  auto &A = Buf.alloc("a", 512);
+  for (int I = 0; I < 512; ++I)
+    A[static_cast<size_t>(I)] = static_cast<float>(I);
+  DiagnosticsEngine D;
+  Simulator Sim(DeviceSpec::gtx280());
+  ASSERT_TRUE(Sim.runFunctional(*K, Buf, D)) << D.str();
+  for (int I = 0; I < 512; ++I)
+    EXPECT_FLOAT_EQ(Buf.data("c")[static_cast<size_t>(I)],
+                    static_cast<float>(I));
+}
+
+//===----------------------------------------------------------------------===//
+// Performance mode
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+KernelFunction *buildStreamKernel(Module &M, long long N, long long Iters) {
+  KernelBuilder B(M, "stream");
+  B.arrayParam("a", Type::floatTy(), {N, 1040});
+  B.arrayParam("c", Type::floatTy(), {N}, true);
+  B.scalarParam("w", Type::intTy(), Iters);
+  B.decl("s", Type::floatTy(), B.f(0));
+  B.beginFor("i", B.i(0), B.iv("w"), B.i(1));
+  B.addAssign(B.v("s"), B.at("a", {B.idx(), B.iv("i")}));
+  B.endFor();
+  B.assign(B.at("c", {B.idx()}), B.v("s"));
+  return B.finish(64, 1, N, 1);
+}
+
+} // namespace
+
+TEST(PerfMode, LoopSamplingMatchesFullExecution) {
+  // Statistics from sampled loops must extrapolate to (near) the full
+  // execution's statistics — the access pattern is exactly periodic.
+  Module M;
+  KernelFunction *K = buildStreamKernel(M, 128, 512);
+  Simulator Sim(DeviceSpec::gtx280());
+  DiagnosticsEngine D;
+  BufferSet B1, B2;
+  PerfOptions Sampled; // default: sampling on
+  PerfOptions Full;
+  Full.LoopSampleThreshold = 1 << 30; // never sample
+  PerfResult RS = Sim.runPerformance(*K, B1, D, Sampled);
+  PerfResult RF = Sim.runPerformance(*K, B2, D, Full);
+  ASSERT_TRUE(RS.Valid && RF.Valid) << D.str();
+  EXPECT_NEAR(RS.Stats.bytesMovedTotal() / RF.Stats.bytesMovedTotal(), 1.0,
+              0.05);
+  EXPECT_NEAR(RS.Stats.DynOps / RF.Stats.DynOps, 1.0, 0.15);
+  EXPECT_NEAR(RS.TimeMs / RF.TimeMs, 1.0, 0.20);
+}
+
+TEST(PerfMode, UncoalescedKernelMovesMoreBytes) {
+  Module M;
+  // Row walk (uncoalesced, like mv's a[idx][i]).
+  KernelFunction *Bad = buildStreamKernel(M, 128, 256);
+  // Column walk (coalesced): a[i][idx].
+  KernelBuilder B(M, "colwalk");
+  B.arrayParam("a", Type::floatTy(), {1024, 128});
+  B.arrayParam("c", Type::floatTy(), {128}, true);
+  B.scalarParam("w", Type::intTy(), 256);
+  B.decl("s", Type::floatTy(), B.f(0));
+  B.beginFor("i", B.i(0), B.iv("w"), B.i(1));
+  B.addAssign(B.v("s"), B.at("a", {B.iv("i"), B.idx()}));
+  B.endFor();
+  B.assign(B.at("c", {B.idx()}), B.v("s"));
+  KernelFunction *Good = B.finish(64, 1, 128, 1);
+
+  Simulator Sim(DeviceSpec::gtx280());
+  DiagnosticsEngine D;
+  BufferSet B1, B2;
+  PerfResult RBad = Sim.runPerformance(*Bad, B1, D);
+  PerfResult RGood = Sim.runPerformance(*Good, B2, D);
+  ASSERT_TRUE(RBad.Valid && RGood.Valid) << D.str();
+  // 8x waste: 32-byte transactions for 4 useful bytes.
+  EXPECT_GT(RBad.Stats.bytesMovedTotal(),
+            6.0 * RGood.Stats.bytesMovedTotal());
+  EXPECT_GT(RBad.TimeMs, RGood.TimeMs);
+}
+
+TEST(PerfMode, BandwidthTableOrdering) {
+  // Section 2's GTX 280 table: float2 slightly beats float; float4 is
+  // slower than both.
+  Module M;
+  Simulator Sim(DeviceSpec::gtx280());
+  DiagnosticsEngine D;
+  double GBs[3];
+  int I = 0;
+  for (int W : {1, 2, 4}) {
+    KernelFunction *K = bandwidthCopyKernel(M, W, 1 << 22);
+    BufferSet B;
+    PerfResult R = Sim.runPerformance(*K, B, D);
+    ASSERT_TRUE(R.Valid) << D.str();
+    GBs[I++] = R.effectiveBandwidthGBs(2.0 * 4.0 * (1 << 22));
+  }
+  EXPECT_GT(GBs[1], GBs[0]);
+  EXPECT_GT(GBs[0], GBs[2]);
+}
+
+TEST(Timing, LaunchOverheadCountsGlobalSyncs) {
+  DeviceSpec Dev = DeviceSpec::gtx280();
+  SimStats S;
+  S.GlobalSyncs = 10 * 64; // 10 syncs counted by each of 64 blocks
+  Occupancy O;
+  O.BlocksPerSM = 1;
+  O.ActiveThreadsPerSM = 256;
+  TimingBreakdown TB = estimateTime(Dev, S, O, 64);
+  EXPECT_NEAR(TB.LaunchMs, 11 * Dev.LaunchOverheadUs * 1e-3, 1e-9);
+}
+
+TEST(Timing, CampingSlowsMemory) {
+  DeviceSpec Dev = DeviceSpec::gtx280();
+  SimStats Balanced;
+  Balanced.BytesMovedFloat = 1e9;
+  Balanced.PartitionBytes.assign(8, 1e9 / 8);
+  SimStats Camped = Balanced;
+  Camped.PartitionBytes.assign(8, 0.0);
+  Camped.PartitionBytes[0] = 1e9;
+  Occupancy O;
+  O.BlocksPerSM = 8;
+  O.ActiveThreadsPerSM = 1024;
+  TimingBreakdown TBal = estimateTime(Dev, Balanced, O, 1024);
+  TimingBreakdown TCamp = estimateTime(Dev, Camped, O, 1024);
+  EXPECT_GT(TCamp.TotalMs, 2.0 * TBal.TotalMs);
+  EXPECT_GT(TCamp.CampingFactor, 3.0);
+}
+
+TEST(Timing, LowOccupancyExposesLatency) {
+  DeviceSpec Dev = DeviceSpec::gtx280();
+  SimStats S;
+  S.DynOps = 1e8;
+  S.BytesMovedFloat = 1e8;
+  S.GlobalLoadHalfWarps = 1e6;
+  Occupancy Low, High;
+  Low.ActiveThreadsPerSM = 32;
+  Low.BlocksPerSM = 1;
+  High.ActiveThreadsPerSM = 768;
+  High.BlocksPerSM = 3;
+  TimingBreakdown TLow = estimateTime(Dev, S, Low, 1024);
+  TimingBreakdown THigh = estimateTime(Dev, S, High, 1024);
+  EXPECT_GT(TLow.TotalMs, THigh.TotalMs);
+}

@@ -1,0 +1,383 @@
+//===-- tests/TransformTest.cpp - transformation pass structure tests -----===//
+//
+// Golden structure checks: the converted/merged kernels must match the
+// shapes of the paper's Figures 3, 5, 7 and 8.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/Printer.h"
+#include "ast/Walk.h"
+#include "baselines/NaiveKernels.h"
+#include "core/BlockMerge.h"
+#include "core/Compiler.h"
+#include "core/Prefetch.h"
+#include "core/ThreadMerge.h"
+#include "core/Vectorize.h"
+#include "parser/Parser.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+using namespace gpuc;
+
+namespace {
+
+struct Pipeline {
+  Module M;
+  DiagnosticsEngine Diags;
+  KernelFunction *Naive = nullptr;
+  KernelFunction *Opt = nullptr;
+  MergePlan Plan;
+  PartitionCampResult Camp;
+
+  void run(Algo A, long long N, int BlockN, int ThreadM,
+           CompileOptions Opt2 = CompileOptions()) {
+    Naive = parseNaive(M, A, N, Diags);
+    ASSERT_NE(Naive, nullptr) << Diags.str();
+    GpuCompiler GC(M, Diags);
+    Opt = GC.compileVariant(*Naive, Opt2, BlockN, ThreadM, &Plan, &Camp);
+    ASSERT_NE(Opt, nullptr) << Diags.str();
+    ASSERT_FALSE(Diags.hasErrors()) << Diags.str();
+  }
+
+  std::string text() const { return printKernel(*Opt); }
+};
+
+int countOccurrences(const std::string &Hay, const std::string &Needle) {
+  int N = 0;
+  size_t Pos = 0;
+  while ((Pos = Hay.find(Needle, Pos)) != std::string::npos) {
+    ++N;
+    Pos += Needle.size();
+  }
+  return N;
+}
+
+} // namespace
+
+TEST(CoalesceTransform, MmMatchesFigure3a) {
+  // Figure 3a: outer loop stepping 16, a-row staged through shared memory
+  // with a[idy][i+tidx], inner 16-iteration loop, b access i+k.
+  // (Prefetch off: Figure 3 is the pre-prefetch stage.)
+  Pipeline P;
+  CompileOptions NoPref;
+  NoPref.Prefetch = false;
+  P.run(Algo::MM, 64, 1, 1, NoPref);
+  std::string T = P.text();
+  EXPECT_NE(T.find("__shared__ float shared"), std::string::npos) << T;
+  EXPECT_NE(T.find("= a[idy][(i+tidx)]"), std::string::npos) << T;
+  EXPECT_NE(T.find("i = i + 16"), std::string::npos) << T;
+  EXPECT_NE(T.find("b[(i+k0)][idx]"), std::string::npos) << T;
+  EXPECT_GE(countOccurrences(T, "__syncthreads()"), 2) << T;
+  // block of one half warp (Section 3.3)
+  EXPECT_EQ(P.Opt->launch().BlockDimX, 16);
+  EXPECT_EQ(P.Opt->launch().BlockDimY, 1);
+}
+
+TEST(CoalesceTransform, MvMatchesFigure3b) {
+  // Figure 3b: b staged as shared2[tidx] = b[i+tidx]; the a matrix staged
+  // as a 16x17 tile via an introduced l loop.
+  Pipeline P;
+  CompileOptions NoPref;
+  NoPref.Prefetch = false;
+  NoPref.PartitionElim = false;
+  P.run(Algo::MV, 64, 1, 1, NoPref);
+  std::string T = P.text();
+  EXPECT_NE(T.find("= b[(i+tidx)]"), std::string::npos) << T;
+  EXPECT_NE(T.find("[16][17]"), std::string::npos) << T;
+  EXPECT_NE(T.find("a[((idx-tidx)+l"), std::string::npos) << T;
+  EXPECT_NE(T.find("(i+tidx)"), std::string::npos) << T;
+  // consumer reads tile[tidx][k]
+  EXPECT_NE(T.find("[tidx][k"), std::string::npos) << T;
+}
+
+TEST(CoalesceTransform, SkipsAccessWithoutReuse) {
+  // A lone non-coalesced broadcast load with no loop has no reuse
+  // (Section 3.4's gating rule): left unconverted, no shared staging.
+  const char *Src = "#pragma gpuc output(c)\n"
+                    "__global__ void k(float a[64][64], float c[64][64]) {\n"
+                    "  c[idy][idx] = a[idy][1];\n"
+                    "}\n";
+  Module M;
+  DiagnosticsEngine D;
+  Parser P(Src, D);
+  KernelFunction *K = P.parseKernel(M);
+  ASSERT_NE(K, nullptr) << D.str();
+  GpuCompiler GC(M, D);
+  KernelFunction *V = GC.compileVariant(*K, CompileOptions(), 1, 1);
+  ASSERT_NE(V, nullptr);
+  EXPECT_EQ(printKernel(*V).find("__shared__"), std::string::npos)
+      << printKernel(*V);
+}
+
+TEST(BlockMerge, GuardsRedundantLoadsLikeFigure5) {
+  Pipeline P;
+  P.run(Algo::MM, 256, 16, 1);
+  std::string T = P.text();
+  // 16 merged blocks -> 256 threads; staging guarded by tidx < 16.
+  EXPECT_EQ(P.Opt->launch().BlockDimX, 256);
+  EXPECT_NE(T.find("if ((tidx<16))"), std::string::npos) << T;
+  EXPECT_EQ(P.Opt->launch().GridDimX, 256 / 16 / 16);
+}
+
+TEST(BlockMerge, RejectsIndivisibleGrid) {
+  Module M;
+  DiagnosticsEngine D;
+  KernelFunction *Naive = parseNaive(M, Algo::MM, 64, D);
+  ASSERT_NE(Naive, nullptr);
+  GpuCompiler GC(M, D);
+  KernelFunction *V = GC.compileVariant(*Naive, CompileOptions(), 16, 1);
+  // 64/16 = 4 blocks along X; merging 16 is impossible, kernel unchanged.
+  EXPECT_EQ(V->launch().BlockDimX, 16);
+}
+
+TEST(ThreadMerge, ReplicatesLikeFigure7) {
+  Pipeline P;
+  P.run(Algo::MM, 128, 1, 4);
+  std::string T = P.text();
+  // Replicated accumulators and staging arrays; hoisted common b load.
+  EXPECT_NE(T.find("sum_0"), std::string::npos) << T;
+  EXPECT_NE(T.find("sum_3"), std::string::npos) << T;
+  EXPECT_EQ(T.find("sum_4"), std::string::npos) << T;
+  EXPECT_NE(T.find("(idy*4)"), std::string::npos) << T;
+  // the shared b load goes through one register temporary
+  EXPECT_EQ(countOccurrences(T, "b[(i+k0)][idx]"), 1) << T;
+  EXPECT_EQ(P.Opt->launch().GridDimY, 128 / 4);
+  // loop control is not replicated
+  EXPECT_EQ(countOccurrences(T, "for (int k0"), 1) << T;
+}
+
+TEST(ThreadMerge, ControlDependentValuesReplicate) {
+  // imregionmax's flag is assigned under a merged-direction-dependent
+  // branch; each replica needs its own copy.
+  Pipeline P;
+  P.run(Algo::IMREGIONMAX, 64, 1, 4);
+  std::string T = P.text();
+  EXPECT_NE(T.find("flag_0"), std::string::npos) << T;
+  EXPECT_NE(T.find("flag_3"), std::string::npos) << T;
+}
+
+TEST(ThreadMerge, DirectionXUsesBlockStride) {
+  Module M;
+  DiagnosticsEngine D;
+  KernelFunction *K = parseNaive(M, Algo::VV, 1024, D);
+  ASSERT_NE(K, nullptr);
+  // Manually thread-merge along X by 4.
+  ASSERT_TRUE(threadMerge(*K, M.context(), 4, /*AlongY=*/false));
+  std::string T = printKernel(*K);
+  // idx -> ((bidx*4 + r) * bdx + tidx) keeps each replica coalesced.
+  EXPECT_NE(T.find("(bidx*4)"), std::string::npos) << T;
+  EXPECT_NE(T.find("tidx"), std::string::npos) << T;
+  EXPECT_EQ(K->launch().GridDimX, 1024 / 16 / 4);
+}
+
+TEST(Prefetch, InsertsTemporaryLikeFigure8) {
+  // Run mm without merges so registers stay cheap and prefetch fires.
+  Pipeline P;
+  CompileOptions Opt;
+  Opt.Merge = false;
+  P.run(Algo::MM, 64, 1, 1, Opt);
+  std::string T = P.text();
+  EXPECT_NE(T.find("float pref"), std::string::npos) << T;
+  EXPECT_NE(T.find("if (((i+16)<w))"), std::string::npos) << T;
+  // staging consumes the temporary
+  EXPECT_NE(T.find("] = pref"), std::string::npos) << T;
+}
+
+TEST(Prefetch, SkippedUnderRegisterPressure) {
+  // After a deep thread merge the registers are spent; the paper observes
+  // prefetching gets skipped.
+  Pipeline P;
+  P.run(Algo::MM, 512, 1, 32);
+  EXPECT_EQ(P.text().find("float pref"), std::string::npos);
+}
+
+TEST(PartitionCamping, MvGetsAddressOffset) {
+  // 4k-float rows on 8 partitions * 256B: stride is a multiple of the
+  // partition window -> camping; 1-D grid -> address offset (Figure 9b).
+  Pipeline P;
+  CompileOptions Opt;
+  Opt.Device = DeviceSpec::gtx280();
+  P.run(Algo::MV, 4096, 1, 1, Opt);
+  EXPECT_TRUE(P.Camp.Detected);
+  EXPECT_TRUE(P.Camp.AppliedOffset);
+  std::string T = P.text();
+  EXPECT_NE(T.find("(64*bidx)"), std::string::npos) << T;
+  EXPECT_NE(T.find("%4096)"), std::string::npos) << T;
+}
+
+TEST(PartitionCamping, PartialCampingOnGtx8800For4k) {
+  // 16 KB rows on 6 partitions of 256B: the per-block partition step is
+  // 64 % 6 = 4, so blocks reach only 3 of the 6 partitions — partial
+  // camping under the generalized (gcd-based) detection rule. The full
+  // "one partition" case of the paper's rule needs the stride to be a
+  // multiple of 1536B, which 16 KB is not — that is the paper's
+  // GTX8800-vs-GTX280 asymmetry; 3 KB rows (their 21.5% example) DO
+  // divide evenly.
+  Pipeline P;
+  CompileOptions Opt;
+  Opt.Device = DeviceSpec::gtx8800();
+  P.run(Algo::MV, 4096, 1, 1, Opt);
+  EXPECT_TRUE(P.Camp.Detected);
+  EXPECT_TRUE(P.Camp.AppliedOffset);
+  // The full-window rule alone would not have fired:
+  long long Stride = 16LL * 4096 * 4; // blockDim rows * row bytes
+  EXPECT_NE(Stride % (6 * 256), 0);
+}
+
+TEST(PartitionCamping, FullCampingOnGtx8800For3k) {
+  // 3k x 3k: 12 KB rows ARE a multiple of 6*256B -> classic full camping
+  // on GTX 8800 (the paper's 21.5% transpose observation).
+  Pipeline P;
+  CompileOptions Opt;
+  Opt.Device = DeviceSpec::gtx8800();
+  P.run(Algo::MV, 3072, 1, 1, Opt);
+  EXPECT_TRUE(P.Camp.Detected);
+}
+
+TEST(PartitionCamping, TransposeGetsDiagonalRemap) {
+  Pipeline P;
+  P.run(Algo::TP, 2048, 1, 1);
+  EXPECT_TRUE(P.Camp.Detected);
+  EXPECT_TRUE(P.Camp.AppliedDiagonal);
+  EXPECT_TRUE(P.Opt->launch().DiagonalRemap);
+  std::string T = P.text();
+  EXPECT_NE(T.find("diagonal block reordering"), std::string::npos);
+}
+
+TEST(Transpose, ExchangeAndTileLikeSection33) {
+  Pipeline P;
+  P.run(Algo::TP, 256, 1, 1);
+  std::string T = P.text();
+  // Exchanged store is coalesced; a 16x17 staging tile exists.
+  EXPECT_NE(T.find("out[idy][idx]"), std::string::npos) << T;
+  EXPECT_NE(T.find("[16][17]"), std::string::npos) << T;
+  EXPECT_EQ(P.Opt->launch().BlockDimX, 16);
+  EXPECT_EQ(P.Opt->launch().BlockDimY, 16);
+}
+
+TEST(Vectorize, PairsComplexLoadsIntoFloat2) {
+  Module M;
+  DiagnosticsEngine D;
+  KernelFunction *K = parseNaive(M, Algo::CRD, 1024, D);
+  ASSERT_NE(K, nullptr) << D.str();
+  int Pairs = vectorizeAccesses(*K, M.context());
+  EXPECT_EQ(Pairs, 1);
+  std::string T = printKernel(*K);
+  EXPECT_NE(T.find("((float2*)a)[idx]"), std::string::npos) << T;
+  EXPECT_NE(T.find(".x"), std::string::npos);
+  EXPECT_NE(T.find(".y"), std::string::npos);
+}
+
+TEST(Vectorize, RequiresEvenBase) {
+  // a[2*idx+1] / a[2*idx+2]: lower member is odd -> not the paper's
+  // complex layout; no pairing.
+  const char *Src =
+      "#pragma gpuc output(c)\n"
+      "__global__ void k(float a[128], float c[64]) {\n"
+      "  c[idx] = a[2 * idx + 1] + a[2 * idx + 2];\n"
+      "}\n";
+  Module M;
+  DiagnosticsEngine D;
+  Parser P(Src, D);
+  KernelFunction *K = P.parseKernel(M);
+  ASSERT_NE(K, nullptr) << D.str();
+  EXPECT_EQ(vectorizeAccesses(*K, M.context()), 0);
+}
+
+TEST(Vectorize, PairsAcrossStatementsInSameBlock) {
+  // The FFT kernels load re/im parts in separate declarations within one
+  // block; the pairing rule still applies.
+  const char *Src = "#pragma gpuc output(c)\n"
+                    "__global__ void k(float a[128], float c[64]) {\n"
+                    "  float re = a[2 * idx];\n"
+                    "  float im = a[2 * idx + 1];\n"
+                    "  c[idx] = re * re + im * im;\n"
+                    "}\n";
+  Module M;
+  DiagnosticsEngine D;
+  Parser P(Src, D);
+  KernelFunction *K = P.parseKernel(M);
+  ASSERT_NE(K, nullptr) << D.str();
+  EXPECT_EQ(vectorizeAccesses(*K, M.context()), 1);
+  std::string T = printKernel(*K);
+  EXPECT_NE(T.find("((float2*)a)[idx]"), std::string::npos) << T;
+}
+
+TEST(MergePlan, FollowsSection353) {
+  // mm: a staged (G2S, identical across X-neighbors) -> block merge X;
+  // b goes to registers (G2R, identical across Y-neighbors) -> thread
+  // merge Y.
+  Pipeline P;
+  P.run(Algo::MM, 128, 1, 1);
+  EXPECT_TRUE(P.Plan.BlockMergeX);
+  EXPECT_TRUE(P.Plan.ThreadMergeY);
+  EXPECT_FALSE(P.Plan.ThreadMergeX);
+}
+
+TEST(MergePlan, VvMergesOnlyForThreadCount) {
+  Pipeline P;
+  P.run(Algo::VV, 4096, 1, 1);
+  EXPECT_TRUE(P.Plan.BlockMergeX);
+  EXPECT_TRUE(P.Plan.BlockMergeForThreads);
+  EXPECT_FALSE(P.Plan.anyThreadMerge());
+}
+
+TEST(Correctness, OptimizedKernelsKeepStoresCoalescedLaunch) {
+  // Structural sanity for several algorithms: optimized kernels keep a
+  // half-warp-multiple block width.
+  for (Algo A : {Algo::MM, Algo::MV, Algo::TMV, Algo::CONV}) {
+    Pipeline P;
+    P.run(A, 128, 1, 1);
+    EXPECT_EQ(P.Opt->launch().BlockDimX % 16, 0) << algoInfo(A).Name;
+  }
+}
+
+TEST(CoalesceTransform, ScaledLoopIndexUnrollsByGcdRule) {
+  // A[2*i] (Section 3.3's m=2 case): the loop unrolls 16/GCD(2,16) = 8
+  // times, one 16-word segment is staged, and the access becomes
+  // shared[2*k].
+  const char *Src = "#pragma gpuc output(c)\n"
+                    "#pragma gpuc bind(w=64)\n"
+                    "__global__ void k(float a[64][128], float c[64][64],\n"
+                    "                  int w) {\n"
+                    "  float s = 0;\n"
+                    "  for (int i = 0; i < w; i++) {\n"
+                    "    s += a[idy][2 * i];\n"
+                    "  }\n"
+                    "  c[idy][idx] = s;\n"
+                    "}\n";
+  Module M;
+  DiagnosticsEngine D;
+  Parser P(Src, D);
+  KernelFunction *K = P.parseKernel(M);
+  ASSERT_NE(K, nullptr) << D.str();
+  GpuCompiler GC(M, D);
+  CompileOptions Opt;
+  Opt.Prefetch = false;
+  KernelFunction *V = GC.compileVariant(*K, Opt, 1, 1);
+  ASSERT_NE(V, nullptr);
+  ASSERT_FALSE(D.hasErrors()) << D.str();
+  std::string T = printKernel(*V);
+  EXPECT_NE(T.find("i = i + 8"), std::string::npos) << T;      // outer step
+  EXPECT_NE(T.find("k0 < 8"), std::string::npos) << T;         // inner trip
+  EXPECT_NE(T.find("= a[idy][((i*2)+tidx)]"), std::string::npos) << T;
+  EXPECT_NE(T.find("[(k0*2)]"), std::string::npos) << T;       // consumer
+
+  // And it computes the same values as the naive kernel.
+  Simulator Sim(DeviceSpec::gtx280());
+  BufferSet B1, B2;
+  unsigned State = 7;
+  auto &A1 = B1.alloc("a", 64 * 128);
+  for (float &X : A1) {
+    State = State * 1664525u + 1013904223u;
+    X = static_cast<float>(State >> 20) / 4096.0f - 0.5f;
+  }
+  B2.alloc("a", 64 * 128) = A1;
+  DiagnosticsEngine D2;
+  ASSERT_TRUE(Sim.runFunctional(*K, B1, D2)) << D2.str();
+  ASSERT_TRUE(Sim.runFunctional(*V, B2, D2)) << D2.str();
+  for (size_t I = 0; I < 64 * 64; ++I)
+    EXPECT_NEAR(B1.data("c")[I], B2.data("c")[I],
+                1e-3 * (1.0 + std::fabs(B1.data("c")[I])));
+}

@@ -1,0 +1,209 @@
+//===-- tools/gpucc.cpp - The gpuc command-line driver --------------------===//
+//
+// Part of the gpuc project: a reproduction of "A GPGPU Compiler for Memory
+// Optimization and Parallelism Management" (PLDI 2010).
+//
+// Source-to-source driver: reads a naive kernel, emits the optimized CUDA
+// kernel and its launch configuration. The analysis report (--report)
+// shows what the compiler saw: per-access coalescing verdicts, the
+// data-sharing merge plan, the explored design space, and the traffic
+// each access contributes on the simulated device.
+//
+//   gpucc kernel.cu                      # optimize for GTX 280
+//   gpucc --device=gtx8800 kernel.cu     # hardware-specific tuning
+//   gpucc --block=16 --thread=16 k.cu    # fixed merge factors, no search
+//   gpucc --report --validate kernel.cu  # analysis + functional check
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/Printer.h"
+#include "core/Coalescing.h"
+#include "core/Report.h"
+#include "core/Compiler.h"
+#include "parser/Parser.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+using namespace gpuc;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: gpucc [options] <kernel.cu | ->\n"
+      "  --device=gtx280|gtx8800|hd5870  target machine description\n"
+      "  --opencl                  emit OpenCL C instead of CUDA\n"
+      "  --block=N --thread=M      fixed merge factors (skips the search)\n"
+      "  --no-vectorize --no-coalesce --no-merge --no-prefetch\n"
+      "  --no-partition --no-fold  disable pipeline stages\n"
+      "  --report                  print the analysis report to stderr\n"
+      "  --validate                run naive and optimized kernels on the\n"
+      "                            simulator and compare outputs\n"
+      "  --print-naive             echo the parsed naive kernel first\n");
+}
+
+std::string readInput(const char *Path) {
+  if (std::strcmp(Path, "-") == 0) {
+    std::ostringstream SS;
+    SS << std::cin.rdbuf();
+    return SS.str();
+  }
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "gpucc: error: cannot open '%s'\n", Path);
+    std::exit(1);
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+void fillRandomInputs(const KernelFunction &K, BufferSet &B) {
+  unsigned State = 99;
+  for (const ParamDecl &P : K.params()) {
+    if (!P.IsArray)
+      continue;
+    auto &V = B.alloc(P.Name, static_cast<size_t>(P.elemCount()) *
+                                  P.ElemTy.vectorWidth());
+    for (float &X : V) {
+      State = State * 1664525u + 1013904223u;
+      X = static_cast<float>(State >> 20) / 4096.0f - 0.5f;
+    }
+  }
+}
+
+void printReport(KernelFunction &Naive, const CompileOutput &Out,
+                 const DeviceSpec &Dev) {
+  std::fprintf(stderr, "%s", fullReport(Naive, Out, Dev).c_str());
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  const char *Path = nullptr;
+  CompileOptions Opt;
+  int BlockN = 0, ThreadM = 0;
+  bool Report = false, Validate = false, PrintNaive = false;
+  PrintDialect Dialect = PrintDialect::Cuda;
+
+  for (int I = 1; I < argc; ++I) {
+    const char *Arg = argv[I];
+    if (std::strcmp(Arg, "--device=gtx8800") == 0)
+      Opt.Device = DeviceSpec::gtx8800();
+    else if (std::strcmp(Arg, "--device=gtx280") == 0)
+      Opt.Device = DeviceSpec::gtx280();
+    else if (std::strcmp(Arg, "--device=hd5870") == 0)
+      Opt.Device = DeviceSpec::hd5870();
+    else if (std::strcmp(Arg, "--opencl") == 0)
+      Dialect = PrintDialect::OpenCL;
+    else if (std::strncmp(Arg, "--block=", 8) == 0)
+      BlockN = std::atoi(Arg + 8);
+    else if (std::strncmp(Arg, "--thread=", 9) == 0)
+      ThreadM = std::atoi(Arg + 9);
+    else if (std::strcmp(Arg, "--no-vectorize") == 0)
+      Opt.Vectorize = false;
+    else if (std::strcmp(Arg, "--no-coalesce") == 0)
+      Opt.Coalesce = false;
+    else if (std::strcmp(Arg, "--no-merge") == 0)
+      Opt.Merge = false;
+    else if (std::strcmp(Arg, "--no-prefetch") == 0)
+      Opt.Prefetch = false;
+    else if (std::strcmp(Arg, "--no-partition") == 0)
+      Opt.PartitionElim = false;
+    else if (std::strcmp(Arg, "--no-fold") == 0)
+      Opt.Fold = false;
+    else if (std::strcmp(Arg, "--report") == 0)
+      Report = true;
+    else if (std::strcmp(Arg, "--validate") == 0)
+      Validate = true;
+    else if (std::strcmp(Arg, "--print-naive") == 0)
+      PrintNaive = true;
+    else if (std::strcmp(Arg, "--help") == 0) {
+      usage();
+      return 0;
+    } else if (Arg[0] == '-' && std::strcmp(Arg, "-") != 0) {
+      std::fprintf(stderr, "gpucc: error: unknown option '%s'\n", Arg);
+      usage();
+      return 1;
+    } else {
+      Path = Arg;
+    }
+  }
+  if (!Path) {
+    usage();
+    return 1;
+  }
+
+  Module M;
+  DiagnosticsEngine Diags;
+  Parser P(readInput(Path), Diags);
+  KernelFunction *Naive = P.parseKernel(M);
+  if (!Naive) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+  if (PrintNaive)
+    std::printf("// ---- naive input ----\n%s\n",
+                printKernel(*Naive, Dialect).c_str());
+
+  GpuCompiler GC(M, Diags);
+  CompileOutput Out;
+  if (BlockN > 0 || ThreadM > 0) {
+    Out.Best = GC.compileVariant(*Naive, Opt, std::max(1, BlockN),
+                                 std::max(1, ThreadM), &Out.Plan,
+                                 &Out.Camping);
+    VariantResult VR;
+    VR.Kernel = Out.Best;
+    VR.BlockMergeN = std::max(1, BlockN);
+    VR.ThreadMergeM = std::max(1, ThreadM);
+    Out.Variants.push_back(VR);
+  } else {
+    Out = GC.compile(*Naive, Opt);
+  }
+  if (!Out.Best || Diags.hasErrors()) {
+    std::fprintf(stderr, "%s%s", Diags.str().c_str(), Out.Log.c_str());
+    return 1;
+  }
+
+  std::printf("%s", printKernel(*Out.Best, Dialect).c_str());
+
+  if (Report)
+    printReport(*Naive, Out, Opt.Device);
+
+  if (Validate) {
+    Simulator Sim(Opt.Device);
+    BufferSet NaiveBufs, OptBufs;
+    fillRandomInputs(*Naive, NaiveBufs);
+    fillRandomInputs(*Naive, OptBufs);
+    DiagnosticsEngine RunDiags;
+    if (!Sim.runFunctional(*Naive, NaiveBufs, RunDiags) ||
+        !Sim.runFunctional(*Out.Best, OptBufs, RunDiags)) {
+      std::fprintf(stderr, "validation run failed:\n%s",
+                   RunDiags.str().c_str());
+      return 1;
+    }
+    long long Bad = 0;
+    for (const ParamDecl &Param : Naive->params()) {
+      if (!Param.IsArray || !Param.IsOutput)
+        continue;
+      const auto &A = NaiveBufs.data(Param.Name);
+      const auto &B = OptBufs.data(Param.Name);
+      for (size_t I = 0; I < A.size(); ++I) {
+        double Denom = std::max(1.0, static_cast<double>(std::fabs(A[I])));
+        if (std::fabs(A[I] - B[I]) / Denom > 1e-3)
+          ++Bad;
+      }
+    }
+    std::fprintf(stderr, "validation: %lld mismatches\n", Bad);
+    return Bad == 0 ? 0 : 2;
+  }
+  return 0;
+}
