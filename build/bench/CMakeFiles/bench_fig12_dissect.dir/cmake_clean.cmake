@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_dissect.dir/bench_fig12_dissect.cpp.o"
+  "CMakeFiles/bench_fig12_dissect.dir/bench_fig12_dissect.cpp.o.d"
+  "bench_fig12_dissect"
+  "bench_fig12_dissect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_dissect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_cublas.dir/bench_fig13_cublas.cpp.o"
+  "CMakeFiles/bench_fig13_cublas.dir/bench_fig13_cublas.cpp.o.d"
+  "bench_fig13_cublas"
+  "bench_fig13_cublas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_cublas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_rd_vec.dir/bench_fig14_rd_vec.cpp.o"
+  "CMakeFiles/bench_fig14_rd_vec.dir/bench_fig14_rd_vec.cpp.o.d"
+  "bench_fig14_rd_vec"
+  "bench_fig14_rd_vec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_rd_vec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_tp.dir/bench_fig15_tp.cpp.o"
+  "CMakeFiles/bench_fig15_tp.dir/bench_fig15_tp.cpp.o.d"
+  "bench_fig15_tp"
+  "bench_fig15_tp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_tp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_mv.dir/bench_fig16_mv.cpp.o"
+  "CMakeFiles/bench_fig16_mv.dir/bench_fig16_mv.cpp.o.d"
+  "bench_fig16_mv"
+  "bench_fig16_mv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_mv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

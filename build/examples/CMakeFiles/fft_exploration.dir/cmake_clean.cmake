@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft_exploration.dir/fft_exploration.cpp.o"
+  "CMakeFiles/fft_exploration.dir/fft_exploration.cpp.o.d"
+  "fft_exploration"
+  "fft_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm_casestudy.dir/mm_casestudy.cpp.o"
+  "CMakeFiles/mm_casestudy.dir/mm_casestudy.cpp.o.d"
+  "mm_casestudy"
+  "mm_casestudy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm_casestudy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

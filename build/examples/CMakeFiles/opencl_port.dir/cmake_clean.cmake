@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opencl_port.dir/opencl_port.cpp.o"
+  "CMakeFiles/opencl_port.dir/opencl_port.cpp.o.d"
+  "opencl_port"
+  "opencl_port.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opencl_port.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ast/ASTContext.cpp" "src/ast/CMakeFiles/gpuc_ast.dir/ASTContext.cpp.o" "gcc" "src/ast/CMakeFiles/gpuc_ast.dir/ASTContext.cpp.o.d"
+  "/root/repo/src/ast/Builder.cpp" "src/ast/CMakeFiles/gpuc_ast.dir/Builder.cpp.o" "gcc" "src/ast/CMakeFiles/gpuc_ast.dir/Builder.cpp.o.d"
+  "/root/repo/src/ast/Clone.cpp" "src/ast/CMakeFiles/gpuc_ast.dir/Clone.cpp.o" "gcc" "src/ast/CMakeFiles/gpuc_ast.dir/Clone.cpp.o.d"
+  "/root/repo/src/ast/Kernel.cpp" "src/ast/CMakeFiles/gpuc_ast.dir/Kernel.cpp.o" "gcc" "src/ast/CMakeFiles/gpuc_ast.dir/Kernel.cpp.o.d"
+  "/root/repo/src/ast/Printer.cpp" "src/ast/CMakeFiles/gpuc_ast.dir/Printer.cpp.o" "gcc" "src/ast/CMakeFiles/gpuc_ast.dir/Printer.cpp.o.d"
+  "/root/repo/src/ast/Subst.cpp" "src/ast/CMakeFiles/gpuc_ast.dir/Subst.cpp.o" "gcc" "src/ast/CMakeFiles/gpuc_ast.dir/Subst.cpp.o.d"
+  "/root/repo/src/ast/Verifier.cpp" "src/ast/CMakeFiles/gpuc_ast.dir/Verifier.cpp.o" "gcc" "src/ast/CMakeFiles/gpuc_ast.dir/Verifier.cpp.o.d"
+  "/root/repo/src/ast/Walk.cpp" "src/ast/CMakeFiles/gpuc_ast.dir/Walk.cpp.o" "gcc" "src/ast/CMakeFiles/gpuc_ast.dir/Walk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/gpuc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuc_ast.dir/ASTContext.cpp.o"
+  "CMakeFiles/gpuc_ast.dir/ASTContext.cpp.o.d"
+  "CMakeFiles/gpuc_ast.dir/Builder.cpp.o"
+  "CMakeFiles/gpuc_ast.dir/Builder.cpp.o.d"
+  "CMakeFiles/gpuc_ast.dir/Clone.cpp.o"
+  "CMakeFiles/gpuc_ast.dir/Clone.cpp.o.d"
+  "CMakeFiles/gpuc_ast.dir/Kernel.cpp.o"
+  "CMakeFiles/gpuc_ast.dir/Kernel.cpp.o.d"
+  "CMakeFiles/gpuc_ast.dir/Printer.cpp.o"
+  "CMakeFiles/gpuc_ast.dir/Printer.cpp.o.d"
+  "CMakeFiles/gpuc_ast.dir/Subst.cpp.o"
+  "CMakeFiles/gpuc_ast.dir/Subst.cpp.o.d"
+  "CMakeFiles/gpuc_ast.dir/Verifier.cpp.o"
+  "CMakeFiles/gpuc_ast.dir/Verifier.cpp.o.d"
+  "CMakeFiles/gpuc_ast.dir/Walk.cpp.o"
+  "CMakeFiles/gpuc_ast.dir/Walk.cpp.o.d"
+  "libgpuc_ast.a"
+  "libgpuc_ast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuc_ast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

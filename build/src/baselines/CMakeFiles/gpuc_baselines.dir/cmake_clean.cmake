@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuc_baselines.dir/CpuReference.cpp.o"
+  "CMakeFiles/gpuc_baselines.dir/CpuReference.cpp.o.d"
+  "CMakeFiles/gpuc_baselines.dir/CublasLike.cpp.o"
+  "CMakeFiles/gpuc_baselines.dir/CublasLike.cpp.o.d"
+  "CMakeFiles/gpuc_baselines.dir/FftKernels.cpp.o"
+  "CMakeFiles/gpuc_baselines.dir/FftKernels.cpp.o.d"
+  "CMakeFiles/gpuc_baselines.dir/NaiveKernels.cpp.o"
+  "CMakeFiles/gpuc_baselines.dir/NaiveKernels.cpp.o.d"
+  "libgpuc_baselines.a"
+  "libgpuc_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuc_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

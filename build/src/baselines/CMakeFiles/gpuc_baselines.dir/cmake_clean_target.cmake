@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgpuc_baselines.a"
+)

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/Accesses.cpp" "src/core/CMakeFiles/gpuc_core.dir/Accesses.cpp.o" "gcc" "src/core/CMakeFiles/gpuc_core.dir/Accesses.cpp.o.d"
+  "/root/repo/src/core/Affine.cpp" "src/core/CMakeFiles/gpuc_core.dir/Affine.cpp.o" "gcc" "src/core/CMakeFiles/gpuc_core.dir/Affine.cpp.o.d"
+  "/root/repo/src/core/AmdVectorize.cpp" "src/core/CMakeFiles/gpuc_core.dir/AmdVectorize.cpp.o" "gcc" "src/core/CMakeFiles/gpuc_core.dir/AmdVectorize.cpp.o.d"
+  "/root/repo/src/core/BlockMerge.cpp" "src/core/CMakeFiles/gpuc_core.dir/BlockMerge.cpp.o" "gcc" "src/core/CMakeFiles/gpuc_core.dir/BlockMerge.cpp.o.d"
+  "/root/repo/src/core/CoalesceTransform.cpp" "src/core/CMakeFiles/gpuc_core.dir/CoalesceTransform.cpp.o" "gcc" "src/core/CMakeFiles/gpuc_core.dir/CoalesceTransform.cpp.o.d"
+  "/root/repo/src/core/Coalescing.cpp" "src/core/CMakeFiles/gpuc_core.dir/Coalescing.cpp.o" "gcc" "src/core/CMakeFiles/gpuc_core.dir/Coalescing.cpp.o.d"
+  "/root/repo/src/core/Compiler.cpp" "src/core/CMakeFiles/gpuc_core.dir/Compiler.cpp.o" "gcc" "src/core/CMakeFiles/gpuc_core.dir/Compiler.cpp.o.d"
+  "/root/repo/src/core/ConstantFold.cpp" "src/core/CMakeFiles/gpuc_core.dir/ConstantFold.cpp.o" "gcc" "src/core/CMakeFiles/gpuc_core.dir/ConstantFold.cpp.o.d"
+  "/root/repo/src/core/DataSharing.cpp" "src/core/CMakeFiles/gpuc_core.dir/DataSharing.cpp.o" "gcc" "src/core/CMakeFiles/gpuc_core.dir/DataSharing.cpp.o.d"
+  "/root/repo/src/core/PartitionCamp.cpp" "src/core/CMakeFiles/gpuc_core.dir/PartitionCamp.cpp.o" "gcc" "src/core/CMakeFiles/gpuc_core.dir/PartitionCamp.cpp.o.d"
+  "/root/repo/src/core/Prefetch.cpp" "src/core/CMakeFiles/gpuc_core.dir/Prefetch.cpp.o" "gcc" "src/core/CMakeFiles/gpuc_core.dir/Prefetch.cpp.o.d"
+  "/root/repo/src/core/Report.cpp" "src/core/CMakeFiles/gpuc_core.dir/Report.cpp.o" "gcc" "src/core/CMakeFiles/gpuc_core.dir/Report.cpp.o.d"
+  "/root/repo/src/core/ThreadMerge.cpp" "src/core/CMakeFiles/gpuc_core.dir/ThreadMerge.cpp.o" "gcc" "src/core/CMakeFiles/gpuc_core.dir/ThreadMerge.cpp.o.d"
+  "/root/repo/src/core/Vectorize.cpp" "src/core/CMakeFiles/gpuc_core.dir/Vectorize.cpp.o" "gcc" "src/core/CMakeFiles/gpuc_core.dir/Vectorize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ast/CMakeFiles/gpuc_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gpuc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gpuc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

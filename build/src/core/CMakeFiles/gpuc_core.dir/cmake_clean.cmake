@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuc_core.dir/Accesses.cpp.o"
+  "CMakeFiles/gpuc_core.dir/Accesses.cpp.o.d"
+  "CMakeFiles/gpuc_core.dir/Affine.cpp.o"
+  "CMakeFiles/gpuc_core.dir/Affine.cpp.o.d"
+  "CMakeFiles/gpuc_core.dir/AmdVectorize.cpp.o"
+  "CMakeFiles/gpuc_core.dir/AmdVectorize.cpp.o.d"
+  "CMakeFiles/gpuc_core.dir/BlockMerge.cpp.o"
+  "CMakeFiles/gpuc_core.dir/BlockMerge.cpp.o.d"
+  "CMakeFiles/gpuc_core.dir/CoalesceTransform.cpp.o"
+  "CMakeFiles/gpuc_core.dir/CoalesceTransform.cpp.o.d"
+  "CMakeFiles/gpuc_core.dir/Coalescing.cpp.o"
+  "CMakeFiles/gpuc_core.dir/Coalescing.cpp.o.d"
+  "CMakeFiles/gpuc_core.dir/Compiler.cpp.o"
+  "CMakeFiles/gpuc_core.dir/Compiler.cpp.o.d"
+  "CMakeFiles/gpuc_core.dir/ConstantFold.cpp.o"
+  "CMakeFiles/gpuc_core.dir/ConstantFold.cpp.o.d"
+  "CMakeFiles/gpuc_core.dir/DataSharing.cpp.o"
+  "CMakeFiles/gpuc_core.dir/DataSharing.cpp.o.d"
+  "CMakeFiles/gpuc_core.dir/PartitionCamp.cpp.o"
+  "CMakeFiles/gpuc_core.dir/PartitionCamp.cpp.o.d"
+  "CMakeFiles/gpuc_core.dir/Prefetch.cpp.o"
+  "CMakeFiles/gpuc_core.dir/Prefetch.cpp.o.d"
+  "CMakeFiles/gpuc_core.dir/Report.cpp.o"
+  "CMakeFiles/gpuc_core.dir/Report.cpp.o.d"
+  "CMakeFiles/gpuc_core.dir/ThreadMerge.cpp.o"
+  "CMakeFiles/gpuc_core.dir/ThreadMerge.cpp.o.d"
+  "CMakeFiles/gpuc_core.dir/Vectorize.cpp.o"
+  "CMakeFiles/gpuc_core.dir/Vectorize.cpp.o.d"
+  "libgpuc_core.a"
+  "libgpuc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuc_parser.dir/Lexer.cpp.o"
+  "CMakeFiles/gpuc_parser.dir/Lexer.cpp.o.d"
+  "CMakeFiles/gpuc_parser.dir/Parser.cpp.o"
+  "CMakeFiles/gpuc_parser.dir/Parser.cpp.o.d"
+  "libgpuc_parser.a"
+  "libgpuc_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuc_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/DeviceSpec.cpp" "src/sim/CMakeFiles/gpuc_sim.dir/DeviceSpec.cpp.o" "gcc" "src/sim/CMakeFiles/gpuc_sim.dir/DeviceSpec.cpp.o.d"
+  "/root/repo/src/sim/Interpreter.cpp" "src/sim/CMakeFiles/gpuc_sim.dir/Interpreter.cpp.o" "gcc" "src/sim/CMakeFiles/gpuc_sim.dir/Interpreter.cpp.o.d"
+  "/root/repo/src/sim/MemoryModel.cpp" "src/sim/CMakeFiles/gpuc_sim.dir/MemoryModel.cpp.o" "gcc" "src/sim/CMakeFiles/gpuc_sim.dir/MemoryModel.cpp.o.d"
+  "/root/repo/src/sim/Occupancy.cpp" "src/sim/CMakeFiles/gpuc_sim.dir/Occupancy.cpp.o" "gcc" "src/sim/CMakeFiles/gpuc_sim.dir/Occupancy.cpp.o.d"
+  "/root/repo/src/sim/Simulator.cpp" "src/sim/CMakeFiles/gpuc_sim.dir/Simulator.cpp.o" "gcc" "src/sim/CMakeFiles/gpuc_sim.dir/Simulator.cpp.o.d"
+  "/root/repo/src/sim/Timing.cpp" "src/sim/CMakeFiles/gpuc_sim.dir/Timing.cpp.o" "gcc" "src/sim/CMakeFiles/gpuc_sim.dir/Timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ast/CMakeFiles/gpuc_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gpuc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

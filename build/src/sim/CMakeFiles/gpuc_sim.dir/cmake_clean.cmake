@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuc_sim.dir/DeviceSpec.cpp.o"
+  "CMakeFiles/gpuc_sim.dir/DeviceSpec.cpp.o.d"
+  "CMakeFiles/gpuc_sim.dir/Interpreter.cpp.o"
+  "CMakeFiles/gpuc_sim.dir/Interpreter.cpp.o.d"
+  "CMakeFiles/gpuc_sim.dir/MemoryModel.cpp.o"
+  "CMakeFiles/gpuc_sim.dir/MemoryModel.cpp.o.d"
+  "CMakeFiles/gpuc_sim.dir/Occupancy.cpp.o"
+  "CMakeFiles/gpuc_sim.dir/Occupancy.cpp.o.d"
+  "CMakeFiles/gpuc_sim.dir/Simulator.cpp.o"
+  "CMakeFiles/gpuc_sim.dir/Simulator.cpp.o.d"
+  "CMakeFiles/gpuc_sim.dir/Timing.cpp.o"
+  "CMakeFiles/gpuc_sim.dir/Timing.cpp.o.d"
+  "libgpuc_sim.a"
+  "libgpuc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuc_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/gpuc_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/gpuc_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/gpuc_support.dir/StringUtils.cpp.o.d"
+  "libgpuc_support.a"
+  "libgpuc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

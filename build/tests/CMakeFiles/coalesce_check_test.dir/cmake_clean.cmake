@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coalesce_check_test.dir/CoalesceCheckTest.cpp.o"
+  "CMakeFiles/coalesce_check_test.dir/CoalesceCheckTest.cpp.o.d"
+  "coalesce_check_test"
+  "coalesce_check_test.pdb"
+  "coalesce_check_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coalesce_check_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgecase_test.dir/EdgeCaseTest.cpp.o"
+  "CMakeFiles/edgecase_test.dir/EdgeCaseTest.cpp.o.d"
+  "edgecase_test"
+  "edgecase_test.pdb"
+  "edgecase_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgecase_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/SimTest.cpp" "tests/CMakeFiles/sim_test.dir/SimTest.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/SimTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/gpuc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gpuc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/gpuc_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gpuc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/gpuc_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gpuc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

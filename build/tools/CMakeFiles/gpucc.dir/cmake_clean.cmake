@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpucc.dir/gpucc.cpp.o"
+  "CMakeFiles/gpucc.dir/gpucc.cpp.o.d"
+  "gpucc"
+  "gpucc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpucc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
