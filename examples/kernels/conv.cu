@@ -1,0 +1,13 @@
+#pragma gpuc output(out)
+#pragma gpuc domain(64,64)
+#pragma gpuc bind(kw=32)
+__global__ void conv(float img[96][96], float ker[32][32],
+                     float out[64][64], int kw) {
+  float sum = 0;
+  for (int ky = 0; ky < kw; ky++) {
+    for (int kx = 0; kx < kw; kx++) {
+      sum += img[idy + ky][idx + kx] * ker[ky][kx];
+    }
+  }
+  out[idy][idx] = sum;
+}

@@ -1,0 +1,15 @@
+#pragma gpuc output(out)
+#pragma gpuc domain(128,128)
+__global__ void demosaic(float bay[130][144],
+                         float out[128][128]) {
+  float g = bay[idy][idx + 1] + bay[idy + 2][idx + 1];
+  g += bay[idy + 1][idx] + bay[idy + 1][idx + 2];
+  g = g * 0.25f;
+  float r = bay[idy][idx] + bay[idy][idx + 2];
+  r += bay[idy + 2][idx] + bay[idy + 2][idx + 2];
+  r = r * 0.25f;
+  float b = bay[idy + 1][idx + 1];
+  float lum = 0.299f * r + 0.587f * g + 0.114f * b;
+  float chro = r - b;
+  out[idy][idx] = lum + 0.1f * chro;
+}

@@ -1,0 +1,19 @@
+#pragma gpuc output(out)
+#pragma gpuc domain(128,128)
+__global__ void imregionmax(float in[130][144],
+                            float out[128][128]) {
+  float c = in[idy + 1][idx + 1];
+  float m = in[idy][idx];
+  m = fmaxf(m, in[idy][idx + 1]);
+  m = fmaxf(m, in[idy][idx + 2]);
+  m = fmaxf(m, in[idy + 1][idx]);
+  m = fmaxf(m, in[idy + 1][idx + 2]);
+  m = fmaxf(m, in[idy + 2][idx]);
+  m = fmaxf(m, in[idy + 2][idx + 1]);
+  m = fmaxf(m, in[idy + 2][idx + 2]);
+  float flag = 0;
+  if (c > m) {
+    flag = 1;
+  }
+  out[idy][idx] = flag;
+}

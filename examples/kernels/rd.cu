@@ -1,0 +1,11 @@
+#pragma gpuc output(a)
+#pragma gpuc domain(2048,1)
+#pragma gpuc bind(n=4096)
+__global__ void rd(float a[4096], int n) {
+  for (int s = n / 2; s >= 1; s = s / 2) {
+    if (idx < s) {
+      a[idx] += a[idx + s];
+    }
+    __globalSync();
+  }
+}

@@ -1,0 +1,16 @@
+#pragma gpuc output(x)
+#pragma gpuc bind(w=64)
+__global__ void strsm(float l[64][64], float b[64][64],
+                      float x[64][64], int w) {
+  float acc = b[idy][idx];
+  for (int k = 0; k < w; k = k + 1) {
+    if (idy == k) {
+      x[idy][idx] = acc;
+    }
+    __globalSync();
+    if (idy > k) {
+      acc -= l[idy][k] * x[k][idx];
+    }
+    __globalSync();
+  }
+}

@@ -1,0 +1,10 @@
+#pragma gpuc output(c)
+#pragma gpuc bind(w=128)
+__global__ void tmv(float a[128][128], float b[128],
+                    float c[128], int w) {
+  float sum = 0;
+  for (int i = 0; i < w; i++) {
+    sum += a[i][idx] * b[i];
+  }
+  c[idx] = sum;
+}

@@ -1,0 +1,5 @@
+#pragma gpuc output(out)
+#pragma gpuc domain(128,128)
+__global__ void tp(float in[128][128], float out[128][128]) {
+  out[idx][idy] = in[idy][idx];
+}

@@ -1,0 +1,4 @@
+#pragma gpuc output(c)
+__global__ void vv(float a[4096], float b[4096], float c[4096]) {
+  c[idx] = a[idx] * b[idx];
+}

@@ -1,0 +1,252 @@
+//===-- analysis/Lint.cpp - Kernel lint passes ----------------------------===//
+
+#include "analysis/Lint.h"
+
+#include "ast/Printer.h"
+#include "core/Accesses.h"
+#include "core/Coalescing.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace gpuc;
+
+namespace {
+
+class Linter {
+public:
+  Linter(KernelFunction &K, DiagnosticsEngine &Diags, const LintOptions &Opt)
+      : K(K), Diags(Diags), Opt(Opt) {}
+
+  int run() {
+    if (Opt.OutOfBounds || Opt.Coalescing)
+      Globals = collectGlobalAccesses(K);
+    if (Opt.OutOfBounds) {
+      collectGuarded(K.body(), /*UnderIf=*/false);
+      lintGlobalBounds();
+    }
+    if (Opt.OutOfBounds || Opt.BankConflicts)
+      Model = buildPhaseModel(K, Opt.Phases);
+    if (Opt.OutOfBounds)
+      lintSharedBounds();
+    if (Opt.BankConflicts)
+      lintBankConflicts();
+    if (Opt.Coalescing)
+      lintCoalescing();
+    return NumWarnings;
+  }
+
+private:
+  void warn(SourceLocation Loc, std::string Msg) {
+    if (!Opt.Context.empty())
+      Msg = "[" + Opt.Context + "] " + Msg;
+    Diags.warning(Loc, std::move(Msg));
+    ++NumWarnings;
+  }
+
+  /// Statements nested under some if: their accesses are guard-restricted,
+  /// so interval analysis over the full thread/loop space would produce
+  /// false positives (e.g. the `if (tidx < s)` reduction idiom).
+  void collectGuarded(const Stmt *S, bool UnderIf) {
+    if (UnderIf)
+      Guarded.insert(S);
+    switch (S->kind()) {
+    case StmtKind::Compound:
+      for (const Stmt *Child : cast<CompoundStmt>(S)->body())
+        collectGuarded(Child, UnderIf);
+      return;
+    case StmtKind::If: {
+      const auto *I = cast<IfStmt>(S);
+      collectGuarded(I->thenBody(), /*UnderIf=*/true);
+      if (I->elseBody())
+        collectGuarded(I->elseBody(), /*UnderIf=*/true);
+      return;
+    }
+    case StmtKind::For:
+      collectGuarded(cast<ForStmt>(S)->body(), UnderIf);
+      return;
+    default:
+      return;
+    }
+  }
+
+  /// Extends [Lo, Hi] by Coeff * [MinV, MaxV].
+  static void addTermRange(long long Coeff, long long MinV, long long MaxV,
+                           long long &Lo, long long &Hi) {
+    if (Coeff >= 0) {
+      Lo += Coeff * MinV;
+      Hi += Coeff * MaxV;
+    } else {
+      Lo += Coeff * MaxV;
+      Hi += Coeff * MinV;
+    }
+  }
+
+  void lintGlobalBounds() {
+    const LaunchConfig &L = K.launch();
+    std::set<const ArrayRef *> Reported;
+    for (const AccessInfo &A : Globals) {
+      if (!A.Resolved || !A.Param || !Reported.insert(A.Ref).second)
+        continue;
+      if (A.Owner && Guarded.count(A.Owner))
+        continue;
+      long long Lo = A.Addr.Const, Hi = A.Addr.Const;
+      addTermRange(A.Addr.CTidx, 0, L.BlockDimX - 1, Lo, Hi);
+      addTermRange(A.Addr.CTidy, 0, L.BlockDimY - 1, Lo, Hi);
+      addTermRange(A.Addr.CBidx, 0, L.GridDimX - 1, Lo, Hi);
+      addTermRange(A.Addr.CBidy, 0, L.GridDimY - 1, Lo, Hi);
+      bool Known = true;
+      for (const auto &[Name, C] : A.Addr.LoopCoeffs) {
+        if (C == 0)
+          continue;
+        const LoopInfo *LI = A.loopNamed(Name);
+        if (!LI || !LI->Resolved || LI->trip() <= 0) {
+          Known = false;
+          break;
+        }
+        long long Last = LI->Init + (LI->trip() - 1) * LI->Step;
+        addTermRange(C, LI->Init, Last, Lo, Hi);
+      }
+      if (!Known)
+        continue;
+      long long Size = A.Param->sizeInBytes();
+      if (Lo < 0 || Hi + A.ElemBytes > Size)
+        warn(A.Ref->loc(),
+             strFormat("%s of '%s' may be out of bounds: byte address range "
+                       "[%lld, %lld] exceeds the declared %lld bytes",
+                       A.IsStore ? "store" : "load", printExpr(A.Ref).c_str(),
+                       Lo, Hi + A.ElemBytes - 1, Size));
+    }
+  }
+
+  void lintSharedBounds() {
+    const LaunchConfig &L = K.launch();
+    std::set<const ArrayRef *> Reported;
+    for (const SharedAccess &A : Model.Accesses) {
+      if (!A.Resolved || !A.Decl || !Reported.insert(A.Ref).second)
+        continue;
+      // Guards restrict the executing threads; skip rather than warn on a
+      // thread the guard masks off.
+      if (!A.Guards.empty() || A.UnknownGuard)
+        continue;
+      long long Lo = A.FlatFloat.Const, Hi = A.FlatFloat.Const;
+      addTermRange(A.FlatFloat.CTidx, 0, L.BlockDimX - 1, Lo, Hi);
+      addTermRange(A.FlatFloat.CTidy, 0, L.BlockDimY - 1, Lo, Hi);
+      addTermRange(A.FlatFloat.CBidx, 0, L.GridDimX - 1, Lo, Hi);
+      addTermRange(A.FlatFloat.CBidy, 0, L.GridDimY - 1, Lo, Hi);
+      bool Known = true;
+      for (const auto &[Name, C] : A.FlatFloat.LoopCoeffs) {
+        if (C == 0)
+          continue;
+        const EnumLoop *EL = nullptr;
+        for (const EnumLoop &Cand : A.Loops)
+          if (Cand.Name == Name)
+            EL = &Cand;
+        if (!EL || !EL->Resolved) {
+          Known = false;
+          break;
+        }
+        addTermRange(C, EL->Min, EL->Max, Lo, Hi);
+      }
+      if (!Known)
+        continue;
+      long long Words =
+          A.Decl->sharedElemCount() * A.Decl->declType().sizeInBytes() / 4;
+      if (Lo < 0 || Hi + A.Lanes > Words)
+        warn(A.Ref->loc(),
+             strFormat("%s of __shared__ '%s' may be out of bounds: word "
+                       "range [%lld, %lld] exceeds the declared %lld words",
+                       A.IsWrite ? "store" : "load",
+                       printExpr(A.Ref).c_str(), Lo, Hi + A.Lanes - 1,
+                       Words));
+    }
+  }
+
+  void lintBankConflicts() {
+    const LaunchConfig &L = K.launch();
+    long long HalfWarp = std::min<long long>(16, L.threadsPerBlock());
+    if (HalfWarp < 2)
+      return;
+    std::set<const ArrayRef *> Reported;
+    for (const SharedAccess &A : Model.Accesses) {
+      if (!A.Resolved || !A.Decl || !Reported.insert(A.Ref).second)
+        continue;
+      if (!A.Guards.empty() || A.UnknownGuard)
+        continue;
+      // First iteration of every enclosing loop; the affine stride makes
+      // later iterations shift all lanes alike, so the conflict degree is
+      // the same (Section 3.2's periodicity argument).
+      std::map<std::string, long long> Values;
+      bool Known = true;
+      for (const auto &[Name, C] : A.FlatFloat.LoopCoeffs) {
+        if (C == 0)
+          continue;
+        const EnumLoop *EL = nullptr;
+        for (const EnumLoop &Cand : A.Loops)
+          if (Cand.Name == Name)
+            EL = &Cand;
+        if (!EL || !EL->Resolved || EL->Values.empty()) {
+          Known = false;
+          break;
+        }
+        Values[Name] = EL->Values.front();
+      }
+      if (!Known)
+        continue;
+      // Lanes of the first half warp, in flat thread order. Same word from
+      // two lanes is a broadcast, not a conflict.
+      std::map<long long, std::set<long long>> BankWords;
+      for (long long Flat = 0; Flat < HalfWarp; ++Flat) {
+        long long Tx = Flat % L.BlockDimX;
+        long long Ty = Flat / L.BlockDimX;
+        long long Word = A.FlatFloat.evaluate(Tx, Ty, 0, 0, Values);
+        BankWords[((Word % Opt.SharedBanks) + Opt.SharedBanks) %
+                  Opt.SharedBanks]
+            .insert(Word);
+      }
+      size_t Degree = 1;
+      for (const auto &[Bank, WordsInBank] : BankWords)
+        Degree = std::max(Degree, WordsInBank.size());
+      if (Degree > 1)
+        warn(A.Ref->loc(),
+             strFormat("%zu-way shared-memory bank conflict on %s (half-warp "
+                       "lanes hit %zu distinct words in one bank of %d); "
+                       "consider padding the innermost dimension",
+                       Degree, printExpr(A.Ref).c_str(), Degree,
+                       Opt.SharedBanks));
+    }
+  }
+
+  void lintCoalescing() {
+    std::set<const ArrayRef *> Reported;
+    for (const AccessInfo &A : Globals) {
+      if (!A.Ref || !Reported.insert(A.Ref).second)
+        continue;
+      CoalesceInfo CI = checkCoalescing(A, K);
+      if (CI.Coalesced || CI.Failure == CoalesceFailure::Unresolved)
+        continue;
+      warn(A.Ref->loc(),
+           strFormat("global %s %s is not coalesced (%s, thread stride %lld "
+                     "bytes)",
+                     A.IsStore ? "store" : "load", printExpr(A.Ref).c_str(),
+                     coalesceFailureName(CI.Failure), CI.ThreadStrideBytes));
+    }
+  }
+
+  KernelFunction &K;
+  DiagnosticsEngine &Diags;
+  const LintOptions &Opt;
+  std::vector<AccessInfo> Globals;
+  PhaseModel Model;
+  std::set<const Stmt *> Guarded;
+  int NumWarnings = 0;
+};
+
+} // namespace
+
+int gpuc::lintKernel(KernelFunction &K, DiagnosticsEngine &Diags,
+                     const LintOptions &Opt) {
+  return Linter(K, Diags, Opt).run();
+}

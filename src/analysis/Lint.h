@@ -1,0 +1,51 @@
+//===-- analysis/Lint.h - Kernel lint passes --------------------*- C++ -*-===//
+//
+// Part of the gpuc project: a reproduction of "A GPGPU Compiler for Memory
+// Optimization and Parallelism Management" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Warning-level kernel lints built on the affine access model:
+///
+///  * out-of-bounds: per-subscript value ranges (over the launch
+///    configuration and resolvable loop bounds) versus declared extents,
+///    for global parameters and __shared__ arrays;
+///  * shared-memory bank conflicts: half-warp lane addresses folded into
+///    banks, with the broadcast exception (Section 2's hardware rules);
+///  * non-coalesced global accesses surviving compilation, with the
+///    Section 3.2 failure class as the reason.
+///
+/// All lints report through DiagnosticsEngine::warning, so gpucc --Werror
+/// promotes them to hard errors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUC_ANALYSIS_LINT_H
+#define GPUC_ANALYSIS_LINT_H
+
+#include "analysis/SharedAccess.h"
+#include "support/Diagnostics.h"
+
+namespace gpuc {
+
+/// Which lints to run.
+struct LintOptions {
+  bool OutOfBounds = true;
+  bool BankConflicts = true;
+  bool Coalescing = true;
+  /// Number of shared-memory banks (16 on the paper's hardware).
+  int SharedBanks = 16;
+  /// Prefix for messages, e.g. the pipeline stage name.
+  std::string Context;
+  PhaseModelOptions Phases;
+};
+
+/// Runs the enabled lints over \p K, reporting warnings to \p Diags.
+/// \returns the number of warnings produced.
+int lintKernel(KernelFunction &K, DiagnosticsEngine &Diags,
+               const LintOptions &Opt = LintOptions());
+
+} // namespace gpuc
+
+#endif // GPUC_ANALYSIS_LINT_H

@@ -1,0 +1,79 @@
+//===-- analysis/Sanitizer.cpp - Static kernel sanitizer ------------------===//
+
+#include "analysis/Sanitizer.h"
+
+#include "support/StringUtils.h"
+
+using namespace gpuc;
+
+RaceReport gpuc::sanitizeKernel(KernelFunction &K, DiagnosticsEngine &Diags,
+                                const SanitizeOptions &Opt,
+                                const std::string &Context, bool Final,
+                                SanitizeSummary *Summary) {
+  auto Prefixed = [&](const std::string &Msg) {
+    return Context.empty() ? Msg : "[" + Context + "] " + Msg;
+  };
+  if (Summary)
+    ++Summary->KernelsChecked;
+
+  RaceReport Report;
+  if (Opt.Races) {
+    Report = detectSharedRaces(K, Opt.RaceOpts);
+    for (const RaceFinding &F : Report.Findings) {
+      Diags.error(F.Loc1, Prefixed(strFormat("kernel '%s': %s",
+                                             K.name().c_str(),
+                                             F.str().c_str())));
+      if (F.Loc2.isValid() && !(F.Loc2 == F.Loc1))
+        Diags.note(F.Loc2, "conflicting access is here");
+      if (Summary)
+        ++Summary->RaceErrors;
+    }
+    if (!Report.Analyzable) {
+      if (Summary)
+        ++Summary->Unanalyzable;
+      if (Opt.WarnUnanalyzable) {
+        Diags.warning(
+            SourceLocation(),
+            Prefixed(strFormat("kernel '%s': race-freedom not proved",
+                               K.name().c_str())));
+        for (const std::string &Note : Report.Notes)
+          Diags.note(SourceLocation(), Note);
+      }
+    } else if (Opt.WarnUnanalyzable && !Report.Notes.empty()) {
+      // Analyzable overall, but some accesses were skipped (non-affine
+      // subscripts, capped enumeration): the verdict has caveats.
+      Diags.warning(
+          SourceLocation(),
+          Prefixed(strFormat("kernel '%s': race analysis incomplete",
+                             K.name().c_str())));
+      for (const std::string &Note : Report.Notes)
+        Diags.note(SourceLocation(), Note);
+    }
+  }
+
+  if (Opt.Lint) {
+    LintOptions LO = Opt.LintOpts;
+    LO.Context = Context;
+    // Naive and mid-pipeline kernels are legitimately non-coalesced; the
+    // lint's claim is "survived compilation", so final kernels only.
+    LO.Coalescing = Opt.LintOpts.Coalescing && Final;
+    int Warnings = lintKernel(K, Diags, LO);
+    if (Summary)
+      Summary->LintWarnings += Warnings;
+  }
+  return Report;
+}
+
+void gpuc::attachStageSanitizer(CompileOptions &CO, DiagnosticsEngine &Diags,
+                                const SanitizeOptions &Opt,
+                                SanitizeSummary *Summary) {
+  // Copy Opt by value: the hook outlives the caller's options object.
+  CO.Hook = [&Diags, Opt, Summary](const char *Stage, KernelFunction &K,
+                                   bool Final) {
+    // "final" is itself a stage name; avoid "after final, final".
+    std::string Context = strFormat(
+        "after %s%s", Stage,
+        Final && std::string(Stage) != "final" ? ", final" : "");
+    sanitizeKernel(K, Diags, Opt, Context, Final, Summary);
+  };
+}

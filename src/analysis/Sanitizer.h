@@ -1,0 +1,69 @@
+//===-- analysis/Sanitizer.h - Static kernel sanitizer ----------*- C++ -*-===//
+//
+// Part of the gpuc project: a reproduction of "A GPGPU Compiler for Memory
+// Optimization and Parallelism Management" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Facade over the race detector and the lints: one call checks a kernel
+/// and routes the results into a DiagnosticsEngine (races become errors
+/// with witness notes, lints become warnings), and attachStageSanitizer
+/// installs the whole thing as a core/Compiler stage hook so every
+/// intermediate kernel of every explored variant is checked — a misplaced
+/// barrier is blamed on the stage that introduced it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUC_ANALYSIS_SANITIZER_H
+#define GPUC_ANALYSIS_SANITIZER_H
+
+#include "analysis/Lint.h"
+#include "analysis/RaceDetector.h"
+#include "core/Compiler.h"
+
+namespace gpuc {
+
+/// What the sanitizer runs.
+struct SanitizeOptions {
+  /// Static shared-memory race detection (errors).
+  bool Races = true;
+  /// Kernel lints (warnings).
+  bool Lint = true;
+  /// Report unanalyzable race structure as a warning (default) instead of
+  /// staying silent; --Werror then makes it fatal.
+  bool WarnUnanalyzable = true;
+  RaceDetectOptions RaceOpts;
+  LintOptions LintOpts;
+};
+
+/// Cumulative results over one or more sanitizeKernel calls.
+struct SanitizeSummary {
+  int KernelsChecked = 0;
+  int RaceErrors = 0;
+  int LintWarnings = 0;
+  int Unanalyzable = 0;
+};
+
+/// Race-checks and lints \p K, reporting into \p Diags. \p Context names
+/// the pipeline stage (or build step) in every message; \p Final enables
+/// the lints that are only meaningful on a fully compiled kernel (the
+/// coalescing lint — naive inputs are legitimately non-coalesced).
+/// \returns the race report for programmatic use.
+RaceReport sanitizeKernel(KernelFunction &K, DiagnosticsEngine &Diags,
+                          const SanitizeOptions &Opt,
+                          const std::string &Context = "",
+                          bool Final = true,
+                          SanitizeSummary *Summary = nullptr);
+
+/// Installs the sanitizer as \p CO's per-stage hook. \p Diags, \p Opt and
+/// \p Summary (each optional for the latter two) must outlive the
+/// compilation. Races found at any stage are errors attributed to that
+/// stage; the coalescing lint only runs on final kernels.
+void attachStageSanitizer(CompileOptions &CO, DiagnosticsEngine &Diags,
+                          const SanitizeOptions &Opt = SanitizeOptions(),
+                          SanitizeSummary *Summary = nullptr);
+
+} // namespace gpuc
+
+#endif // GPUC_ANALYSIS_SANITIZER_H

@@ -71,19 +71,32 @@ KernelFunction *GpuCompiler::compileVariant(const KernelFunction &Naive,
   KernelFunction *V = cloneKernel(M, &Naive, Name);
   ASTContext &Ctx = M.context();
 
+  // Per-stage observer (the sanitizer layer): every intermediate kernel is
+  // announced, and the last announcement on each return path is final.
+  auto Stage = [&](const char *StageName, bool Final = false) {
+    if (Opt.Hook)
+      Opt.Hook(StageName, *V, Final);
+  };
+  Stage("input");
+
   if (Opt.Vectorize) {
     vectorizeAccesses(*V, Ctx);
     // Section 3.1: ATI/AMD targets also group neighboring threads' X
     // accesses into wide vectors (float4 is their fastest class).
     if (Opt.Device.PreferWideVectors && amdVectorize(*V, Ctx, 4))
       setHalfWarpLaunch(*V);
+    Stage("vectorize");
   }
 
-  if (!Opt.Coalesce)
+  if (!Opt.Coalesce) {
+    Stage("final", /*Final=*/true);
     return V;
+  }
 
-  if (!setHalfWarpLaunch(*V))
+  if (!setHalfWarpLaunch(*V)) {
+    Stage("final", /*Final=*/true);
     return V; // domain not tileable; keep the naive launch
+  }
 
   // Transpose-shaped kernels: if stores are non-coalesced and exchanging
   // idx/idy fixes them, exchange (Section 3.3's loop-interchange analog).
@@ -102,6 +115,7 @@ KernelFunction *GpuCompiler::compileVariant(const KernelFunction &Naive,
     blockMergeY(*V, 16);
 
   CoalesceResult CR = convertNonCoalesced(*V, Ctx, Diags);
+  Stage("coalesce");
 
   MergePlan Plan = planMerges(*V, CR);
   if (PlanOut)
@@ -116,17 +130,22 @@ KernelFunction *GpuCompiler::compileVariant(const KernelFunction &Naive,
       else if (Plan.ThreadMergeX)
         threadMerge(*V, Ctx, ThreadM, /*AlongY=*/false);
     }
+    Stage("merge");
   }
 
   // Camping rotation must precede prefetch (see header note).
   PartitionCampResult Camp;
-  if (Opt.PartitionElim)
+  if (Opt.PartitionElim) {
     Camp = eliminatePartitionCamping(*V, Ctx, Opt.Device);
+    Stage("partition-camping");
+  }
   if (CampOut)
     *CampOut = Camp;
 
-  if (Opt.Prefetch)
+  if (Opt.Prefetch) {
     insertPrefetch(*V, Ctx);
+    Stage("prefetch");
+  }
 
   if (Opt.Fold)
     foldKernel(*V, Ctx);
@@ -136,6 +155,7 @@ KernelFunction *GpuCompiler::compileVariant(const KernelFunction &Naive,
       Diags.error(SourceLocation(),
                   strFormat("%s: %s", V->name().c_str(), Violation.c_str()));
   }
+  Stage("final", /*Final=*/true);
   return V;
 }
 

@@ -27,10 +27,19 @@
 #include "sim/Simulator.h"
 #include "support/Diagnostics.h"
 
+#include <functional>
 #include <string>
 #include <vector>
 
 namespace gpuc {
+
+/// Observer invoked after each pipeline stage of compileVariant with the
+/// stage's name and the (mutable) kernel as transformed so far. Installed
+/// by the sanitizer layer (analysis/Sanitizer.h) to race-check and lint
+/// every intermediate kernel; \p Final is true for the last invocation on
+/// a variant, after folding and verification.
+using StageHook =
+    std::function<void(const char *Stage, KernelFunction &K, bool Final)>;
 
 /// Pipeline switches; disabling later stages yields the cumulative
 /// configurations of the paper's Figure 12 dissection.
@@ -46,6 +55,8 @@ struct CompileOptions {
   /// Re-verify structural invariants after the pipeline (violations are
   /// reported as errors).
   bool Verify = true;
+  /// Per-stage observer; null disables it.
+  StageHook Hook;
 };
 
 /// One explored design point (Section 4 / Figure 10).

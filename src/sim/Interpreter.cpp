@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 using namespace gpuc;
 
@@ -188,6 +189,8 @@ void Interpreter::runBlocks(long long Begin, long long End,
   SharedData.assign(static_cast<size_t>((SharedBytesPerBlock + 3) / 4), 0.0f);
   for (long long B = Begin; B < End && !Failed; ++B) {
     bindBlock(B, 0);
+    CurBlock = B;
+    raceCheckSetup();
     execStmt(K.body(), FullMask);
   }
   Opt = nullptr;
@@ -204,8 +207,83 @@ void Interpreter::runGrid(const InterpOptions &Options) {
       static_cast<size_t>((SharedBytesPerBlock + 3) / 4 * Blocks), 0.0f);
   for (long long B = 0; B < Blocks; ++B)
     bindBlock(B, B * L.threadsPerBlock());
+  CurBlock = 0;
+  raceCheckSetup();
   execStmt(K.body(), FullMask);
   Opt = nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Dynamic race sanitizer
+//===----------------------------------------------------------------------===//
+
+void Interpreter::raceCheckSetup() {
+  if (!Opt || !Opt->Races)
+    return;
+  CurPhase = 0;
+  ShWr.assign(SharedData.size(), 0);
+  ShRd1.assign(SharedData.size(), 0);
+  ShRd2.assign(SharedData.size(), 0);
+}
+
+void Interpreter::raceCheckBarrier() {
+  if (!Opt || !Opt->Races)
+    return;
+  ++CurPhase;
+  Opt->Races->Phases = std::max(Opt->Races->Phases, CurPhase + 1);
+  std::fill(ShWr.begin(), ShWr.end(), 0);
+  std::fill(ShRd1.begin(), ShRd1.end(), 0);
+  std::fill(ShRd2.begin(), ShRd2.end(), 0);
+}
+
+void Interpreter::raceCheckAccess(const ArrayRef *A, long long T,
+                                  long long AbsWord, long long RelWord,
+                                  int Lanes, bool IsWrite,
+                                  const float *NewVals) {
+  RaceLog &Log = *Opt->Races;
+  const int Tid =
+      static_cast<int>(T % K.launch().threadsPerBlock()) + 1; // 0 = none
+  for (int Lane = 0; Lane < Lanes; ++Lane) {
+    const size_t W = static_cast<size_t>(AbsWord + Lane);
+    auto Conflict = [&](int Other, bool WriteWrite) {
+      // One record per (array, kind, phase) keeps the log readable.
+      if (!RaceSeen.insert({A->base(), WriteWrite, CurPhase}).second)
+        return;
+      RaceRecord R;
+      R.Array = A->base();
+      R.WriteWrite = WriteWrite;
+      R.Phase = CurPhase;
+      R.Word = RelWord + Lane;
+      R.T1 = Other - 1;
+      R.T2 = Tid - 1;
+      R.Block = BlocksInGroup > 1 ? T / K.launch().threadsPerBlock()
+                                  : CurBlock;
+      Log.Races.push_back(std::move(R));
+    };
+    if (IsWrite) {
+      if (ShWr[W] && ShWr[W] != Tid) {
+        // Redundant same-value write (bitwise-equal to what an earlier
+        // writer deposited this phase): the benign halo-staging overlap.
+        const bool SameValue =
+            NewVals &&
+            std::memcmp(&SharedData[W], &NewVals[Lane], sizeof(float)) == 0;
+        if (!SameValue)
+          Conflict(ShWr[W], /*WriteWrite=*/true);
+      } else if (!ShWr[W])
+        ShWr[W] = Tid;
+      if (ShRd1[W] && ShRd1[W] != Tid)
+        Conflict(ShRd1[W], /*WriteWrite=*/false);
+      else if (ShRd2[W] && ShRd2[W] != Tid)
+        Conflict(ShRd2[W], /*WriteWrite=*/false);
+    } else {
+      if (ShWr[W] && ShWr[W] != Tid)
+        Conflict(ShWr[W], /*WriteWrite=*/false);
+      if (!ShRd1[W])
+        ShRd1[W] = Tid;
+      else if (ShRd1[W] != Tid && !ShRd2[W])
+        ShRd2[W] = Tid;
+    }
+  }
 }
 
 //===----------------------------------------------------------------------===//
@@ -538,6 +616,10 @@ Interpreter::Value Interpreter::loadArray(const ArrayRef *A, long long T,
     if (Collect && Opt->MM)
       Opt->MM->recordShared(A, T, SA.ByteOffset + Flat * SA.ElemLanes * 4,
                             AccessLanes * 4);
+    if (Opt && Opt->Races)
+      raceCheckAccess(A, T, Region + FloatOff,
+                      FloatOff - SA.ByteOffset / 4, AccessLanes,
+                      /*IsWrite=*/false);
     const float *P = &SharedData[static_cast<size_t>(Region + FloatOff)];
     V.F0 = P[0];
     if (Lanes > 1)
@@ -596,6 +678,12 @@ void Interpreter::storeArray(const ArrayRef *A, long long T, const Value &V) {
     if (Collect && Opt->MM)
       Opt->MM->recordShared(A, T, SA.ByteOffset + Flat * SA.ElemLanes * 4,
                             AccessLanes * 4);
+    if (Opt && Opt->Races) {
+      const float NewVals[4] = {V.F0, V.F1, V.F2, V.F3};
+      raceCheckAccess(A, T, Region + FloatOff,
+                      FloatOff - SA.ByteOffset / 4, AccessLanes,
+                      /*IsWrite=*/true, NewVals);
+    }
     float *P = &SharedData[static_cast<size_t>(Region + FloatOff)];
     P[0] = V.F0;
     if (AccessLanes > 1)
@@ -719,6 +807,7 @@ void Interpreter::execStmt(Stmt *S, const std::vector<uint8_t> &Mask) {
       else
         Opt->Stats->BlockSyncs += 1;
     }
+    raceCheckBarrier();
     return;
   }
   }

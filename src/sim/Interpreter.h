@@ -38,8 +38,36 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
 
 namespace gpuc {
+
+/// One conflict observed by the dynamic race sanitizer.
+struct RaceRecord {
+  std::string Array;
+  /// True: write-write; false: write-read (in either order).
+  bool WriteWrite = false;
+  /// Barrier phase the conflict occurred in (barriers executed so far).
+  int Phase = 0;
+  /// Float-word offset within the shared array.
+  long long Word = 0;
+  /// In-block flat thread ids of the two conflicting threads.
+  long long T1 = 0, T2 = 0;
+  long long Block = 0;
+};
+
+/// Dynamic cross-check of the static race detector: per-word shared-memory
+/// access logs, cleared at every barrier; same-phase conflicting accesses
+/// from distinct threads of a block are recorded here.
+struct RaceLog {
+  std::vector<RaceRecord> Races;
+  /// Total barrier phases executed (per block).
+  int Phases = 1;
+  bool clean() const { return Races.empty(); }
+};
 
 /// Options controlling one interpretation run.
 struct InterpOptions {
@@ -51,6 +79,8 @@ struct InterpOptions {
   int LoopSampleThreshold = 0;
   /// Number of iterations actually executed for a sampled loop.
   int LoopSampleCount = 4;
+  /// When set, shared-memory accesses are race-checked phase by phase.
+  RaceLog *Races = nullptr;
 };
 
 /// Interprets one kernel against one buffer set.
@@ -111,6 +141,16 @@ private:
   int evalInt(const Expr *E, long long T);
   Value loadArray(const ArrayRef *A, long long T, bool CountStats);
   void storeArray(const ArrayRef *A, long long T, const Value &V);
+
+  // Dynamic race sanitizer.
+  void raceCheckSetup();
+  void raceCheckBarrier();
+  /// \p NewVals: the per-lane values about to be stored (null for loads);
+  /// a second write that deposits the value a word already holds this
+  /// phase is the benign redundant halo-load idiom, not a race.
+  void raceCheckAccess(const ArrayRef *A, long long T, long long AbsWord,
+                       long long RelWord, int Lanes, bool IsWrite,
+                       const float *NewVals = nullptr);
   /// Computes the flat element index; false if out of bounds.
   bool flattenIndex(const ArrayRef *A, long long T, long long &FlatOut);
 
@@ -150,6 +190,14 @@ private:
 
   // Scratch for two-phase assignment.
   std::vector<Value> RhsScratch;
+
+  // Race-sanitizer state: first writer / first two distinct readers per
+  // shared float word this phase (thread id + 1; 0 = none). Two readers
+  // suffice: at least one of them differs from any later writer.
+  std::vector<int> ShWr, ShRd1, ShRd2;
+  int CurPhase = 0;
+  long long CurBlock = 0;
+  std::set<std::tuple<std::string, bool, int>> RaceSeen;
 
   // Current run options.
   const InterpOptions *Opt = nullptr;

@@ -21,11 +21,12 @@ static bool kernelHasGlobalSync(const KernelFunction &K) {
 }
 
 bool Simulator::runFunctional(const KernelFunction &K, BufferSet &Buffers,
-                              DiagnosticsEngine &Diags) {
+                              DiagnosticsEngine &Diags, RaceLog *Races) {
   Interpreter Interp(Dev, K, Buffers, Diags);
   if (!Interp.prepare())
     return false;
   InterpOptions Opt; // no statistics, full execution
+  Opt.Races = Races;
   if (kernelHasGlobalSync(K))
     Interp.runGrid(Opt);
   else

@@ -69,9 +69,12 @@ public:
 
   /// Executes the whole grid with correct semantics, updating \p Buffers.
   /// Kernels containing __globalSync run as one grid-wide SPMD group.
+  /// When \p Races is non-null the run doubles as a dynamic race sanitizer:
+  /// same-phase shared-memory conflicts are recorded there (the cross-check
+  /// for the static detector in analysis/RaceDetector.h).
   /// \returns false on execution errors (reported to \p Diags).
   bool runFunctional(const KernelFunction &K, BufferSet &Buffers,
-                     DiagnosticsEngine &Diags);
+                     DiagnosticsEngine &Diags, RaceLog *Races = nullptr);
 
   /// Samples block clusters, extrapolates statistics to the whole grid and
   /// estimates the kernel time. Buffer contents after the call are not

@@ -6,17 +6,63 @@
 
 using namespace gpuc;
 
+const char *gpuc::diagKindName(DiagKind K) {
+  switch (K) {
+  case DiagKind::Error:
+    return "error";
+  case DiagKind::Warning:
+    return "warning";
+  case DiagKind::Note:
+    return "note";
+  }
+  return "error";
+}
+
+void DiagnosticsEngine::report(DiagKind Kind, SourceLocation Loc,
+                               std::string Message) {
+  switch (Kind) {
+  case DiagKind::Error:
+    error(Loc, std::move(Message));
+    return;
+  case DiagKind::Warning:
+    warning(Loc, std::move(Message));
+    return;
+  case DiagKind::Note:
+    note(Loc, std::move(Message));
+    return;
+  }
+}
+
 void DiagnosticsEngine::error(SourceLocation Loc, std::string Message) {
-  Diags.push_back({DiagKind::Error, Loc, std::move(Message)});
+  Diags.push_back({DiagKind::Error, Loc, std::move(Message), false});
   ++NumErrors;
 }
 
 void DiagnosticsEngine::warning(SourceLocation Loc, std::string Message) {
-  Diags.push_back({DiagKind::Warning, Loc, std::move(Message)});
+  if (WarningsAsErrors) {
+    Diags.push_back({DiagKind::Error, Loc, std::move(Message), true});
+    ++NumErrors;
+    return;
+  }
+  Diags.push_back({DiagKind::Warning, Loc, std::move(Message), false});
+  ++NumWarnings;
 }
 
 void DiagnosticsEngine::note(SourceLocation Loc, std::string Message) {
-  Diags.push_back({DiagKind::Note, Loc, std::move(Message)});
+  Diags.push_back({DiagKind::Note, Loc, std::move(Message), false});
+  ++NumNotes;
+}
+
+unsigned DiagnosticsEngine::count(DiagKind Kind) const {
+  switch (Kind) {
+  case DiagKind::Error:
+    return NumErrors;
+  case DiagKind::Warning:
+    return NumWarnings;
+  case DiagKind::Note:
+    return NumNotes;
+  }
+  return 0;
 }
 
 std::string DiagnosticsEngine::str() const {
@@ -24,23 +70,32 @@ std::string DiagnosticsEngine::str() const {
   for (const Diagnostic &D : Diags) {
     if (D.Loc.isValid())
       OS << D.Loc.Line << ":" << D.Loc.Col << ": ";
-    switch (D.Kind) {
-    case DiagKind::Error:
-      OS << "error: ";
-      break;
-    case DiagKind::Warning:
-      OS << "warning: ";
-      break;
-    case DiagKind::Note:
-      OS << "note: ";
-      break;
-    }
-    OS << D.Message << "\n";
+    OS << diagKindName(D.Kind) << ": " << D.Message;
+    if (D.Promoted)
+      OS << " [-Werror]";
+    OS << "\n";
   }
+  return OS.str();
+}
+
+std::string DiagnosticsEngine::summary() const {
+  if (NumErrors == 0 && NumWarnings == 0)
+    return "";
+  std::ostringstream OS;
+  if (NumWarnings > 0)
+    OS << NumWarnings << (NumWarnings == 1 ? " warning" : " warnings");
+  if (NumErrors > 0) {
+    if (NumWarnings > 0)
+      OS << " and ";
+    OS << NumErrors << (NumErrors == 1 ? " error" : " errors");
+  }
+  OS << " generated.";
   return OS.str();
 }
 
 void DiagnosticsEngine::clear() {
   Diags.clear();
   NumErrors = 0;
+  NumWarnings = 0;
+  NumNotes = 0;
 }

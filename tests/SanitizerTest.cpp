@@ -1,0 +1,453 @@
+//===-- tests/SanitizerTest.cpp - race detector and lint tests ------------===//
+//
+// The static race detector must prove every Table 1 naive kernel and every
+// compiler-optimized kernel race-free, agree with the simulator's dynamic
+// race sanitizer, and flag seeded barrier-removal mutants with the correct
+// witness phase. Lints must fire on out-of-bounds and bank-conflicted
+// shared accesses, and the Verifier must reject barriers inside loops with
+// thread-dependent trip counts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Lint.h"
+#include "analysis/RaceDetector.h"
+#include "analysis/Sanitizer.h"
+#include "ast/Printer.h"
+#include "ast/Verifier.h"
+#include "ast/Walk.h"
+#include "baselines/CpuReference.h"
+#include "baselines/NaiveKernels.h"
+#include "core/Compiler.h"
+#include "parser/Parser.h"
+#include "sim/Simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+using namespace gpuc;
+
+namespace {
+
+long long testSize(Algo A) {
+  switch (A) {
+  case Algo::RD:
+  case Algo::CRD:
+  case Algo::VV:
+    return 4096;
+  case Algo::CONV:
+  case Algo::STRSM:
+    return 64;
+  default:
+    return 128;
+  }
+}
+
+/// Gives a naive kernel the canonical half-warp launch so the per-thread
+/// address sets are non-trivial.
+void setNaiveLaunch(KernelFunction &K) {
+  LaunchConfig &L = K.launch();
+  L.BlockDimX = 16;
+  L.BlockDimY = 1;
+  L.GridDimX = std::max<long long>(1, K.workDomainX() / 16);
+  L.GridDimY = std::max<long long>(1, K.workDomainY());
+}
+
+/// Runs the dynamic race sanitizer over one functional execution.
+RaceLog dynamicRaces(Algo A, long long N, const KernelFunction &K) {
+  BufferSet B;
+  initInputs(A, N, B);
+  DiagnosticsEngine D;
+  Simulator Sim(DeviceSpec::gtx280());
+  RaceLog Log;
+  EXPECT_TRUE(Sim.runFunctional(K, B, D, &Log)) << D.str();
+  return Log;
+}
+
+/// Removes the \p Index-th __syncthreads (document order). \returns true
+/// when a barrier was removed.
+bool removeSync(Stmt *Root, int Index) {
+  int Seen = 0;
+  bool Removed = false;
+  std::function<void(Stmt *)> Rec = [&](Stmt *S) {
+    if (!S || Removed)
+      return;
+    if (auto *C = dyn_cast<CompoundStmt>(S)) {
+      auto &Body = C->body();
+      for (size_t I = 0; I < Body.size(); ++I) {
+        if (isa<SyncStmt>(Body[I])) {
+          if (Seen++ == Index) {
+            Body.erase(Body.begin() + I);
+            Removed = true;
+            return;
+          }
+        } else {
+          Rec(Body[I]);
+        }
+      }
+      return;
+    }
+    if (auto *F = dyn_cast<ForStmt>(S))
+      Rec(F->body());
+    else if (auto *If = dyn_cast<IfStmt>(S)) {
+      Rec(If->thenBody());
+      Rec(If->elseBody());
+    }
+  };
+  Rec(Root);
+  return Removed;
+}
+
+int countSyncs(Stmt *Root) {
+  int N = 0;
+  forEachStmt(Root, [&](Stmt *S) {
+    if (auto *Sync = dyn_cast<SyncStmt>(S))
+      if (!Sync->isGlobal())
+        ++N;
+  });
+  return N;
+}
+
+KernelFunction *parseSource(Module &M, const char *Src,
+                            DiagnosticsEngine &D) {
+  Parser P(Src, D);
+  KernelFunction *K = P.parseKernel(M);
+  EXPECT_NE(K, nullptr) << D.str();
+  return K;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Table 1 kernels are race-free, statically and dynamically
+//===----------------------------------------------------------------------===//
+
+class SanitizerAlgo : public ::testing::TestWithParam<Algo> {};
+
+TEST_P(SanitizerAlgo, NaiveKernelIsRaceFree) {
+  Algo A = GetParam();
+  long long N = testSize(A);
+  Module M;
+  DiagnosticsEngine D;
+  KernelFunction *K = parseNaive(M, A, N, D);
+  ASSERT_NE(K, nullptr) << D.str();
+  setNaiveLaunch(*K);
+
+  RaceReport R = detectSharedRaces(*K);
+  EXPECT_TRUE(R.clean()) << (R.Findings.empty() ? "unanalyzable"
+                                                : R.Findings[0].str());
+
+  RaceLog Log = dynamicRaces(A, N, *K);
+  EXPECT_TRUE(Log.clean()) << "dynamic sanitizer disagrees on naive "
+                           << algoInfo(A).Name;
+}
+
+TEST_P(SanitizerAlgo, OptimizedKernelIsRaceFree) {
+  Algo A = GetParam();
+  long long N = testSize(A);
+  Module M;
+  DiagnosticsEngine D;
+  KernelFunction *K = parseNaive(M, A, N, D);
+  ASSERT_NE(K, nullptr) << D.str();
+  GpuCompiler GC(M, D);
+  CompileOutput Out = GC.compile(*K);
+  ASSERT_NE(Out.Best, nullptr) << D.str() << Out.Log;
+
+  // Static verdict: the barrier placement of every staging rewrite the
+  // compiler performed is race-free.
+  RaceReport R = detectSharedRaces(*Out.Best);
+  EXPECT_TRUE(R.Analyzable) << printKernel(*Out.Best);
+  EXPECT_TRUE(R.Findings.empty())
+      << R.Findings[0].str() << "\n"
+      << printKernel(*Out.Best);
+
+  // Dynamic cross-check agrees.
+  RaceLog Log = dynamicRaces(A, N, *Out.Best);
+  EXPECT_TRUE(Log.clean()) << "dynamic sanitizer disagrees on optimized "
+                           << algoInfo(A).Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1, SanitizerAlgo,
+                         ::testing::ValuesIn(table1Algos()),
+                         [](const ::testing::TestParamInfo<Algo> &I) {
+                           return std::string(algoInfo(I.param).Name);
+                         });
+
+//===----------------------------------------------------------------------===//
+// Seeded barrier-removal mutants
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Compiles \p A, removes barrier \p SyncIndex from the optimized kernel
+/// and expects both detectors to flag a race in the same earliest phase.
+void expectMutantFlagged(Algo A, int SyncIndex) {
+  long long N = testSize(A);
+  Module M;
+  DiagnosticsEngine D;
+  KernelFunction *K = parseNaive(M, A, N, D);
+  ASSERT_NE(K, nullptr) << D.str();
+  GpuCompiler GC(M, D);
+  CompileOutput Out = GC.compile(*K);
+  ASSERT_NE(Out.Best, nullptr) << D.str() << Out.Log;
+  ASSERT_GT(countSyncs(Out.Best->body()), SyncIndex)
+      << printKernel(*Out.Best);
+  ASSERT_TRUE(removeSync(Out.Best->body(), SyncIndex));
+
+  RaceReport R = detectSharedRaces(*Out.Best);
+  ASSERT_TRUE(R.Analyzable);
+  ASSERT_FALSE(R.Findings.empty())
+      << "static detector missed the seeded race:\n"
+      << printKernel(*Out.Best);
+
+  RaceLog Log = dynamicRaces(A, N, *Out.Best);
+  ASSERT_FALSE(Log.clean())
+      << "dynamic sanitizer missed the seeded race:\n"
+      << printKernel(*Out.Best);
+
+  // Witness phase agreement: both detectors place the first race in the
+  // same barrier phase (findings are sorted by phase; dynamic records are
+  // chronological).
+  int StaticPhase = R.Findings.front().Phase;
+  int DynamicPhase = Log.Races.front().Phase;
+  for (const RaceRecord &Rec : Log.Races)
+    DynamicPhase = std::min(DynamicPhase, Rec.Phase);
+  EXPECT_EQ(StaticPhase, DynamicPhase) << R.Findings.front().str();
+}
+
+} // namespace
+
+TEST(SanitizerMutants, MmWithoutFirstBarrier) {
+  expectMutantFlagged(Algo::MM, 0);
+}
+
+TEST(SanitizerMutants, MmWithoutSecondBarrier) {
+  expectMutantFlagged(Algo::MM, 1);
+}
+
+TEST(SanitizerMutants, TmvWithoutFirstBarrier) {
+  expectMutantFlagged(Algo::TMV, 0);
+}
+
+TEST(SanitizerMutants, ConvWithoutTileBarrier) {
+  // Barrier 0 (after the halo staging) is redundant in conv's best kernel:
+  // the inner tile loop's own barrier still separates those writes from
+  // their readers. Barrier 1 guards the ker tile and its removal races.
+  expectMutantFlagged(Algo::CONV, 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Deterministic small-kernel race: both detectors, same witness
+//===----------------------------------------------------------------------===//
+
+TEST(SanitizerMutants, MissingBarrierWriteReadRace) {
+  const char *Src = "#pragma gpuc output(out)\n"
+                    "__global__ void k(float in[16][16],\n"
+                    "                  float out[16][16]) {\n"
+                    "  __shared__ float tile[16];\n"
+                    "  tile[tidx] = in[idy][idx];\n"
+                    "  out[idy][idx] = tile[(15 - tidx)];\n"
+                    "}\n";
+  Module M;
+  DiagnosticsEngine D;
+  KernelFunction *K = parseSource(M, Src, D);
+  ASSERT_NE(K, nullptr);
+  setNaiveLaunch(*K);
+
+  RaceReport R = detectSharedRaces(*K);
+  ASSERT_TRUE(R.Analyzable);
+  ASSERT_FALSE(R.Findings.empty());
+  const RaceFinding &F = R.Findings.front();
+  EXPECT_FALSE(F.WriteWrite); // write-read
+  EXPECT_EQ(F.Phase, 0);
+  EXPECT_EQ(F.Array, "tile");
+  // The witness threads genuinely collide: thread t writes word t, thread
+  // 15-t reads it.
+  EXPECT_EQ(F.T1x + F.T2x, 15);
+
+  // With the barrier restored the kernel is clean.
+  const char *Fixed = "#pragma gpuc output(out)\n"
+                      "__global__ void k(float in[16][16],\n"
+                      "                  float out[16][16]) {\n"
+                      "  __shared__ float tile[16];\n"
+                      "  tile[tidx] = in[idy][idx];\n"
+                      "  __syncthreads();\n"
+                      "  out[idy][idx] = tile[(15 - tidx)];\n"
+                      "}\n";
+  Module M2;
+  DiagnosticsEngine D2;
+  KernelFunction *K2 = parseSource(M2, Fixed, D2);
+  ASSERT_NE(K2, nullptr);
+  setNaiveLaunch(*K2);
+  RaceReport R2 = detectSharedRaces(*K2);
+  EXPECT_TRUE(R2.clean());
+}
+
+TEST(SanitizerStatic, RedundantHaloCopyIsBenign) {
+  // The block-merge halo idiom: both stores copy the same global element
+  // into the overlap words, so the write-write overlap is value-identical
+  // and must not be reported.
+  const char *Src = "#pragma gpuc output(out)\n"
+                    "#pragma gpuc domain(128,16)\n"
+                    "__global__ void k(float in[16][144],\n"
+                    "                  float out[16][128]) {\n"
+                    "  __shared__ float halo[144];\n"
+                    "  halo[tidx] = in[idy][((idx - tidx) + tidx)];\n"
+                    "  halo[(tidx + 16)] =\n"
+                    "      in[idy][(((idx - tidx) + 16) + tidx)];\n"
+                    "  __syncthreads();\n"
+                    "  out[idy][idx] = halo[(tidx + 8)];\n"
+                    "}\n";
+  Module M;
+  DiagnosticsEngine D;
+  KernelFunction *K = parseSource(M, Src, D);
+  ASSERT_NE(K, nullptr);
+  LaunchConfig &L = K->launch();
+  L.BlockDimX = 128; // merged block: the two stores overlap on words 16..127
+  L.BlockDimY = 1;
+  L.GridDimX = 1;
+  L.GridDimY = 16;
+  RaceReport R = detectSharedRaces(*K);
+  EXPECT_TRUE(R.clean()) << (R.Findings.empty() ? "unanalyzable"
+                                                : R.Findings[0].str());
+
+  // Copying from a *different* source element is a real write-write race.
+  const char *Racy = "#pragma gpuc output(out)\n"
+                     "#pragma gpuc domain(128,16)\n"
+                     "__global__ void k(float in[16][144],\n"
+                     "                  float out[16][128]) {\n"
+                     "  __shared__ float halo[144];\n"
+                     "  halo[tidx] = in[idy][((idx - tidx) + tidx)];\n"
+                     "  halo[(tidx + 16)] =\n"
+                     "      in[idy][(((idx - tidx) + 17) + tidx)];\n"
+                     "  __syncthreads();\n"
+                     "  out[idy][idx] = halo[(tidx + 8)];\n"
+                     "}\n";
+  Module M2;
+  DiagnosticsEngine D2;
+  KernelFunction *K2 = parseSource(M2, Racy, D2);
+  ASSERT_NE(K2, nullptr);
+  K2->launch() = L;
+  RaceReport R2 = detectSharedRaces(*K2);
+  ASSERT_FALSE(R2.Findings.empty());
+  EXPECT_TRUE(R2.Findings.front().WriteWrite);
+}
+
+//===----------------------------------------------------------------------===//
+// Lints
+//===----------------------------------------------------------------------===//
+
+TEST(Lint, FlagsSharedOutOfBounds) {
+  const char *Src = "#pragma gpuc output(out)\n"
+                    "__global__ void k(float out[16][16]) {\n"
+                    "  __shared__ float tile[16];\n"
+                    "  tile[(tidx + 1)] = 1;\n"
+                    "  __syncthreads();\n"
+                    "  out[idy][idx] = tile[tidx];\n"
+                    "}\n";
+  Module M;
+  DiagnosticsEngine D;
+  KernelFunction *K = parseSource(M, Src, D);
+  ASSERT_NE(K, nullptr);
+  setNaiveLaunch(*K);
+  EXPECT_GT(lintKernel(*K, D), 0);
+  EXPECT_NE(D.str().find("out of bounds"), std::string::npos) << D.str();
+}
+
+TEST(Lint, FlagsBankConflicts) {
+  const char *Src = "#pragma gpuc output(out)\n"
+                    "__global__ void k(float out[16][16]) {\n"
+                    "  __shared__ float tile[16][16];\n"
+                    "  tile[tidx][0] = 1;\n"
+                    "  __syncthreads();\n"
+                    "  out[idy][idx] = tile[0][tidx];\n"
+                    "}\n";
+  Module M;
+  DiagnosticsEngine D;
+  KernelFunction *K = parseSource(M, Src, D);
+  ASSERT_NE(K, nullptr);
+  setNaiveLaunch(*K);
+  EXPECT_GT(lintKernel(*K, D), 0);
+  EXPECT_NE(D.str().find("bank"), std::string::npos) << D.str();
+}
+
+TEST(Lint, CleanKernelHasNoWarnings) {
+  const char *Src = "#pragma gpuc output(out)\n"
+                    "__global__ void k(float out[16][16]) {\n"
+                    "  __shared__ float tile[16];\n"
+                    "  tile[tidx] = 1;\n"
+                    "  __syncthreads();\n"
+                    "  out[idy][idx] = tile[tidx];\n"
+                    "}\n";
+  Module M;
+  DiagnosticsEngine D;
+  KernelFunction *K = parseSource(M, Src, D);
+  ASSERT_NE(K, nullptr);
+  setNaiveLaunch(*K);
+  LintOptions LO;
+  LO.Coalescing = false; // a toy kernel need not be coalesced
+  EXPECT_EQ(lintKernel(*K, D, LO), 0) << D.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Verifier: thread-dependent barrier trip counts
+//===----------------------------------------------------------------------===//
+
+TEST(Verifier, FlagsThreadDependentTripBarrier) {
+  const char *Src = "#pragma gpuc output(out)\n"
+                    "__global__ void k(float out[16][16]) {\n"
+                    "  float s = 0;\n"
+                    "  for (int i = 0; i < tidx; i = i + 1) {\n"
+                    "    __syncthreads();\n"
+                    "    s += 1;\n"
+                    "  }\n"
+                    "  out[idy][idx] = s;\n"
+                    "}\n";
+  Module M;
+  DiagnosticsEngine D;
+  KernelFunction *K = parseSource(M, Src, D);
+  ASSERT_NE(K, nullptr);
+  std::vector<std::string> Problems = verifyKernel(*K);
+  bool Found = false;
+  for (const std::string &P : Problems)
+    Found |= P.find("thread-dependent") != std::string::npos;
+  EXPECT_TRUE(Found) << "got " << Problems.size() << " problems";
+}
+
+TEST(Verifier, AcceptsUniformTripBarrier) {
+  const char *Src = "#pragma gpuc output(out)\n"
+                    "__global__ void k(float out[16][16]) {\n"
+                    "  float s = 0;\n"
+                    "  for (int i = 0; i < 4; i = i + 1) {\n"
+                    "    __syncthreads();\n"
+                    "    s += 1;\n"
+                    "  }\n"
+                    "  out[idy][idx] = s;\n"
+                    "}\n";
+  Module M;
+  DiagnosticsEngine D;
+  KernelFunction *K = parseSource(M, Src, D);
+  ASSERT_NE(K, nullptr);
+  for (const std::string &P : verifyKernel(*K))
+    EXPECT_EQ(P.find("thread-dependent"), std::string::npos) << P;
+}
+
+//===----------------------------------------------------------------------===//
+// Diagnostics severities and -Werror
+//===----------------------------------------------------------------------===//
+
+TEST(Diagnostics, WarningsDoNotBlockByDefault) {
+  DiagnosticsEngine D;
+  D.warning(SourceLocation(), "suspicious");
+  EXPECT_TRUE(D.hasWarnings());
+  EXPECT_FALSE(D.hasErrors());
+  EXPECT_EQ(D.warningCount(), 1u);
+}
+
+TEST(Diagnostics, WerrorPromotesWarnings) {
+  DiagnosticsEngine D;
+  D.setWarningsAsErrors(true);
+  D.warning(SourceLocation(), "suspicious");
+  EXPECT_TRUE(D.hasErrors());
+  EXPECT_NE(D.str().find("-Werror"), std::string::npos) << D.str();
+}

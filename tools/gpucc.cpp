@@ -16,6 +16,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Sanitizer.h"
 #include "ast/Printer.h"
 #include "core/Coalescing.h"
 #include "core/Report.h"
@@ -47,6 +48,13 @@ void usage() {
       "  --report                  print the analysis report to stderr\n"
       "  --validate                run naive and optimized kernels on the\n"
       "                            simulator and compare outputs\n"
+      "  --sanitize                static shared-memory race detection after\n"
+      "                            every pipeline stage; with --validate the\n"
+      "                            simulator also race-checks dynamically\n"
+      "  --lint                    warn about out-of-bounds accesses, bank\n"
+      "                            conflicts and surviving non-coalesced\n"
+      "                            accesses\n"
+      "  --Werror                  treat warnings as errors\n"
       "  --print-naive             echo the parsed naive kernel first\n");
 }
 
@@ -92,6 +100,7 @@ int main(int argc, char **argv) {
   CompileOptions Opt;
   int BlockN = 0, ThreadM = 0;
   bool Report = false, Validate = false, PrintNaive = false;
+  bool Sanitize = false, Lint = false, Werror = false;
   PrintDialect Dialect = PrintDialect::Cuda;
 
   for (int I = 1; I < argc; ++I) {
@@ -126,6 +135,12 @@ int main(int argc, char **argv) {
       Validate = true;
     else if (std::strcmp(Arg, "--print-naive") == 0)
       PrintNaive = true;
+    else if (std::strcmp(Arg, "--sanitize") == 0)
+      Sanitize = true;
+    else if (std::strcmp(Arg, "--lint") == 0)
+      Lint = true;
+    else if (std::strcmp(Arg, "--Werror") == 0)
+      Werror = true;
     else if (std::strcmp(Arg, "--help") == 0) {
       usage();
       return 0;
@@ -144,6 +159,8 @@ int main(int argc, char **argv) {
 
   Module M;
   DiagnosticsEngine Diags;
+  if (Werror)
+    Diags.setWarningsAsErrors(true);
   Parser P(readInput(Path), Diags);
   KernelFunction *Naive = P.parseKernel(M);
   if (!Naive) {
@@ -153,6 +170,14 @@ int main(int argc, char **argv) {
   if (PrintNaive)
     std::printf("// ---- naive input ----\n%s\n",
                 printKernel(*Naive, Dialect).c_str());
+
+  SanitizeSummary SanSummary;
+  if (Sanitize || Lint) {
+    SanitizeOptions SanOpt;
+    SanOpt.Races = Sanitize;
+    SanOpt.Lint = Lint;
+    attachStageSanitizer(Opt, Diags, SanOpt, &SanSummary);
+  }
 
   GpuCompiler GC(M, Diags);
   CompileOutput Out;
@@ -169,9 +194,19 @@ int main(int argc, char **argv) {
     Out = GC.compile(*Naive, Opt);
   }
   if (!Out.Best || Diags.hasErrors()) {
-    std::fprintf(stderr, "%s%s", Diags.str().c_str(), Out.Log.c_str());
+    std::fprintf(stderr, "%s%s%s", Diags.str().c_str(),
+                 Diags.summary().c_str(), Out.Log.c_str());
     return 1;
   }
+  if (Diags.hasWarnings())
+    std::fprintf(stderr, "%s%s\n", Diags.str().c_str(),
+                 Diags.summary().c_str());
+  if (Sanitize || Lint)
+    std::fprintf(stderr,
+                 "sanitizer: %d kernels checked, %d races, %d lint "
+                 "warnings, %d not statically analyzable\n",
+                 SanSummary.KernelsChecked, SanSummary.RaceErrors,
+                 SanSummary.LintWarnings, SanSummary.Unanalyzable);
 
   std::printf("%s", printKernel(*Out.Best, Dialect).c_str());
 
@@ -184,11 +219,26 @@ int main(int argc, char **argv) {
     fillRandomInputs(*Naive, NaiveBufs);
     fillRandomInputs(*Naive, OptBufs);
     DiagnosticsEngine RunDiags;
-    if (!Sim.runFunctional(*Naive, NaiveBufs, RunDiags) ||
-        !Sim.runFunctional(*Out.Best, OptBufs, RunDiags)) {
+    RaceLog NaiveRaces, OptRaces;
+    if (!Sim.runFunctional(*Naive, NaiveBufs, RunDiags,
+                           Sanitize ? &NaiveRaces : nullptr) ||
+        !Sim.runFunctional(*Out.Best, OptBufs, RunDiags,
+                           Sanitize ? &OptRaces : nullptr)) {
       std::fprintf(stderr, "validation run failed:\n%s",
                    RunDiags.str().c_str());
       return 1;
+    }
+    if (Sanitize) {
+      for (const RaceLog *Log : {&NaiveRaces, &OptRaces})
+        for (const RaceRecord &R : Log->Races)
+          std::fprintf(stderr,
+                       "dynamic race: %s on '%s' word %lld, phase %d, "
+                       "block %lld, threads %lld and %lld\n",
+                       R.WriteWrite ? "write-write" : "write-read",
+                       R.Array.c_str(), R.Word, R.Phase, R.Block, R.T1,
+                       R.T2);
+      if (!NaiveRaces.clean() || !OptRaces.clean())
+        return 1;
     }
     long long Bad = 0;
     for (const ParamDecl &Param : Naive->params()) {
