@@ -20,6 +20,7 @@
 #include "baselines/CpuReference.h"
 #include "baselines/NaiveKernels.h"
 #include "core/Compiler.h"
+#include "sim/SimCache.h"
 #include "support/StringUtils.h"
 
 #include <benchmark/benchmark.h>
@@ -27,6 +28,7 @@
 #include <cmath>
 
 #include <cstdio>
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
@@ -56,6 +58,15 @@ public:
     Rows.push_back({Label, std::move(Values)});
   }
 
+  /// Scalar metadata emitted into the JSON "meta" object (search
+  /// wall-clocks, speedups, cache hit rates, ...).
+  void addMeta(const std::string &Key, double Value) {
+    MetaNum.emplace_back(Key, Value);
+  }
+  void addMeta(const std::string &Key, const std::string &Value) {
+    MetaStr.emplace_back(Key, Value);
+  }
+
   void print() const {
     std::printf("\n=== %s ===\n", Title.c_str());
     for (const Row &R : Rows) {
@@ -64,20 +75,96 @@ public:
         std::printf("  %s=%.3f", Name.c_str(), V);
       std::printf("\n");
     }
+    for (const auto &[Key, V] : MetaNum)
+      std::printf("meta: %s=%.4f\n", Key.c_str(), V);
+    for (const auto &[Key, V] : MetaStr)
+      std::printf("meta: %s=%s\n", Key.c_str(), V.c_str());
     for (const std::string &N : Notes)
       std::printf("note: %s\n", N.c_str());
     std::printf("\n");
   }
 
+  /// Writes the collected rows/meta/notes as a machine-readable JSON file
+  /// so the repo's perf trajectory diffs across PRs.
+  void writeJson(const std::string &Path) const {
+    std::ofstream OS(Path);
+    if (!OS)
+      return;
+    OS << "{\n  \"title\": " << jsonStr(Title) << ",\n  \"rows\": [\n";
+    for (size_t I = 0; I < Rows.size(); ++I) {
+      const Row &R = Rows[I];
+      OS << "    {\"label\": " << jsonStr(R.Label) << ", \"values\": {";
+      for (size_t J = 0; J < R.Values.size(); ++J) {
+        OS << jsonStr(R.Values[J].first) << ": "
+           << jsonNum(R.Values[J].second);
+        if (J + 1 < R.Values.size())
+          OS << ", ";
+      }
+      OS << "}}" << (I + 1 < Rows.size() ? "," : "") << "\n";
+    }
+    OS << "  ],\n  \"meta\": {";
+    bool FirstMeta = true;
+    for (const auto &[Key, V] : MetaNum) {
+      OS << (FirstMeta ? "" : ", ") << jsonStr(Key) << ": " << jsonNum(V);
+      FirstMeta = false;
+    }
+    for (const auto &[Key, V] : MetaStr) {
+      OS << (FirstMeta ? "" : ", ") << jsonStr(Key) << ": " << jsonStr(V);
+      FirstMeta = false;
+    }
+    OS << "},\n  \"notes\": [";
+    for (size_t I = 0; I < Notes.size(); ++I)
+      OS << jsonStr(Notes[I]) << (I + 1 < Notes.size() ? ", " : "");
+    OS << "]\n}\n";
+    std::printf("wrote %s\n", Path.c_str());
+  }
+
+  /// `BENCH_<name>.json` in the working directory, where <name> is the
+  /// binary's basename with any "bench_" prefix stripped.
+  static std::string jsonPathFor(const char *Argv0) {
+    std::string Base = Argv0 ? Argv0 : "bench";
+    size_t Slash = Base.find_last_of('/');
+    if (Slash != std::string::npos)
+      Base = Base.substr(Slash + 1);
+    if (Base.rfind("bench_", 0) == 0)
+      Base = Base.substr(6);
+    return "BENCH_" + Base + ".json";
+  }
+
 private:
+  static std::string jsonStr(const std::string &S) {
+    std::string Out = "\"";
+    for (char C : S) {
+      if (C == '"' || C == '\\')
+        Out += strFormat("\\%c", C);
+      else if (C == '\n')
+        Out += "\\n";
+      else if (static_cast<unsigned char>(C) < 0x20)
+        Out += strFormat("\\u%04x", C);
+      else
+        Out += C;
+    }
+    return Out + "\"";
+  }
+  static std::string jsonNum(double V) {
+    if (std::isnan(V) || std::isinf(V))
+      return "null";
+    return strFormat("%.6g", V);
+  }
+
   std::string Title;
   std::vector<Row> Rows;
   std::vector<std::string> Notes;
+  std::vector<std::pair<std::string, double>> MetaNum;
+  std::vector<std::pair<std::string, std::string>> MetaStr;
 };
 
 /// Simulated time of kernel \p K on \p Device (buffers auto-allocated).
-inline PerfResult measure(const DeviceSpec &Device, const KernelFunction &K) {
+/// With \p Cache, structurally identical repeat measurements are memoized.
+inline PerfResult measure(const DeviceSpec &Device, const KernelFunction &K,
+                          SimCache *Cache = nullptr) {
   Simulator Sim(Device);
+  Sim.setCache(Cache);
   BufferSet B;
   DiagnosticsEngine D;
   return Sim.runPerformance(K, B, D);
@@ -93,16 +180,18 @@ inline PerfResult measureNaive(Module &M, const DeviceSpec &Device, Algo A,
   return measure(Device, *K);
 }
 
-/// Full compile (empirical search included) and measurement.
+/// Full compile (empirical search included) and measurement. Pass custom
+/// CompileOptions to control search lanes, pruning or the sim cache; the
+/// Device field is overwritten with \p Device.
 inline CompileOutput compileBest(Module &M, const DeviceSpec &Device, Algo A,
-                                 long long N) {
+                                 long long N,
+                                 CompileOptions Opt = CompileOptions()) {
   DiagnosticsEngine D;
   KernelFunction *K = parseNaive(M, A, N, D);
   CompileOutput Out;
   if (!K)
     return Out;
   GpuCompiler GC(M, D);
-  CompileOptions Opt;
   Opt.Device = Device;
   return GC.compile(*K, Opt);
 }
@@ -116,12 +205,15 @@ inline double geomean(const std::vector<double> &Xs) {
   return std::exp(LogSum / static_cast<double>(Xs.size()));
 }
 
-/// Standard main: run benchmarks once each, then print the figure table.
+/// Standard main: run benchmarks once each, print the figure table and
+/// write the machine-readable BENCH_<name>.json next to it.
 #define GPUC_BENCH_MAIN()                                                    \
   int main(int argc, char **argv) {                                         \
     ::benchmark::Initialize(&argc, argv);                                    \
     ::benchmark::RunSpecifiedBenchmarks();                                   \
     ::gpuc::bench::Report::get().print();                                    \
+    ::gpuc::bench::Report::get().writeJson(                                  \
+        ::gpuc::bench::Report::jsonPathFor(argv[0]));                        \
     return 0;                                                                \
   }
 

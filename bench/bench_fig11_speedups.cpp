@@ -76,5 +76,6 @@ int main(int argc, char **argv) {
   Report::get().add("GEOMEAN GTX280 (paper 7.9x)",
                     {{"speedup_x", geomean(Speed280)}});
   Report::get().print();
+  Report::get().writeJson(Report::jsonPathFor(argv[0]));
   return 0;
 }

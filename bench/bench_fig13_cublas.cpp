@@ -79,5 +79,6 @@ int main(int argc, char **argv) {
   Report::get().add("GEOMEAN ours/cublas (paper 1.26-1.33x)",
                     {{"x", geomean(Ratios)}});
   Report::get().print();
+  Report::get().writeJson(Report::jsonPathFor(argv[0]));
   return 0;
 }

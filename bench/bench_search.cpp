@@ -1,0 +1,193 @@
+//===-- bench/bench_search.cpp - Design-space search cost -----------------===//
+//
+// Measures the compiler's own hottest path: the Section 4 empirical
+// search over the mm design space (the Figure 10 grid, 4x5 merge-factor
+// candidates at N=1024 on GTX 280), end to end through
+// GpuCompiler::compile. Four configurations:
+//
+//   exhaustive_jobs1   every feasible variant fully simulated, serially,
+//                      with the original fixed-count block sampling and no
+//                      memo cache -- the compiler's complete pre-
+//                      parallel-search behaviour, reproduced exactly
+//   pruned_jobs1       lower-bound pruning + work-normalized sampling,
+//                      serial
+//   pruned_jobs8       lower-bound pruning + work-normalized sampling,
+//                      8 search lanes
+//   pruned_jobs8_warm  8 lanes against a pre-warmed SimCache (the repeat-
+//                      compilation case the staged benches hit)
+//
+// All four must select the same winning variant; the table records the
+// wall-clock ratios and the search counters.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "support/Timer.h"
+
+using namespace gpuc;
+using namespace gpuc::bench;
+
+namespace {
+
+constexpr long long MmN = 1024;
+
+struct ConfigResult {
+  std::string Name;
+  double WallMs = 0;
+  int BlockN = 0, ThreadM = 0;
+  double BestMs = 0;
+  SearchStats Stats;
+};
+
+std::vector<ConfigResult> Results;
+SimCache SharedCache; // for the warm-cache configuration
+
+CompileOutput runSearch(int Jobs, bool Exhaustive, SimCache *Cache,
+                        double &WallMs) {
+  Module M;
+  DiagnosticsEngine D;
+  KernelFunction *Naive = parseNaive(M, Algo::MM, MmN, D);
+  CompileOutput Out;
+  if (!Naive)
+    return Out;
+  GpuCompiler GC(M, D);
+  CompileOptions Opt;
+  Opt.Device = DeviceSpec::gtx280();
+  Opt.Jobs = Jobs;
+  Opt.ExhaustiveSearch = Exhaustive;
+  Opt.Cache = Cache;
+  // The exhaustive baseline reproduces the seed compiler's search cost
+  // exactly: fixed-count block sampling (no work normalization).
+  if (Exhaustive)
+    Opt.Perf.WorkPerBlockRef = 0;
+  WallTimer T;
+  Out = GC.compile(*Naive, Opt);
+  WallMs = T.elapsedMs();
+  return Out;
+}
+
+void BM_Search(benchmark::State &State, const char *Name, int Jobs,
+               bool Exhaustive, bool Warm) {
+  for (auto _ : State) {
+    if (Warm) { // prime the shared cache with an unmeasured run
+      double Ignored;
+      runSearch(Jobs, Exhaustive, &SharedCache, Ignored);
+    }
+    ConfigResult R;
+    R.Name = Name;
+    CompileOutput Out =
+        runSearch(Jobs, Exhaustive, Warm ? &SharedCache : nullptr, R.WallMs);
+    R.BlockN = Out.BestVariant.BlockMergeN;
+    R.ThreadM = Out.BestVariant.ThreadMergeM;
+    R.BestMs = Out.BestVariant.Perf.TimeMs;
+    R.Stats = Out.Search;
+    Results.push_back(R);
+    State.counters["wall_ms"] = R.WallMs;
+
+    // Record the explored grid once, from the full parallel config.
+    if (std::string(Name) == "pruned_jobs8")
+      for (const VariantResult &V : Out.Variants) {
+        std::string Status = V.Feasible ? "measured"
+                             : V.LimitedBy ? "infeasible"
+                             : V.Pruned    ? "pruned"
+                                           : "failed";
+        Report::get().add(
+            strFormat("variant b%-2d t%-2d  %-10s", V.BlockMergeN,
+                      V.ThreadMergeM, Status.c_str()),
+            {{"time_ms", V.Feasible ? V.Perf.TimeMs : 0.0},
+             {"lower_bound_ms", V.LowerBoundMs}});
+      }
+  }
+}
+
+void registerAll() {
+  Report::get().setTitle(
+      "Design-space search cost: mm 1024 (Figure 10 grid) on GTX 280");
+  struct Cfg {
+    const char *Name;
+    int Jobs;
+    bool Exhaustive, Warm;
+  };
+  // Registration order = run order; the warm config must come last so the
+  // timed runs above it stay cold.
+  static const Cfg Cfgs[] = {
+      {"exhaustive_jobs1", 1, true, false},
+      {"pruned_jobs1", 1, false, false},
+      {"pruned_jobs8", 8, false, false},
+      {"pruned_jobs8_warm", 8, false, true},
+  };
+  for (const Cfg &C : Cfgs)
+    benchmark::RegisterBenchmark(
+        strFormat("search/%s", C.Name).c_str(),
+        [&C](benchmark::State &S) {
+          BM_Search(S, C.Name, C.Jobs, C.Exhaustive, C.Warm);
+        })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+}
+
+int Registered = (registerAll(), 0);
+
+const ConfigResult *find(const char *Name) {
+  for (const ConfigResult &R : Results)
+    if (R.Name == Name)
+      return &R;
+  return nullptr;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+
+  Report &Rep = Report::get();
+  bool SameWinner = true;
+  for (const ConfigResult &R : Results) {
+    Rep.add(strFormat("%-18s b%-2d t%-2d", R.Name.c_str(), R.BlockN,
+                      R.ThreadM),
+            {{"wall_ms", R.WallMs},
+             {"compile_ms", R.Stats.CompileMs},
+             {"sim_ms", R.Stats.SimMs},
+             {"simulated", static_cast<double>(R.Stats.Simulated)},
+             {"probed", static_cast<double>(R.Stats.Probed)},
+             {"pruned", static_cast<double>(R.Stats.Pruned)},
+             {"cache_hits", static_cast<double>(R.Stats.CacheHits)}});
+    if (R.BlockN != Results.front().BlockN ||
+        R.ThreadM != Results.front().ThreadM)
+      SameWinner = false;
+  }
+  Rep.addMeta("same_winner_all_configs", SameWinner ? 1.0 : 0.0);
+
+  const ConfigResult *Ex1 = find("exhaustive_jobs1");
+  const ConfigResult *Pr1 = find("pruned_jobs1");
+  const ConfigResult *Pr8 = find("pruned_jobs8");
+  const ConfigResult *Warm = find("pruned_jobs8_warm");
+  if (Ex1 && Pr8 && Pr8->WallMs > 0)
+    Rep.addMeta("speedup_jobs8_vs_jobs1", Ex1->WallMs / Pr8->WallMs);
+  if (Ex1 && Pr1 && Pr1->WallMs > 0)
+    Rep.addMeta("speedup_pruning_serial", Ex1->WallMs / Pr1->WallMs);
+  if (Ex1 && Warm && Warm->WallMs > 0)
+    Rep.addMeta("speedup_warm_cache", Ex1->WallMs / Warm->WallMs);
+  if (Pr8) {
+    Rep.addMeta("search_wall_ms_jobs8", Pr8->WallMs);
+    Rep.addMeta("search_jobs", static_cast<double>(Pr8->Stats.Jobs));
+  }
+  if (Warm) {
+    const double Lookups = static_cast<double>(Warm->Stats.CacheHits +
+                                               Warm->Stats.CacheMisses);
+    Rep.addMeta("warm_cache_hit_rate",
+                Lookups > 0 ? Warm->Stats.CacheHits / Lookups : 0.0);
+  }
+  Rep.addMeta("winner",
+              Results.empty()
+                  ? std::string("none")
+                  : strFormat("b%d t%d", Results.front().BlockN,
+                              Results.front().ThreadM));
+  Rep.addNote("jobs1 exhaustive reproduces the pre-parallel-search "
+              "compiler; identical winner is required across all configs");
+
+  Rep.print();
+  Rep.writeJson(Report::jsonPathFor(argv[0]));
+  return SameWinner ? 0 : 1;
+}

@@ -1,0 +1,241 @@
+//===-- ast/Hash.cpp - Structural kernel hashing --------------------------===//
+
+#include "ast/Hash.h"
+
+#include "ast/Stmt.h"
+
+#include <cstring>
+#include <map>
+#include <set>
+
+using namespace gpuc;
+
+uint64_t gpuc::hashBytes(uint64_t Seed, const void *Data, size_t Len) {
+  const unsigned char *P = static_cast<const unsigned char *>(Data);
+  for (size_t I = 0; I < Len; ++I) {
+    Seed ^= P[I];
+    Seed *= 0x100000001b3ull;
+  }
+  return Seed;
+}
+
+uint64_t gpuc::hashString(uint64_t Seed, const std::string &S) {
+  Seed = hashCombine(Seed, S.size());
+  return hashBytes(Seed, S.data(), S.size());
+}
+
+namespace {
+
+/// Accumulates a structural hash. Names that appear in \c Params are
+/// semantic (they bind input/output buffers) and hash verbatim; every
+/// other name (locals, loop iterators, shared arrays, generated temps)
+/// hashes as its first-occurrence ordinal so fresh-name numbering never
+/// affects the result.
+struct Hasher {
+  explicit Hasher(const std::set<std::string> *Params = nullptr)
+      : Params(Params) {}
+
+  const std::set<std::string> *Params;
+  std::map<std::string, uint64_t> Ordinals;
+  uint64_t H = 0xcbf29ce484222325ull; // FNV offset basis
+
+  void raw(uint64_t V) { H = hashCombine(H, V); }
+  void str(const std::string &S) { H = hashString(H, S); }
+
+  void name(const std::string &N) {
+    if (Params && Params->count(N)) {
+      raw(1);
+      str(N);
+      return;
+    }
+    auto It = Ordinals.find(N);
+    uint64_t Ord;
+    if (It == Ordinals.end()) {
+      Ord = Ordinals.size();
+      Ordinals.emplace(N, Ord);
+    } else {
+      Ord = It->second;
+    }
+    raw(2);
+    raw(Ord);
+  }
+
+  void expr(const Expr *E);
+  void stmt(const Stmt *S);
+};
+
+void Hasher::expr(const Expr *E) {
+  if (!E) {
+    raw(0);
+    return;
+  }
+  raw(static_cast<uint64_t>(E->kind()) + 0x10);
+  raw(static_cast<uint64_t>(E->type().kind()));
+  switch (E->kind()) {
+  case ExprKind::IntLit:
+    raw(static_cast<uint64_t>(cast<IntLit>(E)->value()));
+    break;
+  case ExprKind::FloatLit: {
+    double V = cast<FloatLit>(E)->value();
+    uint64_t Bits;
+    std::memcpy(&Bits, &V, sizeof(Bits));
+    raw(Bits);
+    break;
+  }
+  case ExprKind::VarRef:
+    name(cast<VarRef>(E)->name());
+    break;
+  case ExprKind::BuiltinRef:
+    raw(static_cast<uint64_t>(cast<BuiltinRef>(E)->id()));
+    break;
+  case ExprKind::ArrayRef: {
+    const auto *A = cast<ArrayRef>(E);
+    name(A->base());
+    raw(static_cast<uint64_t>(A->vecWidth()));
+    raw(A->numIndices());
+    for (const Expr *Idx : A->indices())
+      expr(Idx);
+    break;
+  }
+  case ExprKind::Binary: {
+    const auto *B = cast<Binary>(E);
+    raw(static_cast<uint64_t>(B->op()));
+    expr(B->lhs());
+    expr(B->rhs());
+    break;
+  }
+  case ExprKind::Unary: {
+    const auto *U = cast<Unary>(E);
+    raw(static_cast<uint64_t>(U->op()));
+    expr(U->sub());
+    break;
+  }
+  case ExprKind::Call: {
+    const auto *C = cast<Call>(E);
+    str(C->callee());
+    raw(C->args().size());
+    for (const Expr *A : C->args())
+      expr(A);
+    break;
+  }
+  case ExprKind::Member: {
+    const auto *M = cast<Member>(E);
+    raw(static_cast<uint64_t>(M->field()));
+    expr(M->baseExpr());
+    break;
+  }
+  }
+}
+
+void Hasher::stmt(const Stmt *S) {
+  if (!S) {
+    raw(0);
+    return;
+  }
+  raw(static_cast<uint64_t>(S->kind()) + 0x40);
+  switch (S->kind()) {
+  case StmtKind::Compound: {
+    const auto *C = cast<CompoundStmt>(S);
+    raw(C->body().size());
+    for (const Stmt *Sub : C->body())
+      stmt(Sub);
+    break;
+  }
+  case StmtKind::Decl: {
+    const auto *D = cast<DeclStmt>(S);
+    name(D->name());
+    raw(static_cast<uint64_t>(D->declType().kind()));
+    raw(D->isShared() ? 1 : 0);
+    raw(D->sharedDims().size());
+    for (int Dim : D->sharedDims())
+      raw(static_cast<uint64_t>(Dim));
+    expr(D->init());
+    break;
+  }
+  case StmtKind::Assign: {
+    const auto *A = cast<AssignStmt>(S);
+    raw(static_cast<uint64_t>(A->op()));
+    expr(A->lhs());
+    expr(A->rhs());
+    break;
+  }
+  case StmtKind::If: {
+    const auto *I = cast<IfStmt>(S);
+    expr(I->cond());
+    stmt(I->thenBody());
+    stmt(I->elseBody());
+    break;
+  }
+  case StmtKind::For: {
+    const auto *F = cast<ForStmt>(S);
+    name(F->iterName());
+    expr(F->init());
+    raw(static_cast<uint64_t>(F->cmp()));
+    expr(F->bound());
+    raw(static_cast<uint64_t>(F->stepKind()));
+    expr(F->step());
+    stmt(F->body());
+    break;
+  }
+  case StmtKind::Sync:
+    raw(cast<SyncStmt>(S)->isGlobal() ? 1 : 0);
+    break;
+  }
+}
+
+} // namespace
+
+uint64_t gpuc::hashExpr(const Expr *E) {
+  Hasher HS;
+  HS.expr(E);
+  return HS.H;
+}
+
+uint64_t gpuc::hashStmt(const Stmt *S) {
+  Hasher HS;
+  HS.stmt(S);
+  return HS.H;
+}
+
+uint64_t gpuc::hashKernel(const KernelFunction &K) {
+  std::set<std::string> ParamNames;
+  for (const ParamDecl &P : K.params())
+    ParamNames.insert(P.Name);
+
+  Hasher HS(&ParamNames);
+
+  // Parameter signature (names are semantic: they identify buffers).
+  HS.raw(K.params().size());
+  for (const ParamDecl &P : K.params()) {
+    HS.str(P.Name);
+    HS.raw(static_cast<uint64_t>(P.ElemTy.kind()));
+    HS.raw(P.IsArray ? 1 : 0);
+    HS.raw(P.Dims.size());
+    for (long long D : P.Dims)
+      HS.raw(static_cast<uint64_t>(D));
+    HS.raw(P.IsOutput ? 1 : 0);
+  }
+
+  // Launch configuration — distinct merge factors produce distinct
+  // grids, so two variants with identical bodies but different launches
+  // never collide.
+  const LaunchConfig &L = K.launch();
+  HS.raw(static_cast<uint64_t>(L.BlockDimX));
+  HS.raw(static_cast<uint64_t>(L.BlockDimY));
+  HS.raw(static_cast<uint64_t>(L.GridDimX));
+  HS.raw(static_cast<uint64_t>(L.GridDimY));
+  HS.raw(L.DiagonalRemap ? 1 : 0);
+
+  // Scalar bindings (std::map iterates name-sorted: deterministic).
+  HS.raw(K.scalarBindings().size());
+  for (const auto &[Name, Value] : K.scalarBindings()) {
+    HS.str(Name);
+    HS.raw(static_cast<uint64_t>(Value));
+  }
+
+  HS.raw(static_cast<uint64_t>(K.workDomainX()));
+  HS.raw(static_cast<uint64_t>(K.workDomainY()));
+
+  HS.stmt(K.body());
+  return HS.H;
+}

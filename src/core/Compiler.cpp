@@ -11,9 +11,13 @@
 #include "core/AmdVectorize.h"
 #include "core/ThreadMerge.h"
 #include "core/Vectorize.h"
+#include "exec/ThreadPool.h"
+#include "sim/SimCache.h"
 #include "support/StringUtils.h"
+#include "support/Timer.h"
 
 #include <algorithm>
+#include <limits>
 
 using namespace gpuc;
 
@@ -161,9 +165,12 @@ KernelFunction *GpuCompiler::compileVariant(const KernelFunction &Naive,
 
 CompileOutput GpuCompiler::compile(const KernelFunction &Naive,
                                    const CompileOptions &Opt) {
+  WallTimer SearchWall;
   CompileOutput Out;
 
-  // Probe the merge plan with a unit variant.
+  // Probe the merge plan with a unit variant (built in the caller's
+  // module, as always — single-variant compilations are unaffected by the
+  // search machinery below).
   KernelFunction *Probe =
       compileVariant(Naive, Opt, /*BlockN=*/1, /*ThreadM=*/1, &Out.Plan,
                      &Out.Camping);
@@ -181,41 +188,202 @@ CompileOutput GpuCompiler::compile(const KernelFunction &Naive,
   if (Opt.Merge && Out.Plan.anyThreadMerge())
     ThreadMs = {1, 4, 8, 16, 32};
 
+  // One slot per candidate in canonical (N outer, M inner) order. Every
+  // search result is keyed by slot, every decision reads deterministic
+  // per-slot values, and the final reduction walks slots in order — the
+  // outcome is therefore independent of task completion order and of the
+  // lane count.
+  struct Candidate {
+    int N = 1, Mm = 1;
+    /// Owning module for non-probe variants. ASTContext is not
+    /// thread-safe and nodes carry interpreter scratch, so a variant is
+    /// only ever touched by the task that owns its slot.
+    std::shared_ptr<Module> Owner;
+    DiagnosticsEngine TaskDiags;
+    KernelFunction *Kernel = nullptr;
+    Occupancy Occ;
+    bool OccInfeasible = false;
+    bool Probed = false;
+    double LowerBoundMs = 0;
+    bool Simulated = false;
+    bool Pruned = false;
+    PerfResult Perf;
+    std::string SimLog;
+    double CompileWallMs = 0;
+    double SimWallMs = 0;
+  };
+  std::vector<Candidate> Cands(BlockNs.size() * ThreadMs.size());
+  {
+    size_t I = 0;
+    for (int N : BlockNs)
+      for (int Mm : ThreadMs) {
+        Cands[I].N = N;
+        Cands[I].Mm = Mm;
+        ++I;
+      }
+  }
+
+  // The stage hook (the sanitizer layer) observes every intermediate
+  // kernel through shared state; keep its invocation order defined by
+  // searching serially whenever one is installed.
+  unsigned Jobs = Opt.Jobs <= 0 ? ThreadPool::defaultConcurrency()
+                                : static_cast<unsigned>(Opt.Jobs);
+  if (Opt.Hook)
+    Jobs = 1;
+  ThreadPool Pool(Jobs);
+
+  SimCache LocalCache;
+  SimCache *Cache = Opt.Cache ? Opt.Cache : &LocalCache;
+  const uint64_t Hits0 = Cache->hits();
+  const uint64_t Misses0 = Cache->misses();
   Simulator Sim(Opt.Device);
-  for (int N : BlockNs) {
-    for (int Mm : ThreadMs) {
-      VariantResult VR;
-      VR.BlockMergeN = N;
-      VR.ThreadMergeM = Mm;
-      VR.Kernel = (N == 1 && Mm == 1)
-                      ? Probe
-                      : compileVariant(Naive, Opt, N, Mm);
-      if (!VR.Kernel)
-        continue;
-      Occupancy Occ = computeOccupancy(Opt.Device, *VR.Kernel);
-      if (Occ.Infeasible) {
-        Out.Log += strFormat("b%d t%d: infeasible (%s)\n", N, Mm,
-                             Occ.LimitedBy);
-        Out.Variants.push_back(VR);
-        continue;
-      }
-      BufferSet Buffers;
-      DiagnosticsEngine RunDiags;
-      VR.Perf = Sim.runPerformance(*VR.Kernel, Buffers, RunDiags);
-      VR.Feasible = VR.Perf.Valid;
-      if (!VR.Feasible)
-        Out.Log += strFormat("b%d t%d: %s", N, Mm, RunDiags.str().c_str());
-      Out.Variants.push_back(VR);
-      if (VR.Feasible &&
-          (!Out.Best || VR.Perf.TimeMs < Out.BestVariant.Perf.TimeMs)) {
-        Out.Best = VR.Kernel;
-        Out.BestVariant = VR;
-      }
+  Sim.setCache(Cache);
+
+  // The probe profile's coarser sampling can miss camping and imbalance
+  // effects that only ever increase the full-run estimate; the safety
+  // factor keeps the bound under the model's full-run time.
+  constexpr double LowerBoundSafety = 0.75;
+  const PerfOptions ProbeOpts = PerfOptions::lowerBoundProbe();
+
+  // Phase A: compile every candidate in its own Module/ASTContext arena
+  // with its own DiagnosticsEngine, compute occupancy, and (unless the
+  // search is exhaustive) estimate a lower bound with a cheap probe run.
+  Pool.parallelFor(Cands.size(), [&](size_t I) {
+    Candidate &C = Cands[I];
+    WallTimer CompileTimer;
+    if (C.N == 1 && C.Mm == 1) {
+      C.Kernel = Probe; // already built for the plan probe
+    } else {
+      C.Owner = std::make_shared<Module>();
+      GpuCompiler TaskCompiler(*C.Owner, C.TaskDiags);
+      C.Kernel = TaskCompiler.compileVariant(Naive, Opt, C.N, C.Mm);
     }
+    C.CompileWallMs = CompileTimer.elapsedMs();
+    if (!C.Kernel)
+      return;
+    C.Occ = computeOccupancy(Opt.Device, *C.Kernel);
+    C.OccInfeasible = C.Occ.Infeasible;
+    if (C.OccInfeasible || Opt.ExhaustiveSearch)
+      return;
+    WallTimer ProbeTimer;
+    BufferSet Buffers;
+    DiagnosticsEngine ProbeDiags;
+    PerfResult LB = Sim.runPerformance(*C.Kernel, Buffers, ProbeDiags,
+                                       ProbeOpts);
+    C.SimWallMs += ProbeTimer.elapsedMs();
+    C.Probed = true;
+    if (LB.Valid)
+      C.LowerBoundMs = LB.TimeMs * LowerBoundSafety;
+  });
+
+  // Replay per-task diagnostics into the caller's engine in slot order
+  // (identical text for every lane count).
+  for (Candidate &C : Cands)
+    for (const Diagnostic &D : C.TaskDiags.diagnostics())
+      Diags.report(D.Kind, D.Loc, D.Message);
+
+  auto FullSim = [&](size_t I) {
+    Candidate &C = Cands[I];
+    WallTimer SimTimer;
+    BufferSet Buffers;
+    DiagnosticsEngine RunDiags;
+    C.Perf = Sim.runPerformance(*C.Kernel, Buffers, RunDiags, Opt.Perf);
+    C.SimWallMs += SimTimer.elapsedMs();
+    C.Simulated = true;
+    if (!C.Perf.Valid)
+      C.SimLog = strFormat("b%d t%d: %s", C.N, C.Mm, RunDiags.str().c_str());
+  };
+
+  std::vector<size_t> Runnable;
+  for (size_t I = 0; I < Cands.size(); ++I)
+    if (Cands[I].Kernel && !Cands[I].OccInfeasible)
+      Runnable.push_back(I);
+
+  // Phase B: full performance runs. The candidate with the smallest lower
+  // bound becomes the champion; it is measured first and its time prunes
+  // every candidate whose bound it beats. A pruned candidate's true time
+  // is >= its bound > the champion's time >= the final winner's time, so
+  // pruning cannot change the winner as long as the bound holds (the
+  // ExhaustiveSearch tests enforce exactly that).
+  double Threshold = std::numeric_limits<double>::infinity();
+  if (Opt.ExhaustiveSearch || Runnable.size() <= 1) {
+    Pool.parallelFor(Runnable.size(),
+                     [&](size_t I) { FullSim(Runnable[I]); });
+  } else {
+    std::stable_sort(Runnable.begin(), Runnable.end(),
+                     [&](size_t A, size_t B) {
+                       return Cands[A].LowerBoundMs < Cands[B].LowerBoundMs;
+                     });
+    const size_t Champion = Runnable.front();
+    FullSim(Champion);
+    if (Cands[Champion].Perf.Valid)
+      Threshold = Cands[Champion].Perf.TimeMs;
+    std::vector<size_t> Survivors;
+    for (size_t I = 1; I < Runnable.size(); ++I) {
+      Candidate &C = Cands[Runnable[I]];
+      if (C.LowerBoundMs > Threshold)
+        C.Pruned = true;
+      else
+        Survivors.push_back(Runnable[I]);
+    }
+    Pool.parallelFor(Survivors.size(),
+                     [&](size_t I) { FullSim(Survivors[I]); });
+  }
+
+  // Phase C: deterministic reduction in canonical order; strict < keeps
+  // the earliest candidate on ties, exactly like the serial loop did.
+  for (Candidate &C : Cands) {
+    if (!C.Kernel)
+      continue;
+    VariantResult VR;
+    VR.Kernel = C.Kernel;
+    VR.BlockMergeN = C.N;
+    VR.ThreadMergeM = C.Mm;
+    VR.LowerBoundMs = C.LowerBoundMs;
+    VR.CompileWallMs = C.CompileWallMs;
+    VR.SimWallMs = C.SimWallMs;
+    if (C.OccInfeasible) {
+      VR.LimitedBy = C.Occ.LimitedBy;
+      VR.Perf.Occ = C.Occ;
+      Out.Log += strFormat("b%d t%d: infeasible (%s)\n", C.N, C.Mm,
+                           C.Occ.LimitedBy);
+    } else if (C.Pruned) {
+      VR.Pruned = true;
+      Out.Log += strFormat(
+          "b%d t%d: pruned (lower bound %.4f ms > best %.4f ms)\n", C.N,
+          C.Mm, C.LowerBoundMs, Threshold);
+    } else {
+      VR.Perf = C.Perf;
+      VR.Feasible = C.Perf.Valid;
+      if (!VR.Feasible)
+        Out.Log += C.SimLog;
+    }
+    Out.Variants.push_back(VR);
+    if (VR.Feasible &&
+        (!Out.Best || VR.Perf.TimeMs < Out.BestVariant.Perf.TimeMs)) {
+      Out.Best = VR.Kernel;
+      Out.BestVariant = VR;
+    }
+    if (C.Owner)
+      Out.OwnedModules.push_back(std::move(C.Owner));
   }
   if (!Out.Best && Probe) {
     Out.Best = Probe;
     Out.BestVariant.Kernel = Probe;
   }
+
+  Out.Search.Jobs = static_cast<int>(Pool.concurrency());
+  Out.Search.Candidates = static_cast<int>(Cands.size());
+  for (const Candidate &C : Cands) {
+    Out.Search.Simulated += C.Simulated ? 1 : 0;
+    Out.Search.Probed += C.Probed ? 1 : 0;
+    Out.Search.Pruned += C.Pruned ? 1 : 0;
+    Out.Search.Infeasible += C.OccInfeasible ? 1 : 0;
+    Out.Search.CompileMs += C.CompileWallMs;
+    Out.Search.SimMs += C.SimWallMs;
+  }
+  Out.Search.CacheHits = Cache->hits() - Hits0;
+  Out.Search.CacheMisses = Cache->misses() - Misses0;
+  Out.Search.WallMs = SearchWall.elapsedMs();
   return Out;
 }

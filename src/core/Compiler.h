@@ -27,7 +27,9 @@
 #include "sim/Simulator.h"
 #include "support/Diagnostics.h"
 
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -57,6 +59,25 @@ struct CompileOptions {
   bool Verify = true;
   /// Per-stage observer; null disables it.
   StageHook Hook;
+  /// Lanes for the design-space search (compiling/simulating candidate
+  /// variants concurrently). 0 = hardware concurrency, 1 = serial. A
+  /// serial search and a parallel one select the same best variant and
+  /// produce identical output (see DESIGN.md §4). When Hook is set the
+  /// search runs serially regardless: the hook observes every stage of
+  /// every variant in a defined order.
+  int Jobs = 0;
+  /// Simulate every feasible candidate instead of pruning by the cheap
+  /// lower-bound probe. Slower; selects the same winner (test-enforced).
+  bool ExhaustiveSearch = false;
+  /// External memo table for performance runs shared across compilations;
+  /// null uses a search-private cache (see sim/SimCache.h).
+  SimCache *Cache = nullptr;
+  /// Sampling profile for the search's full performance runs (candidate
+  /// probes always use PerfOptions::lowerBoundProbe()). The default
+  /// work-normalized profile keeps heavily merged variants as cheap to
+  /// evaluate as naive ones; set Perf.WorkPerBlockRef = 0 to reproduce the
+  /// original fixed-count sampling.
+  PerfOptions Perf;
 };
 
 /// One explored design point (Section 4 / Figure 10).
@@ -64,9 +85,44 @@ struct VariantResult {
   KernelFunction *Kernel = nullptr;
   int BlockMergeN = 1;
   int ThreadMergeM = 1;
+  /// Simulated successfully; false for infeasible, pruned and failed runs
+  /// (distinguish via LimitedBy / Pruned).
   bool Feasible = false;
   PerfResult Perf;
+  /// Occupancy limiter name when the launch does not fit the device
+  /// ("threads/SM", "shared memory", ...); null when it fits.
+  const char *LimitedBy = nullptr;
+  /// Skipped by the search: the cheap lower-bound estimate already
+  /// exceeded the champion's measured time.
+  bool Pruned = false;
+  /// The pruning estimate (ms); 0 when no probe ran.
+  double LowerBoundMs = 0;
+  /// Wall-clock spent compiling / simulating this variant.
+  double CompileWallMs = 0;
+  double SimWallMs = 0;
   double timeMs() const { return Perf.TimeMs; }
+};
+
+/// Counters describing one design-space search (gpucc --search-stats).
+struct SearchStats {
+  /// Effective lane count used.
+  int Jobs = 1;
+  int Candidates = 0;
+  /// Full performance simulations run.
+  int Simulated = 0;
+  /// Cheap lower-bound probe simulations run.
+  int Probed = 0;
+  /// Candidates skipped by the lower-bound threshold.
+  int Pruned = 0;
+  int Infeasible = 0;
+  /// SimCache traffic attributable to this search.
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
+  /// End-to-end search wall-clock, and the per-task compile/simulate time
+  /// summed across lanes (exceeds WallMs when lanes overlap).
+  double WallMs = 0;
+  double CompileMs = 0;
+  double SimMs = 0;
 };
 
 /// Result of a full compilation.
@@ -77,6 +133,11 @@ struct CompileOutput {
   MergePlan Plan;
   PartitionCampResult Camping;
   std::string Log;
+  SearchStats Search;
+  /// Modules owning the non-probe variant kernels (each search task
+  /// builds its variant in its own Module/ASTContext; keeping them here
+  /// keeps every KernelFunction* in Variants alive).
+  std::vector<std::shared_ptr<Module>> OwnedModules;
 };
 
 /// The optimizing compiler.

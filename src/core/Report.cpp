@@ -43,13 +43,36 @@ std::string gpuc::designSpaceReport(const CompileOutput &Out) {
   std::ostringstream OS;
   OS << "== design space ==\n";
   for (const VariantResult &V : Out.Variants) {
+    std::string Status;
+    if (V.Feasible)
+      Status = strFormat("%8.4f ms", V.Perf.TimeMs);
+    else if (V.LimitedBy)
+      Status = strFormat("infeasible (%s)", V.LimitedBy);
+    else if (V.Pruned)
+      Status = strFormat("pruned (lower bound %.4f ms)", V.LowerBoundMs);
+    else
+      Status = "failed";
     OS << strFormat("  blocks=%-3d threads=%-3d %s%s\n", V.BlockMergeN,
-                    V.ThreadMergeM,
-                    V.Feasible
-                        ? strFormat("%8.4f ms", V.Perf.TimeMs).c_str()
-                        : "infeasible",
+                    V.ThreadMergeM, Status.c_str(),
                     V.Kernel && V.Kernel == Out.Best ? "  <= selected" : "");
   }
+  return OS.str();
+}
+
+std::string gpuc::searchStatsReport(const CompileOutput &Out) {
+  const SearchStats &S = Out.Search;
+  std::ostringstream OS;
+  OS << "== search stats ==\n";
+  OS << strFormat("  jobs=%d  candidates=%d  simulated=%d  probed=%d  "
+                  "pruned=%d  infeasible=%d\n",
+                  S.Jobs, S.Candidates, S.Simulated, S.Probed, S.Pruned,
+                  S.Infeasible);
+  OS << strFormat("  sim cache: %llu hits, %llu misses\n",
+                  static_cast<unsigned long long>(S.CacheHits),
+                  static_cast<unsigned long long>(S.CacheMisses));
+  OS << strFormat("  wall %.3f ms (compile %.3f ms, simulate %.3f ms "
+                  "summed over lanes)\n",
+                  S.WallMs, S.CompileMs, S.SimMs);
   return OS.str();
 }
 

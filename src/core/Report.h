@@ -30,8 +30,14 @@ std::string coalescingReport(KernelFunction &K);
 /// The merge plan and camping outcome of a compilation.
 std::string planReport(const CompileOutput &Out);
 
-/// The explored design space, one line per variant.
+/// The explored design space, one line per variant. Distinguishes
+/// measured, pruned (lower bound), infeasible (with the limiting
+/// resource) and failed variants.
 std::string designSpaceReport(const CompileOutput &Out);
+
+/// Search counters: lanes, candidates, simulations vs. probes vs. pruned,
+/// cache traffic and wall-clock (gpucc --search-stats).
+std::string searchStatsReport(const CompileOutput &Out);
 
 /// Simulated traffic by access expression plus occupancy for \p K on
 /// \p Device (runs the performance simulator with site tracking).

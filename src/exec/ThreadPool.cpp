@@ -1,0 +1,159 @@
+//===-- exec/ThreadPool.cpp - Work-stealing thread pool -------------------===//
+
+#include "exec/ThreadPool.h"
+
+#include <algorithm>
+
+using namespace gpuc;
+
+namespace {
+/// The pool a thread is currently executing a task for; guards against
+/// deadlock on nested parallelFor (the nested loop runs inline).
+thread_local ThreadPool *InsidePool = nullptr;
+} // namespace
+
+unsigned ThreadPool::defaultConcurrency() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(unsigned Concurrency) {
+  NumLanes = Concurrency == 0 ? defaultConcurrency() : Concurrency;
+  if (NumLanes < 1)
+    NumLanes = 1;
+  if (NumLanes == 1)
+    return;
+  Queues.resize(NumLanes);
+  for (auto &Q : Queues)
+    Q = std::make_unique<LaneQueue>();
+  Threads.reserve(NumLanes - 1);
+  for (unsigned I = 1; I < NumLanes; ++I)
+    Threads.emplace_back([this, I] { workerLoop(I); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> L(SleepMu);
+    Stopping.store(true);
+  }
+  WorkCv.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void ThreadPool::push(std::function<void()> Fn) {
+  unsigned Idx = NextQueue.fetch_add(1, std::memory_order_relaxed) %
+                 static_cast<unsigned>(Queues.size());
+  {
+    std::lock_guard<std::mutex> L(Queues[Idx]->Mu);
+    Queues[Idx]->Q.push_back(std::move(Fn));
+  }
+  {
+    // Publish the count under SleepMu so a worker checking its sleep
+    // predicate cannot miss the wakeup.
+    std::lock_guard<std::mutex> L(SleepMu);
+    Queued.fetch_add(1);
+  }
+  WorkCv.notify_one();
+}
+
+bool ThreadPool::runOneTask(unsigned Home) {
+  std::function<void()> Fn;
+  const unsigned K = static_cast<unsigned>(Queues.size());
+  for (unsigned Off = 0; Off < K && !Fn; ++Off) {
+    LaneQueue &LQ = *Queues[(Home + Off) % K];
+    std::lock_guard<std::mutex> L(LQ.Mu);
+    if (LQ.Q.empty())
+      continue;
+    if (Off == 0) { // own queue: newest first (cache-warm)
+      Fn = std::move(LQ.Q.back());
+      LQ.Q.pop_back();
+    } else { // steal: oldest first
+      Fn = std::move(LQ.Q.front());
+      LQ.Q.pop_front();
+    }
+  }
+  if (!Fn)
+    return false;
+  Queued.fetch_sub(1);
+  Fn();
+  return true;
+}
+
+void ThreadPool::workerLoop(unsigned Id) {
+  InsidePool = this;
+  while (true) {
+    if (runOneTask(Id))
+      continue;
+    std::unique_lock<std::mutex> L(SleepMu);
+    WorkCv.wait(L, [this] { return Stopping.load() || Queued.load() > 0; });
+    if (Stopping.load() && Queued.load() == 0)
+      return;
+  }
+}
+
+void ThreadPool::parallelFor(size_t N,
+                             const std::function<void(size_t)> &Body) {
+  if (N == 0)
+    return;
+
+  // Serial pool, trivial loop, or a nested call from one of our own
+  // tasks: run inline in index order.
+  if (NumLanes <= 1 || N == 1 || InsidePool == this) {
+    std::exception_ptr First;
+    for (size_t I = 0; I < N; ++I) {
+      try {
+        Body(I);
+      } catch (...) {
+        if (!First)
+          First = std::current_exception();
+      }
+    }
+    if (First)
+      std::rethrow_exception(First);
+    return;
+  }
+
+  struct JoinState {
+    std::atomic<size_t> Remaining;
+    std::mutex Mu;
+    std::condition_variable DoneCv;
+    std::vector<std::exception_ptr> Errors;
+  };
+  auto S = std::make_shared<JoinState>();
+  S->Remaining.store(N);
+  S->Errors.resize(N);
+
+  // Body outlives every task: parallelFor blocks until Remaining hits 0,
+  // which only happens after the last Body invocation returned.
+  const std::function<void(size_t)> *BodyPtr = &Body;
+  for (size_t I = 0; I < N; ++I) {
+    push([S, I, BodyPtr] {
+      try {
+        (*BodyPtr)(I);
+      } catch (...) {
+        S->Errors[I] = std::current_exception();
+      }
+      if (S->Remaining.fetch_sub(1) == 1) {
+        std::lock_guard<std::mutex> L(S->Mu);
+        S->DoneCv.notify_all();
+      }
+    });
+  }
+
+  // Participate: drain tasks (ours or a sibling parallelFor's); sleep
+  // only when every queue is empty and our tail tasks are still running
+  // on worker lanes.
+  ThreadPool *PrevInside = InsidePool;
+  InsidePool = this;
+  while (S->Remaining.load() > 0) {
+    if (runOneTask(0))
+      continue;
+    std::unique_lock<std::mutex> L(S->Mu);
+    S->DoneCv.wait(L, [&S] { return S->Remaining.load() == 0; });
+  }
+  InsidePool = PrevInside;
+
+  for (std::exception_ptr &E : S->Errors)
+    if (E)
+      std::rethrow_exception(E);
+}

@@ -1,0 +1,93 @@
+//===-- exec/ThreadPool.h - Work-stealing thread pool -----------*- C++ -*-===//
+//
+// Part of the gpuc project: a reproduction of "A GPGPU Compiler for Memory
+// Optimization and Parallelism Management" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small work-stealing thread pool and a blocking parallel-for built on
+/// it. The design-space exploration of core/Compiler uses it to compile
+/// and test-run kernel variants concurrently (the paper's Section 4 search
+/// is embarrassingly parallel across candidate merge factors).
+///
+/// Scheduling model: one queue per lane; task submission round-robins
+/// across queues; a lane pops its own queue LIFO (cache-warm) and steals
+/// from other queues FIFO (oldest first). The caller of parallelFor is
+/// itself a lane: it executes tasks while it waits, so a pool constructed
+/// for concurrency N runs N-1 dedicated workers.
+///
+/// Determinism contract: parallelFor(N, Body) invokes Body exactly once
+/// for every index in [0, N). Callers that want order-independent results
+/// must key results by index and reduce after the join — never by
+/// completion order. With concurrency 1 the loop runs inline on the
+/// calling thread in index order, which reproduces serial execution
+/// bit-for-bit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUC_EXEC_THREADPOOL_H
+#define GPUC_EXEC_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gpuc {
+
+/// Work-stealing pool of `concurrency() - 1` worker threads plus the
+/// participating caller.
+class ThreadPool {
+public:
+  /// Lanes available on this machine (hardware_concurrency, at least 1).
+  static unsigned defaultConcurrency();
+
+  /// \p Concurrency is the total lane count including the calling thread;
+  /// 0 means defaultConcurrency(). A pool of concurrency 1 spawns no
+  /// threads and runs every parallelFor inline.
+  explicit ThreadPool(unsigned Concurrency = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned concurrency() const { return NumLanes; }
+
+  /// Runs Body(I) for every I in [0, N), blocking until all complete.
+  /// The calling thread participates. Exceptions thrown by Body are
+  /// captured per index; after the join the exception of the smallest
+  /// throwing index is rethrown (so failure reporting is deterministic).
+  /// A nested call from inside a pool task runs inline on that lane —
+  /// nesting is safe but adds no further parallelism.
+  void parallelFor(size_t N, const std::function<void(size_t)> &Body);
+
+private:
+  struct LaneQueue {
+    std::mutex Mu;
+    std::deque<std::function<void()>> Q;
+  };
+
+  void push(std::function<void()> Fn);
+  /// Pops one task (own queue LIFO, then steals FIFO) and runs it.
+  /// \returns false if every queue was empty.
+  bool runOneTask(unsigned Home);
+  void workerLoop(unsigned Id);
+
+  unsigned NumLanes = 1;
+  std::vector<std::unique_ptr<LaneQueue>> Queues;
+  std::vector<std::thread> Threads;
+  std::mutex SleepMu;
+  std::condition_variable WorkCv;
+  std::atomic<size_t> Queued{0};
+  std::atomic<bool> Stopping{false};
+  std::atomic<unsigned> NextQueue{0};
+};
+
+} // namespace gpuc
+
+#endif // GPUC_EXEC_THREADPOOL_H

@@ -1,0 +1,72 @@
+//===-- sim/SimCache.h - Performance-run memoization ------------*- C++ -*-===//
+//
+// Part of the gpuc project: a reproduction of "A GPGPU Compiler for Memory
+// Optimization and Parallelism Management" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Memoizes Simulator::runPerformance results. The design-space search and
+/// the staged benchmark pipelines (Figure 12's optimization prefixes)
+/// repeatedly build structurally identical kernels; a performance run is a
+/// pure function of (kernel structure, device, sampling options), so its
+/// result can be reused.
+///
+/// The key is ast/Hash's alpha-invariant structural hash combined with a
+/// hash of the DeviceSpec and the PerfOptions — kernels that differ only
+/// in generated temp names or in the kernel's own name share an entry.
+/// The cache is thread-safe; the parallel search shares one instance
+/// across variant-simulation tasks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUC_SIM_SIMCACHE_H
+#define GPUC_SIM_SIMCACHE_H
+
+#include "sim/Simulator.h"
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+namespace gpuc {
+
+class KernelFunction;
+
+/// Hash of the device parameters that influence a performance run.
+uint64_t hashDevice(const DeviceSpec &Dev);
+
+/// Hash of the sampling parameters (TrackSites included: it changes the
+/// Sites payload of the result).
+uint64_t hashPerfOptions(const PerfOptions &Options);
+
+/// Combined memoization key for one performance run.
+uint64_t simCacheKey(const KernelFunction &K, const DeviceSpec &Dev,
+                     const PerfOptions &Options);
+
+/// Thread-safe memo table for performance runs, with hit/miss counters.
+class SimCache {
+public:
+  /// \returns true and fills \p Out when \p Key is present.
+  bool lookup(uint64_t Key, PerfResult &Out);
+
+  /// Records \p Result under \p Key (first write wins).
+  void insert(uint64_t Key, const PerfResult &Result);
+
+  uint64_t hits() const { return Hits.load(); }
+  uint64_t misses() const { return Misses.load(); }
+  size_t size() const;
+
+  void clear();
+
+private:
+  mutable std::mutex Mu;
+  std::unordered_map<uint64_t, PerfResult> Entries;
+  std::atomic<uint64_t> Hits{0};
+  std::atomic<uint64_t> Misses{0};
+};
+
+} // namespace gpuc
+
+#endif // GPUC_SIM_SIMCACHE_H

@@ -4,6 +4,7 @@
 
 #include "ast/Printer.h"
 #include "ast/Walk.h"
+#include "sim/SimCache.h"
 
 #include <algorithm>
 #include <limits>
@@ -21,7 +22,8 @@ static bool kernelHasGlobalSync(const KernelFunction &K) {
 }
 
 bool Simulator::runFunctional(const KernelFunction &K, BufferSet &Buffers,
-                              DiagnosticsEngine &Diags, RaceLog *Races) {
+                              DiagnosticsEngine &Diags,
+                              RaceLog *Races) const {
   Interpreter Interp(Dev, K, Buffers, Diags);
   if (!Interp.prepare())
     return false;
@@ -37,7 +39,15 @@ bool Simulator::runFunctional(const KernelFunction &K, BufferSet &Buffers,
 PerfResult Simulator::runPerformance(const KernelFunction &K,
                                      BufferSet &Buffers,
                                      DiagnosticsEngine &Diags,
-                                     const PerfOptions &Options) {
+                                     const PerfOptions &Options) const {
+  uint64_t Key = 0;
+  if (Cache) {
+    Key = simCacheKey(K, Dev, Options);
+    PerfResult Cached;
+    if (Cache->lookup(Key, Cached))
+      return Cached;
+  }
+
   PerfResult R;
   R.Occ = computeOccupancy(Dev, K);
   if (R.Occ.Infeasible) {
@@ -65,12 +75,32 @@ PerfResult Simulator::runPerformance(const KernelFunction &K,
   Opt.LoopSampleCount = Options.LoopSampleCount;
 
   const long long NumBlocks = K.launch().numBlocks();
-  long long PerCluster =
-      std::min<long long>(NumBlocks, Options.BlocksPerCluster);
+  int Clusters = std::max(1, Options.SampleClusters);
+  long long ClusterBudget = Options.BlocksPerCluster;
+  if (Options.WorkPerBlockRef > 0) {
+    long long BodyStmts = 0;
+    forEachStmt(K.body(), [&](Stmt *) { ++BodyStmts; });
+    const long long BlockWork = K.launch().threadsPerBlock() * BodyStmts;
+    if (BlockWork > Options.WorkPerBlockRef) {
+      const long long Scaled =
+          (Options.BlocksPerCluster * Options.WorkPerBlockRef + BlockWork -
+           1) /
+          BlockWork;
+      // For the very heaviest blocks even MinBlocksPerCluster per cluster
+      // exceeds the work budget; fall back to a single cluster of the
+      // minimum pair rather than shrinking a cluster below what the
+      // partition model needs.
+      if (Scaled < Options.MinBlocksPerCluster)
+        Clusters = 1;
+      ClusterBudget =
+          std::clamp<long long>(Scaled, Options.MinBlocksPerCluster,
+                                Options.BlocksPerCluster);
+    }
+  }
+  long long PerCluster = std::min<long long>(NumBlocks, ClusterBudget);
   // Clusters of consecutive block ids spread over the grid; consecutive
   // ids co-reside, which is what the partition model needs to see.
   long long SampledBlocks = 0;
-  int Clusters = std::max(1, Options.SampleClusters);
   long long Stride = NumBlocks / Clusters;
   for (int C = 0; C < Clusters; ++C) {
     long long Begin = std::min<long long>(C * Stride, NumBlocks - PerCluster);
@@ -110,5 +140,9 @@ PerfResult Simulator::runPerformance(const KernelFunction &K,
   R.Timing = estimateTime(Dev, R.Stats, R.Occ, NumBlocks);
   R.TimeMs = R.Timing.TotalMs;
   R.Valid = true;
+  // Memoize successful runs only: failed runs carry diagnostics, which a
+  // cache hit would silently drop.
+  if (Cache)
+    Cache->insert(Key, R);
   return R;
 }

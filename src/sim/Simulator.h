@@ -34,8 +34,32 @@ struct PerfOptions {
   /// Uniform loops longer than this execute sampled iterations only.
   int LoopSampleThreshold = 24;
   int LoopSampleCount = 4;
+  /// Work normalization: blocks of merged variants carry 16-32x the work
+  /// of naive blocks, so sampling a fixed block count makes the search's
+  /// most promising candidates the most expensive to evaluate for no
+  /// precision gain. When a block's static weight (threads x body
+  /// statements) exceeds this reference, the per-cluster block count
+  /// shrinks proportionally, keeping the sampled work roughly constant.
+  /// 0 disables the normalization.
+  int WorkPerBlockRef = 4096;
+  /// Floor for the normalized per-cluster count; at least two consecutive
+  /// blocks are needed for the partition-camping model to see co-resident
+  /// conflicts.
+  int MinBlocksPerCluster = 2;
   /// Attribute traffic to individual access expressions (reports).
   bool TrackSites = false;
+
+  /// Aggressively down-sampled profile used by the design-space search to
+  /// estimate a variant's time cheaply before deciding whether a full
+  /// performance run is worth it (the pruning pass of core/Compiler).
+  static PerfOptions lowerBoundProbe() {
+    PerfOptions P;
+    P.SampleClusters = 1;
+    P.BlocksPerCluster = 2;
+    P.LoopSampleThreshold = 6;
+    P.LoopSampleCount = 2;
+    return P;
+  }
 };
 
 /// Result of a performance run.
@@ -60,12 +84,22 @@ struct PerfResult {
   }
 };
 
-/// Runs kernels on a modeled device.
+class SimCache;
+
+/// Runs kernels on a modeled device. The run methods are const: a single
+/// Simulator may be shared by concurrent search tasks, provided no two
+/// tasks simulate the same KernelFunction object at once (the interpreter
+/// writes resolution scratch on the AST nodes).
 class Simulator {
 public:
   explicit Simulator(DeviceSpec Device) : Dev(std::move(Device)) {}
 
   const DeviceSpec &device() const { return Dev; }
+
+  /// Attaches a memo table for runPerformance (see sim/SimCache.h); null
+  /// disables memoization. The cache itself is thread-safe.
+  void setCache(SimCache *C) { Cache = C; }
+  SimCache *cache() const { return Cache; }
 
   /// Executes the whole grid with correct semantics, updating \p Buffers.
   /// Kernels containing __globalSync run as one grid-wide SPMD group.
@@ -74,17 +108,19 @@ public:
   /// for the static detector in analysis/RaceDetector.h).
   /// \returns false on execution errors (reported to \p Diags).
   bool runFunctional(const KernelFunction &K, BufferSet &Buffers,
-                     DiagnosticsEngine &Diags, RaceLog *Races = nullptr);
+                     DiagnosticsEngine &Diags, RaceLog *Races = nullptr) const;
 
   /// Samples block clusters, extrapolates statistics to the whole grid and
   /// estimates the kernel time. Buffer contents after the call are not
-  /// meaningful.
+  /// meaningful. With a cache attached, a structurally identical (kernel,
+  /// device, options) run returns the memoized result without executing.
   PerfResult runPerformance(const KernelFunction &K, BufferSet &Buffers,
                             DiagnosticsEngine &Diags,
-                            const PerfOptions &Options = PerfOptions());
+                            const PerfOptions &Options = PerfOptions()) const;
 
 private:
   DeviceSpec Dev;
+  SimCache *Cache = nullptr;
 };
 
 } // namespace gpuc

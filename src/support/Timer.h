@@ -1,0 +1,112 @@
+//===-- support/Timer.h - Wall-clock timers and time reports ----*- C++ -*-===//
+//
+// Part of the gpuc project: a reproduction of "A GPGPU Compiler for Memory
+// Optimization and Parallelism Management" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A steady-clock wall timer plus a small named-timer registry that
+/// renders an `-ftime-report`-style table (gpucc --time-report and the
+/// search benchmarks use it).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUC_SUPPORT_TIMER_H
+#define GPUC_SUPPORT_TIMER_H
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace gpuc {
+
+/// Measures wall-clock time from construction (or the last reset()).
+class WallTimer {
+public:
+  WallTimer() : Start(std::chrono::steady_clock::now()) {}
+
+  void reset() { Start = std::chrono::steady_clock::now(); }
+
+  double elapsedMs() const {
+    auto Now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(Now - Start).count();
+  }
+
+private:
+  std::chrono::steady_clock::time_point Start;
+};
+
+/// Accumulates named wall-clock intervals and renders them as a table.
+/// Not thread-safe; time single-threaded driver code (the parallel search
+/// reports its internal phase times through CompileOutput::Search).
+class TimeReport {
+public:
+  explicit TimeReport(std::string Title) : Title(std::move(Title)) {}
+
+  /// Adds \p Ms to the row named \p Name (creating it in first-use order).
+  void add(const std::string &Name, double Ms) {
+    for (auto &Row : Rows) {
+      if (Row.first == Name) {
+        Row.second += Ms;
+        return;
+      }
+    }
+    Rows.emplace_back(Name, Ms);
+  }
+
+  /// Runs \p Fn, charging its wall-clock time to row \p Name.
+  template <typename Fn> auto time(const std::string &Name, Fn &&F) {
+    WallTimer T;
+    if constexpr (std::is_void_v<decltype(F())>) {
+      F();
+      add(Name, T.elapsedMs());
+    } else {
+      auto Result = F();
+      add(Name, T.elapsedMs());
+      return Result;
+    }
+  }
+
+  double totalMs() const {
+    double Total = 0;
+    for (const auto &Row : Rows)
+      Total += Row.second;
+    return Total;
+  }
+
+  /// Renders the table, longest row first, with percent-of-total.
+  std::string str() const {
+    double Total = totalMs();
+    std::vector<std::pair<std::string, double>> Sorted = Rows;
+    std::stable_sort(Sorted.begin(), Sorted.end(),
+                     [](const auto &A, const auto &B) {
+                       return A.second > B.second;
+                     });
+    std::ostringstream OS;
+    OS << "=== " << Title << " ===\n";
+    char Buf[160];
+    for (const auto &[Name, Ms] : Sorted) {
+      double Pct = Total > 0 ? 100.0 * Ms / Total : 0;
+      std::snprintf(Buf, sizeof(Buf), "  %10.3f ms (%5.1f%%)  %s\n", Ms, Pct,
+                    Name.c_str());
+      OS << Buf;
+    }
+    std::snprintf(Buf, sizeof(Buf), "  %10.3f ms (100.0%%)  total\n", Total);
+    OS << Buf;
+    return OS.str();
+  }
+
+private:
+  std::string Title;
+  std::vector<std::pair<std::string, double>> Rows;
+};
+
+} // namespace gpuc
+
+#endif // GPUC_SUPPORT_TIMER_H

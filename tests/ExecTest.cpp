@@ -1,0 +1,329 @@
+//===-- tests/ExecTest.cpp - thread pool and parallel search --------------===//
+//
+// The exec thread pool must run every task exactly once, surface
+// exceptions deterministically and support nested parallel-for. On top of
+// it, the design-space search must be invariant to the lane count: Jobs=1
+// and Jobs=8 select the same best variant, produce identically ordered
+// variant lists and emit identical CUDA for every Table 1 kernel. Pruning
+// must never change the winner relative to the exhaustive search, and the
+// SimCache must hit on structurally identical recompilations (the Figure
+// 12 staged prefixes).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/Hash.h"
+#include "ast/Printer.h"
+#include "baselines/NaiveKernels.h"
+#include "core/Compiler.h"
+#include "exec/ThreadPool.h"
+#include "sim/SimCache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <tuple>
+
+using namespace gpuc;
+
+namespace {
+
+long long testSize(Algo A) {
+  switch (A) {
+  case Algo::RD:
+  case Algo::CRD:
+  case Algo::VV:
+    return 4096;
+  case Algo::CONV:
+  case Algo::STRSM:
+    return 64;
+  default:
+    return 128;
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// ThreadPool
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool Pool(8);
+  EXPECT_EQ(Pool.concurrency(), 8u);
+  constexpr size_t N = 2000;
+  std::vector<std::atomic<int>> Seen(N);
+  Pool.parallelFor(N, [&](size_t I) { Seen[I].fetch_add(1); });
+  for (size_t I = 0; I < N; ++I)
+    EXPECT_EQ(Seen[I].load(), 1) << "index " << I;
+}
+
+TEST(ThreadPool, SerialPoolRunsInlineInOrder) {
+  ThreadPool Pool(1);
+  std::vector<size_t> Order;
+  Pool.parallelFor(10, [&](size_t I) { Order.push_back(I); });
+  std::vector<size_t> Want(10);
+  std::iota(Want.begin(), Want.end(), 0);
+  EXPECT_EQ(Order, Want);
+}
+
+TEST(ThreadPool, LowestThrowingIndexWins) {
+  for (unsigned Lanes : {1u, 4u}) {
+    ThreadPool Pool(Lanes);
+    std::string Caught;
+    try {
+      Pool.parallelFor(64, [](size_t I) {
+        if (I >= 17)
+          throw std::runtime_error("idx" + std::to_string(I));
+      });
+    } catch (const std::runtime_error &E) {
+      Caught = E.what();
+    }
+    EXPECT_EQ(Caught, "idx17") << "lanes=" << Lanes;
+  }
+}
+
+TEST(ThreadPool, ExceptionStillRunsRemainingTasks) {
+  ThreadPool Pool(4);
+  std::atomic<int> Count{0};
+  EXPECT_THROW(Pool.parallelFor(100,
+                                [&](size_t I) {
+                                  Count.fetch_add(1);
+                                  if (I == 3)
+                                    throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+  EXPECT_EQ(Count.load(), 100);
+}
+
+TEST(ThreadPool, NestedParallelForCompletes) {
+  ThreadPool Pool(4);
+  std::atomic<int> Count{0};
+  Pool.parallelFor(8, [&](size_t) {
+    Pool.parallelFor(25, [&](size_t) { Count.fetch_add(1); });
+  });
+  EXPECT_EQ(Count.load(), 8 * 25);
+}
+
+TEST(ThreadPool, ManySmallLoops) {
+  ThreadPool Pool(8);
+  std::atomic<long long> Sum{0};
+  for (int Round = 0; Round < 50; ++Round)
+    Pool.parallelFor(17, [&](size_t I) {
+      Sum.fetch_add(static_cast<long long>(I));
+    });
+  EXPECT_EQ(Sum.load(), 50 * (16 * 17 / 2));
+}
+
+//===----------------------------------------------------------------------===//
+// Structural hashing
+//===----------------------------------------------------------------------===//
+
+TEST(KernelHash, RecompiledVariantHashesEqual) {
+  // Two compilations of the same variant in the same module generate
+  // different fresh temp names; the alpha-normalized hash must agree so
+  // the SimCache can reuse the simulation.
+  Module M;
+  DiagnosticsEngine D;
+  KernelFunction *Naive = parseNaive(M, Algo::MM, 128, D);
+  ASSERT_NE(Naive, nullptr) << D.str();
+  GpuCompiler GC(M, D);
+  CompileOptions Opt;
+  KernelFunction *V1 = GC.compileVariant(*Naive, Opt, 16, 16);
+  KernelFunction *V2 = GC.compileVariant(*Naive, Opt, 16, 16);
+  ASSERT_NE(V1, nullptr);
+  ASSERT_NE(V2, nullptr);
+  EXPECT_EQ(hashKernel(*V1), hashKernel(*V2));
+  // Different merge factors produce structurally different kernels.
+  KernelFunction *V3 = GC.compileVariant(*Naive, Opt, 8, 16);
+  ASSERT_NE(V3, nullptr);
+  EXPECT_NE(hashKernel(*V1), hashKernel(*V3));
+}
+
+TEST(KernelHash, KernelNameDoesNotAffectHash) {
+  Module M;
+  DiagnosticsEngine D;
+  KernelFunction *K = parseNaive(M, Algo::MV, 128, D);
+  ASSERT_NE(K, nullptr) << D.str();
+  uint64_t Before = hashKernel(*K);
+  K->setName("renamed_kernel");
+  EXPECT_EQ(hashKernel(*K), Before);
+}
+
+TEST(SimCacheTest, LookupInsertAndCounters) {
+  SimCache Cache;
+  PerfResult Out;
+  EXPECT_FALSE(Cache.lookup(42, Out));
+  EXPECT_EQ(Cache.misses(), 1u);
+  PerfResult R;
+  R.Valid = true;
+  R.TimeMs = 1.5;
+  Cache.insert(42, R);
+  EXPECT_TRUE(Cache.lookup(42, Out));
+  EXPECT_EQ(Cache.hits(), 1u);
+  EXPECT_DOUBLE_EQ(Out.TimeMs, 1.5);
+  EXPECT_EQ(Cache.size(), 1u);
+  Cache.clear();
+  EXPECT_EQ(Cache.size(), 0u);
+  EXPECT_EQ(Cache.hits(), 0u);
+}
+
+TEST(SimCacheTest, HitsOnFigure12StagePrefixes) {
+  // The Figure 12 dissection recompiles the search's winning variant as
+  // its "+partition" stage prefix; with a shared cache that measurement
+  // must not re-simulate.
+  Module M;
+  DiagnosticsEngine D;
+  KernelFunction *Naive = parseNaive(M, Algo::MM, 128, D);
+  ASSERT_NE(Naive, nullptr) << D.str();
+  SimCache Cache;
+  GpuCompiler GC(M, D);
+  CompileOptions Opt;
+  Opt.Cache = &Cache;
+  CompileOutput Out = GC.compile(*Naive, Opt);
+  ASSERT_NE(Out.Best, nullptr);
+
+  KernelFunction *Stage =
+      GC.compileVariant(*Naive, Opt, Out.BestVariant.BlockMergeN,
+                        Out.BestVariant.ThreadMergeM);
+  ASSERT_NE(Stage, nullptr);
+  uint64_t HitsBefore = Cache.hits();
+  Simulator Sim(DeviceSpec::gtx280());
+  Sim.setCache(&Cache);
+  BufferSet B;
+  DiagnosticsEngine RunDiags;
+  PerfResult R = Sim.runPerformance(*Stage, B, RunDiags);
+  EXPECT_TRUE(R.Valid);
+  EXPECT_GT(Cache.hits(), HitsBefore)
+      << "stage-prefix recompilation missed the cache";
+  EXPECT_DOUBLE_EQ(R.TimeMs, Out.BestVariant.Perf.TimeMs);
+}
+
+//===----------------------------------------------------------------------===//
+// Search determinism and pruning equivalence
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct VariantSnapshot {
+  int N = 0, Mm = 0;
+  int Status = 0; // 0 measured, 1 infeasible, 2 pruned, 3 failed
+  double TimeMs = 0;
+  std::string Text;
+
+  bool operator==(const VariantSnapshot &O) const {
+    return N == O.N && Mm == O.Mm && Status == O.Status &&
+           TimeMs == O.TimeMs && Text == O.Text;
+  }
+};
+
+struct SearchSnapshot {
+  int BestN = 0, BestM = 0;
+  double BestMs = 0;
+  std::string BestText;
+  std::vector<VariantSnapshot> Variants;
+  SearchStats Stats;
+};
+
+SearchSnapshot runSearch(Algo A, int Jobs, bool Exhaustive = false) {
+  Module M;
+  DiagnosticsEngine D;
+  KernelFunction *Naive = parseNaive(M, A, testSize(A), D);
+  EXPECT_NE(Naive, nullptr) << D.str();
+  SearchSnapshot S;
+  if (!Naive)
+    return S;
+  GpuCompiler GC(M, D);
+  CompileOptions Opt;
+  Opt.Jobs = Jobs;
+  Opt.ExhaustiveSearch = Exhaustive;
+  CompileOutput Out = GC.compile(*Naive, Opt);
+  EXPECT_NE(Out.Best, nullptr) << D.str() << Out.Log;
+  if (!Out.Best)
+    return S;
+  S.BestN = Out.BestVariant.BlockMergeN;
+  S.BestM = Out.BestVariant.ThreadMergeM;
+  S.BestMs = Out.BestVariant.Perf.TimeMs;
+  S.BestText = printKernel(*Out.Best);
+  for (const VariantResult &V : Out.Variants) {
+    VariantSnapshot VS;
+    VS.N = V.BlockMergeN;
+    VS.Mm = V.ThreadMergeM;
+    VS.Status = V.Feasible ? 0 : V.LimitedBy ? 1 : V.Pruned ? 2 : 3;
+    VS.TimeMs = V.Feasible ? V.Perf.TimeMs : 0;
+    VS.Text = V.Kernel ? printKernel(*V.Kernel) : "";
+    S.Variants.push_back(VS);
+  }
+  S.Stats = Out.Search;
+  return S;
+}
+
+} // namespace
+
+class SearchDeterminism : public ::testing::TestWithParam<Algo> {};
+
+TEST_P(SearchDeterminism, SerialAndParallelSearchesAgree) {
+  Algo A = GetParam();
+  SearchSnapshot Serial = runSearch(A, /*Jobs=*/1);
+  SearchSnapshot Parallel = runSearch(A, /*Jobs=*/8);
+
+  EXPECT_EQ(Serial.Stats.Jobs, 1);
+  EXPECT_EQ(Parallel.Stats.Jobs, 8);
+  EXPECT_EQ(Serial.BestN, Parallel.BestN);
+  EXPECT_EQ(Serial.BestM, Parallel.BestM);
+  EXPECT_EQ(Serial.BestMs, Parallel.BestMs);
+  EXPECT_EQ(Serial.BestText, Parallel.BestText)
+      << "emitted CUDA differs between Jobs=1 and Jobs=8";
+  ASSERT_EQ(Serial.Variants.size(), Parallel.Variants.size());
+  for (size_t I = 0; I < Serial.Variants.size(); ++I)
+    EXPECT_TRUE(Serial.Variants[I] == Parallel.Variants[I])
+        << "variant " << I << " (b" << Serial.Variants[I].N << " t"
+        << Serial.Variants[I].Mm << ") differs";
+  // The same candidates are probed, pruned and simulated.
+  EXPECT_EQ(Serial.Stats.Candidates, Parallel.Stats.Candidates);
+  EXPECT_EQ(Serial.Stats.Simulated, Parallel.Stats.Simulated);
+  EXPECT_EQ(Serial.Stats.Probed, Parallel.Stats.Probed);
+  EXPECT_EQ(Serial.Stats.Pruned, Parallel.Stats.Pruned);
+  EXPECT_EQ(Serial.Stats.Infeasible, Parallel.Stats.Infeasible);
+}
+
+TEST_P(SearchDeterminism, PruningNeverChangesTheWinner) {
+  Algo A = GetParam();
+  SearchSnapshot Pruned = runSearch(A, /*Jobs=*/8, /*Exhaustive=*/false);
+  SearchSnapshot Full = runSearch(A, /*Jobs=*/8, /*Exhaustive=*/true);
+
+  EXPECT_EQ(Pruned.BestN, Full.BestN);
+  EXPECT_EQ(Pruned.BestM, Full.BestM);
+  EXPECT_EQ(Pruned.BestMs, Full.BestMs);
+  EXPECT_EQ(Pruned.BestText, Full.BestText);
+  EXPECT_LE(Pruned.Stats.Simulated, Full.Stats.Simulated);
+  EXPECT_EQ(Full.Stats.Pruned, 0);
+  EXPECT_EQ(Full.Stats.Probed, 0);
+  // Every variant the pruned search did measure agrees with the
+  // exhaustive measurement.
+  ASSERT_EQ(Pruned.Variants.size(), Full.Variants.size());
+  for (size_t I = 0; I < Pruned.Variants.size(); ++I) {
+    if (Pruned.Variants[I].Status == 0) {
+      EXPECT_EQ(Pruned.Variants[I].TimeMs, Full.Variants[I].TimeMs)
+          << "variant b" << Pruned.Variants[I].N << " t"
+          << Pruned.Variants[I].Mm;
+    }
+  }
+}
+
+TEST(SearchDefaults, DefaultJobsMatchesSerial) {
+  // Jobs=0 resolves to hardware concurrency; the result must still match
+  // the serial search exactly.
+  SearchSnapshot Default = runSearch(Algo::MM, /*Jobs=*/0);
+  SearchSnapshot Serial = runSearch(Algo::MM, /*Jobs=*/1);
+  EXPECT_EQ(Default.BestN, Serial.BestN);
+  EXPECT_EQ(Default.BestM, Serial.BestM);
+  EXPECT_EQ(Default.BestText, Serial.BestText);
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1, SearchDeterminism,
+                         ::testing::ValuesIn(table1Algos()),
+                         [](const ::testing::TestParamInfo<Algo> &Info) {
+                           return std::string(algoInfo(Info.param).Name);
+                         });

@@ -23,6 +23,7 @@
 #include "core/Compiler.h"
 #include "parser/Parser.h"
 #include "support/StringUtils.h"
+#include "support/Timer.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -55,7 +56,15 @@ void usage() {
       "                            conflicts and surviving non-coalesced\n"
       "                            accesses\n"
       "  --Werror                  treat warnings as errors\n"
-      "  --print-naive             echo the parsed naive kernel first\n");
+      "  --print-naive             echo the parsed naive kernel first\n"
+      "  --jobs=N                  lanes for the design-space search\n"
+      "                            (default: hardware concurrency; 1 =\n"
+      "                            serial; results are identical)\n"
+      "  --no-prune                simulate every feasible variant instead\n"
+      "                            of pruning by the lower-bound probe\n"
+      "  --search-stats            print search counters (simulated vs.\n"
+      "                            pruned, cache hits, wall-clock)\n"
+      "  --time-report             print per-phase wall-clock timing\n");
 }
 
 std::string readInput(const char *Path) {
@@ -101,6 +110,7 @@ int main(int argc, char **argv) {
   int BlockN = 0, ThreadM = 0;
   bool Report = false, Validate = false, PrintNaive = false;
   bool Sanitize = false, Lint = false, Werror = false;
+  bool SearchStats = false, TimeReportFlag = false;
   PrintDialect Dialect = PrintDialect::Cuda;
 
   for (int I = 1; I < argc; ++I) {
@@ -141,6 +151,16 @@ int main(int argc, char **argv) {
       Lint = true;
     else if (std::strcmp(Arg, "--Werror") == 0)
       Werror = true;
+    else if (std::strncmp(Arg, "--jobs=", 7) == 0)
+      Opt.Jobs = std::atoi(Arg + 7);
+    else if (std::strcmp(Arg, "--jobs") == 0 && I + 1 < argc)
+      Opt.Jobs = std::atoi(argv[++I]);
+    else if (std::strcmp(Arg, "--no-prune") == 0)
+      Opt.ExhaustiveSearch = true;
+    else if (std::strcmp(Arg, "--search-stats") == 0)
+      SearchStats = true;
+    else if (std::strcmp(Arg, "--time-report") == 0)
+      TimeReportFlag = true;
     else if (std::strcmp(Arg, "--help") == 0) {
       usage();
       return 0;
@@ -157,12 +177,20 @@ int main(int argc, char **argv) {
     return 1;
   }
 
+  TimeReport Times("gpucc --time-report");
+  auto EmitTimes = [&] {
+    if (TimeReportFlag)
+      std::fprintf(stderr, "%s", Times.str().c_str());
+  };
+
   Module M;
   DiagnosticsEngine Diags;
   if (Werror)
     Diags.setWarningsAsErrors(true);
+  WallTimer ParseTimer;
   Parser P(readInput(Path), Diags);
   KernelFunction *Naive = P.parseKernel(M);
+  Times.add("parse", ParseTimer.elapsedMs());
   if (!Naive) {
     std::fprintf(stderr, "%s", Diags.str().c_str());
     return 1;
@@ -181,6 +209,7 @@ int main(int argc, char **argv) {
 
   GpuCompiler GC(M, Diags);
   CompileOutput Out;
+  WallTimer CompileTimer;
   if (BlockN > 0 || ThreadM > 0) {
     Out.Best = GC.compileVariant(*Naive, Opt, std::max(1, BlockN),
                                  std::max(1, ThreadM), &Out.Plan,
@@ -192,6 +221,19 @@ int main(int argc, char **argv) {
     Out.Variants.push_back(VR);
   } else {
     Out = GC.compile(*Naive, Opt);
+  }
+  Times.add("compile + search", CompileTimer.elapsedMs());
+  if (TimeReportFlag && Out.Variants.size() > 1) {
+    // Per-variant detail in its own table: per-task times sum over lanes,
+    // so they are not a partition of the driver wall-clock above.
+    TimeReport VariantTimes("design-space variants (per-lane time)");
+    for (const VariantResult &V : Out.Variants) {
+      std::string Tag =
+          strFormat("b%d t%d", V.BlockMergeN, V.ThreadMergeM);
+      VariantTimes.add(Tag + " compile", V.CompileWallMs);
+      VariantTimes.add(Tag + " simulate", V.SimWallMs);
+    }
+    std::fprintf(stderr, "%s", VariantTimes.str().c_str());
   }
   if (!Out.Best || Diags.hasErrors()) {
     std::fprintf(stderr, "%s%s%s", Diags.str().c_str(),
@@ -208,12 +250,17 @@ int main(int argc, char **argv) {
                  SanSummary.KernelsChecked, SanSummary.RaceErrors,
                  SanSummary.LintWarnings, SanSummary.Unanalyzable);
 
+  WallTimer EmitTimer;
   std::printf("%s", printKernel(*Out.Best, Dialect).c_str());
+  Times.add("emit", EmitTimer.elapsedMs());
 
   if (Report)
     printReport(*Naive, Out, Opt.Device);
+  if (SearchStats)
+    std::fprintf(stderr, "%s", searchStatsReport(Out).c_str());
 
   if (Validate) {
+    WallTimer ValidateTimer;
     Simulator Sim(Opt.Device);
     BufferSet NaiveBufs, OptBufs;
     fillRandomInputs(*Naive, NaiveBufs);
@@ -253,7 +300,10 @@ int main(int argc, char **argv) {
       }
     }
     std::fprintf(stderr, "validation: %lld mismatches\n", Bad);
+    Times.add("validate", ValidateTimer.elapsedMs());
+    EmitTimes();
     return Bad == 0 ? 0 : 2;
   }
+  EmitTimes();
   return 0;
 }
