@@ -221,6 +221,40 @@ std::string gpuc::printStmt(const Stmt *S, int Indent, PrintDialect Dialect) {
   return OS.str();
 }
 
+std::string gpuc::printNaiveKernel(const KernelFunction &K) {
+  std::ostringstream OS;
+  if (!K.outputName().empty())
+    OS << "#pragma gpuc output(" << K.outputName() << ")\n";
+  if (!K.scalarBindings().empty()) {
+    OS << "#pragma gpuc bind(";
+    bool First = true;
+    for (const auto &[Name, V] : K.scalarBindings()) {
+      if (!First)
+        OS << ", ";
+      First = false;
+      OS << Name << "=" << V;
+    }
+    OS << ")\n";
+  }
+  OS << strFormat("#pragma gpuc domain(%lld,%lld)\n", K.workDomainX(),
+                  K.workDomainY());
+  OS << "__global__ void " << K.name() << "(";
+  bool First = true;
+  for (const ParamDecl &P : K.params()) {
+    if (!First)
+      OS << ", ";
+    First = false;
+    OS << P.ElemTy.str() << " " << P.Name;
+    if (P.IsArray)
+      for (long long D : P.Dims)
+        OS << "[" << D << "]";
+  }
+  OS << ") {\n";
+  printStmtTo(OS, K.body(), 1, PrintDialect::Cuda);
+  OS << "}\n";
+  return OS.str();
+}
+
 std::string gpuc::printKernel(const KernelFunction &K,
                               PrintDialect Dialect) {
   std::ostringstream OS;

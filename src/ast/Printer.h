@@ -41,6 +41,15 @@ std::string printStmt(const Stmt *S, int Indent = 0,
 std::string printKernel(const KernelFunction &K,
                         PrintDialect Dialect = PrintDialect::Cuda);
 
+/// Renders the kernel in the naive-kernel *input* dialect (the language
+/// parser/Parser.h accepts): #pragma gpuc output/bind/domain lines, the
+/// __global__ signature with array dimensions, and the body with the
+/// idx/idy builtins spelled directly (no preamble). Round-trips through
+/// the parser: parse(printNaiveKernel(K)) is structurally identical to K
+/// for kernels in the dialect. The fuzzer's generated corpus and the
+/// test-case reducer's minimized repros are emitted this way.
+std::string printNaiveKernel(const KernelFunction &K);
+
 } // namespace gpuc
 
 #endif // GPUC_AST_PRINTER_H

@@ -375,11 +375,15 @@ CoalesceResult gpuc::convertNonCoalesced(KernelFunction &K, ASTContext &Ctx,
       ++R.SkippedLoads;
       continue;
     }
-    // Higher dimensions must not involve tidx and must keep segment
-    // alignment of the staged copies.
+    // Higher dimensions must be uniform across the staging block: the
+    // shared buffer is indexed by tidx only, so a row expression that
+    // varies with tidx — or with tidy while the block is two-dimensional —
+    // would make threads in different rows overwrite each other's segment
+    // (a write-write race on the staging array).
     bool HigherOk = true;
     for (size_t D = 0; D + 1 < A.DimAffine.size(); ++D)
-      if (A.DimAffine[D].CTidx != 0)
+      if (A.DimAffine[D].CTidx != 0 ||
+          (A.DimAffine[D].CTidy != 0 && K.launch().BlockDimY > 1))
         HigherOk = false;
     if (!HigherOk) {
       ++R.SkippedLoads;

@@ -65,6 +65,13 @@ bool needsTransposeTile(KernelFunction &K) {
 
 } // namespace
 
+const std::vector<const char *> &gpuc::pipelineStageNames() {
+  static const std::vector<const char *> Names = {
+      "input",  "vectorize",         "coalesce", "merge",
+      "partition-camping", "prefetch", "final"};
+  return Names;
+}
+
 KernelFunction *GpuCompiler::compileVariant(const KernelFunction &Naive,
                                             const CompileOptions &Opt,
                                             int BlockN, int ThreadM,

@@ -43,6 +43,12 @@ namespace gpuc {
 using StageHook =
     std::function<void(const char *Stage, KernelFunction &K, bool Final)>;
 
+/// The stage names compileVariant announces to StageHook, in announcement
+/// order ("input" first, "final" last; disabled stages are skipped). The
+/// fuzz oracle (fuzz/Oracle.h) snapshots the kernel at each announcement
+/// and attributes an equivalence failure to the first diverging stage.
+const std::vector<const char *> &pipelineStageNames();
+
 /// Pipeline switches; disabling later stages yields the cumulative
 /// configurations of the paper's Figure 12 dissection.
 struct CompileOptions {

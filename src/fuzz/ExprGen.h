@@ -1,0 +1,76 @@
+//===-- fuzz/ExprGen.h - Random expression generation -----------*- C++ -*-===//
+//
+// Part of the gpuc project: a reproduction of "A GPGPU Compiler for Memory
+// Optimization and Parallelism Management" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic random float expressions over {idx, literals, + - * and
+/// math calls}, each paired with a host-side evaluator so tests can check
+/// the interpreter against an independent computation. Promoted from the
+/// property tests so the kernel fuzzer (fuzz/KernelGen.h) and the tests
+/// share one generator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUC_FUZZ_EXPRGEN_H
+#define GPUC_FUZZ_EXPRGEN_H
+
+#include "ast/Builder.h"
+
+#include <algorithm>
+#include <functional>
+#include <random>
+#include <utility>
+
+namespace gpuc {
+
+/// Deterministic random expression over {idx, literals, + - * and calls},
+/// together with a host-side evaluator.
+struct ExprGen {
+  std::mt19937 Rng;
+  KernelBuilder &B;
+
+  ExprGen(unsigned Seed, KernelBuilder &B) : Rng(Seed), B(B) {}
+
+  int irand(int Lo, int Hi) {
+    return std::uniform_int_distribution<int>(Lo, Hi)(Rng);
+  }
+
+  /// Builds a float expression and a matching evaluator of idx.
+  std::pair<Expr *, std::function<float(int)>> gen(int Depth) {
+    if (Depth == 0) {
+      switch (irand(0, 2)) {
+      case 0: {
+        float V = static_cast<float>(irand(-8, 8)) * 0.25f;
+        return {B.f(V), [V](int) { return V; }};
+      }
+      case 1:
+        return {B.ctx().bin(BinOp::Add, B.idx(), B.i(0)),
+                [](int I) { return static_cast<float>(I); }};
+      default: {
+        int C = irand(1, 9);
+        return {B.i(C), [C](int) { return static_cast<float>(C); }};
+      }
+      }
+    }
+    auto [L, FL] = gen(Depth - 1);
+    auto [R, FR] = gen(Depth - 1);
+    switch (irand(0, 3)) {
+    case 0:
+      return {B.add(L, R), [FL, FR](int I) { return FL(I) + FR(I); }};
+    case 1:
+      return {B.sub(L, R), [FL, FR](int I) { return FL(I) - FR(I); }};
+    case 2:
+      return {B.mul(L, R), [FL, FR](int I) { return FL(I) * FR(I); }};
+    default:
+      return {B.ctx().call("fmaxf", {L, R}, Type::floatTy()),
+              [FL, FR](int I) { return std::max(FL(I), FR(I)); }};
+    }
+  }
+};
+
+} // namespace gpuc
+
+#endif // GPUC_FUZZ_EXPRGEN_H

@@ -1,0 +1,231 @@
+//===-- fuzz/Fuzzer.cpp - Differential fuzzing driver ---------------------===//
+
+#include "fuzz/Fuzzer.h"
+
+#include "exec/ThreadPool.h"
+#include "fuzz/KernelGen.h"
+#include "parser/Parser.h"
+#include "support/StringUtils.h"
+
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <set>
+
+using namespace gpuc;
+
+const char *gpuc::failureKindName(OracleFailure::Kind K) {
+  switch (K) {
+  case OracleFailure::Kind::CompileError:
+    return "compile-error";
+  case OracleFailure::Kind::RunError:
+    return "run-error";
+  case OracleFailure::Kind::Mismatch:
+    return "mismatch";
+  case OracleFailure::Kind::Race:
+    return "race";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 8);
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20)
+        Out += strFormat("\\u%04x", C);
+      else
+        Out += C;
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+std::string gpuc::failureRecordJson(const FuzzCase &C) {
+  const OracleFailure &F = C.Failure;
+  std::string S = "{\n";
+  S += strFormat("  \"seed\": %u,\n", C.Seed);
+  S += strFormat("  \"shape\": \"%s\",\n", jsonEscape(C.Shape).c_str());
+  S += strFormat("  \"kind\": \"%s\",\n", failureKindName(F.FailKind));
+  S += strFormat("  \"variant\": \"%s\",\n", jsonEscape(F.Variant).c_str());
+  S += strFormat("  \"block_n\": %d,\n  \"thread_m\": %d,\n", F.BlockN,
+                 F.ThreadM);
+  S += strFormat("  \"stage\": \"%s\",\n", jsonEscape(F.Stage).c_str());
+  if (F.FailKind == OracleFailure::Kind::Mismatch) {
+    S += strFormat("  \"array\": \"%s\",\n", jsonEscape(F.Array).c_str());
+    S += strFormat("  \"mismatches\": %lld,\n", F.MismatchCount);
+    S += strFormat("  \"first_bad_index\": %lld,\n", F.FirstBadIndex);
+    S += strFormat("  \"want\": %.9g,\n  \"got\": %.9g,\n",
+                   static_cast<double>(F.Want), static_cast<double>(F.Got));
+  }
+  S += strFormat("  \"detail\": \"%s\",\n", jsonEscape(F.Detail).c_str());
+  S += strFormat("  \"variants_checked\": %d,\n", C.VariantsChecked);
+  S += strFormat("  \"reduced_lines\": %d,\n", countCodeLines(C.Reduced));
+  S += strFormat("  \"reduce_attempts\": %d,\n  \"reduce_accepted\": %d,\n"
+                 "  \"reduce_rounds\": %d,\n",
+                 C.Reduce.Attempts, C.Reduce.Accepted, C.Reduce.Rounds);
+  S += strFormat("  \"source\": \"%s\",\n", jsonEscape(C.Source).c_str());
+  S += strFormat("  \"reduced\": \"%s\"\n", jsonEscape(C.Reduced).c_str());
+  S += "}\n";
+  return S;
+}
+
+bool gpuc::checkKernelSource(const std::string &Source,
+                             const OracleOptions &Opt, OracleResult &Result,
+                             std::string &ParseErrors) {
+  Module M;
+  DiagnosticsEngine Diags;
+  Parser P(Source, Diags);
+  KernelFunction *K = P.parseKernel(M);
+  if (!K || Diags.hasErrors()) {
+    ParseErrors = Diags.str();
+    return false;
+  }
+  Result = runOracle(M, *K, Opt);
+  return true;
+}
+
+namespace {
+
+/// Minimizes a failing case under a predicate pinned to the original
+/// failure signature (kind + blamed stage), so the reducer cannot wander
+/// onto an unrelated bug while shrinking.
+std::string reduceCase(const FuzzCase &C, const OracleOptions &Opt,
+                       ReduceStats &Stats) {
+  OracleFailure::Kind Kind = C.Failure.FailKind;
+  std::string Stage = C.Failure.Stage;
+  FailurePredicate Pinned = [&](const std::string &Cand) {
+    OracleResult R;
+    std::string Errs;
+    if (!checkKernelSource(Cand, Opt, R, Errs))
+      return false;
+    for (const OracleFailure &F : R.Failures)
+      if (F.FailKind == Kind && F.Stage == Stage)
+        return true;
+    return false;
+  };
+  return reduceKernelSource(C.Source, Pinned, &Stats);
+}
+
+void writeArtifacts(const std::string &OutDir, const FuzzCase &C) {
+  std::error_code EC;
+  std::filesystem::create_directories(OutDir, EC);
+  std::string Base = OutDir + "/seed" + std::to_string(C.Seed);
+  std::ofstream(Base + ".cu") << (C.Reduced.empty() ? C.Source : C.Reduced);
+  std::ofstream(Base + ".json") << failureRecordJson(C);
+}
+
+} // namespace
+
+FuzzSummary gpuc::runFuzz(const FuzzOptions &Opt, std::ostream *Progress) {
+  FuzzSummary Sum;
+  size_t N = Opt.NumSeeds;
+  std::vector<FuzzCase> Cases(N);
+
+  // Structural-dedupe set, shared across lanes. A seed that hashes to an
+  // already-seen kernel skips the (expensive) oracle; first writer wins,
+  // which is deterministic enough for counting (the set of unique hashes
+  // is schedule-independent even if which seed "owns" one is not).
+  std::set<uint64_t> Seen;
+  std::mutex Mu;
+
+  ThreadPool Pool(Opt.Jobs <= 0 ? 0 : static_cast<unsigned>(Opt.Jobs));
+  Pool.parallelFor(N, [&](size_t I) {
+    FuzzCase &C = Cases[I];
+    C.Seed = Opt.FirstSeed + static_cast<unsigned>(I);
+
+    KernelGen Gen(C.Seed);
+    GeneratedKernel GK = Gen.generate();
+    C.Shape = GK.Shape;
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      if (!Seen.insert(GK.StructureHash).second) {
+        C.St = FuzzCase::Status::Duplicate;
+        return;
+      }
+    }
+
+    // Per-case oracle config: remix the input seed so different kernels
+    // see different data, deterministically in the case seed.
+    OracleOptions OO = Opt.Oracle;
+    OO.InputSeed = Opt.Oracle.InputSeed ^ (C.Seed * 2654435761u + 1u);
+
+    // The generator emits printed source; parsing it back is itself the
+    // Printer->Parser round-trip check.
+    OracleResult R;
+    std::string ParseErrs;
+    if (!checkKernelSource(GK.Source, OO, R, ParseErrs)) {
+      C.St = FuzzCase::Status::Failed;
+      C.Source = GK.Source;
+      C.Failure.FailKind = OracleFailure::Kind::CompileError;
+      C.Failure.Variant = "parse";
+      C.Failure.Stage = "input";
+      C.Failure.Detail = "generated source failed to re-parse:\n" + ParseErrs;
+      C.Reduced = GK.Source;
+      return;
+    }
+    C.VariantsChecked = R.VariantsChecked;
+    if (R.Passed) {
+      C.St = FuzzCase::Status::Passed;
+      if (Progress) {
+        std::lock_guard<std::mutex> Lock(Mu);
+        *Progress << strFormat("seed %u: ok (%s, %d variants)\n", C.Seed,
+                               C.Shape.c_str(), R.VariantsChecked);
+      }
+      return;
+    }
+
+    C.St = FuzzCase::Status::Failed;
+    C.Source = GK.Source;
+    C.Failure = R.Failures.front();
+    C.Reduced = Opt.ReduceFailures ? reduceCase(C, OO, C.Reduce) : C.Source;
+    if (!Opt.OutDir.empty())
+      writeArtifacts(Opt.OutDir, C);
+    if (Progress) {
+      std::lock_guard<std::mutex> Lock(Mu);
+      *Progress << strFormat("seed %u: FAIL %s at stage '%s' (%s)\n", C.Seed,
+                             failureKindName(C.Failure.FailKind),
+                             C.Failure.Stage.c_str(), C.Shape.c_str());
+    }
+  });
+
+  for (FuzzCase &C : Cases) {
+    ++Sum.Cases;
+    switch (C.St) {
+    case FuzzCase::Status::Passed:
+      ++Sum.Passed;
+      break;
+    case FuzzCase::Status::Duplicate:
+      ++Sum.Duplicates;
+      break;
+    case FuzzCase::Status::Failed:
+      ++Sum.Failed;
+      break;
+    }
+    if (C.St != FuzzCase::Status::Duplicate)
+      ++Sum.ShapeCounts[C.Shape];
+    Sum.VariantsChecked += C.VariantsChecked;
+    if (C.St == FuzzCase::Status::Failed)
+      Sum.Failures.push_back(std::move(C));
+  }
+  return Sum;
+}

@@ -1,0 +1,257 @@
+//===-- fuzz/Oracle.cpp - Differential translation validation -------------===//
+
+#include "fuzz/Oracle.h"
+
+#include "ast/Clone.h"
+#include "ast/Walk.h"
+#include "sim/Simulator.h"
+#include "support/StringUtils.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <map>
+
+using namespace gpuc;
+
+void gpuc::fillFuzzInputs(const KernelFunction &K, BufferSet &Buffers,
+                          unsigned Seed) {
+  unsigned State = Seed ? Seed : 1u;
+  for (const ParamDecl &P : K.params()) {
+    if (!P.IsArray)
+      continue;
+    auto &V = Buffers.alloc(P.Name, static_cast<size_t>(P.elemCount()) *
+                                        P.ElemTy.vectorWidth());
+    for (float &X : V) {
+      State = State * 1664525u + 1013904223u;
+      X = static_cast<float>(State >> 20) / 4096.0f - 0.5f;
+    }
+  }
+}
+
+bool gpuc::kernelHasFloatArith(const KernelFunction &K) {
+  bool Arith = false;
+  forEachStmt(K.body(), [&](Stmt *S) {
+    if (auto *A = dyn_cast<AssignStmt>(S))
+      if (A->op() != AssignOp::Assign)
+        Arith = true;
+  });
+  if (Arith)
+    return true;
+  forEachExpr(K.body(), [&](Expr *E) {
+    if (auto *B = dyn_cast<Binary>(E)) {
+      if (B->type().isFloat())
+        Arith = true;
+    } else if (isa<Call>(E)) {
+      Arith = true;
+    }
+  });
+  return Arith;
+}
+
+long long gpuc::ulpDistance(float A, float B) {
+  if (A == B)
+    return 0;
+  if (std::isnan(A) || std::isnan(B))
+    return std::isnan(A) && std::isnan(B)
+               ? 0
+               : std::numeric_limits<long long>::max();
+  int32_t IA, IB;
+  std::memcpy(&IA, &A, sizeof(float));
+  std::memcpy(&IB, &B, sizeof(float));
+  // Map to a monotonic integer line (sign-magnitude -> offset binary).
+  if (IA < 0)
+    IA = std::numeric_limits<int32_t>::min() - IA;
+  if (IB < 0)
+    IB = std::numeric_limits<int32_t>::min() - IB;
+  return std::llabs(static_cast<long long>(IA) - static_cast<long long>(IB));
+}
+
+namespace {
+
+/// Per-element acceptance for one output array.
+struct Comparator {
+  bool Exact;
+  int UlpTol;
+  double RelTol;
+
+  bool accept(float Want, float Got) const {
+    if (std::memcmp(&Want, &Got, sizeof(float)) == 0)
+      return true;
+    if (Exact)
+      return false;
+    if (ulpDistance(Want, Got) <= UlpTol)
+      return true;
+    double Denom = std::max(1.0, static_cast<double>(std::fabs(Want)));
+    return std::fabs(static_cast<double>(Want) - Got) / Denom <= RelTol;
+  }
+};
+
+/// Compares every output array of \p K; fills mismatch fields of \p F.
+/// \returns true when all elements are accepted.
+bool compareOutputs(const KernelFunction &K, const BufferSet &Ref,
+                    const BufferSet &Got, const Comparator &Cmp,
+                    OracleFailure &F) {
+  bool Ok = true;
+  for (const ParamDecl &P : K.params()) {
+    if (!P.IsArray || !P.IsOutput)
+      continue;
+    const auto &A = Ref.data(P.Name);
+    const auto &B = Got.data(P.Name);
+    for (size_t I = 0; I < A.size() && I < B.size(); ++I) {
+      if (Cmp.accept(A[I], B[I]))
+        continue;
+      if (F.MismatchCount == 0) {
+        F.Array = P.Name;
+        F.FirstBadIndex = static_cast<long long>(I);
+        F.Want = A[I];
+        F.Got = B[I];
+      }
+      ++F.MismatchCount;
+      Ok = false;
+    }
+  }
+  return Ok;
+}
+
+std::string describeRaces(const RaceLog &Races) {
+  std::string S;
+  for (const RaceRecord &R : Races.Races)
+    S += strFormat("%s race on '%s' word %lld (phase %d, block %lld, "
+                   "threads %lld/%lld)\n",
+                   R.WriteWrite ? "write-write" : "write-read",
+                   R.Array.c_str(), R.Word, R.Phase, R.Block, R.T1, R.T2);
+  return S;
+}
+
+/// Runs \p K functionally against fresh seeded buffers. \returns false on
+/// an execution error (message in \p Detail) and surfaces races.
+bool runVariant(const Simulator &Sim, const KernelFunction &K,
+                unsigned InputSeed, bool CheckRaces, BufferSet &Buffers,
+                std::string &Detail, bool &Raced) {
+  fillFuzzInputs(K, Buffers, InputSeed);
+  DiagnosticsEngine RunDiags;
+  RaceLog Races;
+  bool Ok = Sim.runFunctional(K, Buffers, RunDiags,
+                              CheckRaces ? &Races : nullptr);
+  Raced = CheckRaces && !Races.clean();
+  if (!Ok)
+    Detail = RunDiags.str();
+  else if (Raced)
+    Detail = describeRaces(Races);
+  return Ok;
+}
+
+/// Re-compiles one variant with a snapshot hook and blames the first
+/// stage whose intermediate kernel diverges from the reference outputs
+/// (or fails to run / races, matching the original failure mode).
+std::string attributeStage(const KernelFunction &Naive,
+                           const OracleOptions &Opt, int BlockN, int ThreadM,
+                           const Simulator &Sim, const BufferSet &Ref,
+                           const Comparator &Cmp) {
+  Module CompileM;
+  Module SnapM; // snapshots survive the pipeline mutating the variant
+  DiagnosticsEngine Diags;
+  GpuCompiler GC(CompileM, Diags);
+
+  std::vector<std::pair<std::string, KernelFunction *>> Snaps;
+  CompileOptions O = Opt.Compile;
+  O.Hook = [&](const char *Stage, KernelFunction &K, bool Final) {
+    if (Opt.Inject)
+      Opt.Inject(Stage, K, Final);
+    Snaps.emplace_back(Stage, cloneKernel(SnapM, &K, K.name()));
+  };
+  GC.compileVariant(Naive, O, BlockN, ThreadM);
+
+  for (const auto &[Stage, Snap] : Snaps) {
+    BufferSet Buffers;
+    std::string Detail;
+    bool Raced = false;
+    bool Ok = runVariant(Sim, *Snap, Opt.InputSeed, Opt.CheckRaces, Buffers,
+                         Detail, Raced);
+    OracleFailure Scratch;
+    if (!Ok || Raced || !compareOutputs(Naive, Ref, Buffers, Cmp, Scratch))
+      return Stage;
+  }
+  return "unattributed";
+}
+
+} // namespace
+
+OracleResult gpuc::runOracle(Module &M, const KernelFunction &Naive,
+                             const OracleOptions &Opt) {
+  OracleResult Res;
+  Simulator Sim(Opt.Compile.Device);
+
+  // Reference: the naive kernel's own outputs on the seeded inputs.
+  BufferSet Ref;
+  {
+    fillFuzzInputs(Naive, Ref, Opt.InputSeed);
+    DiagnosticsEngine RunDiags;
+    if (!Sim.runFunctional(Naive, Ref, RunDiags)) {
+      OracleFailure F;
+      F.FailKind = OracleFailure::Kind::RunError;
+      F.Variant = "naive";
+      F.Stage = "input";
+      F.Detail = RunDiags.str();
+      Res.Failures.push_back(F);
+      Res.Passed = false;
+      return Res;
+    }
+  }
+
+  Comparator Cmp{!kernelHasFloatArith(Naive), Opt.UlpTol, Opt.RelTol};
+  Res.ExactCompare = Cmp.Exact;
+
+  // Full pipeline + design-space search. The oracle owns the hook slot;
+  // the injected fault (if any) rides inside it.
+  CompileOptions CO = Opt.Compile;
+  CO.Jobs = 1;
+  CO.Hook = Opt.Inject;
+  DiagnosticsEngine CompDiags;
+  GpuCompiler GC(M, CompDiags);
+  CompileOutput Out = GC.compile(Naive, CO);
+  if (!Out.Best || CompDiags.hasErrors()) {
+    OracleFailure F;
+    F.FailKind = OracleFailure::Kind::CompileError;
+    F.Variant = "compile";
+    F.Stage = "final";
+    F.Detail = CompDiags.str() + Out.Log;
+    Res.Failures.push_back(F);
+    Res.Passed = false;
+    return Res;
+  }
+  Res.BestBlockN = Out.BestVariant.BlockMergeN;
+  Res.BestThreadM = Out.BestVariant.ThreadMergeM;
+
+  // Execute every variant the search produced (feasible or not — pruned
+  // and occupancy-limited kernels still must be semantically correct).
+  for (const VariantResult &V : Out.Variants) {
+    if (!V.Kernel)
+      continue;
+    ++Res.VariantsChecked;
+    OracleFailure F;
+    F.Variant = V.Kernel->name();
+    F.BlockN = V.BlockMergeN;
+    F.ThreadM = V.ThreadMergeM;
+
+    BufferSet Buffers;
+    std::string Detail;
+    bool Raced = false;
+    bool Ok = runVariant(Sim, *V.Kernel, Opt.InputSeed, Opt.CheckRaces,
+                         Buffers, Detail, Raced);
+    if (Ok && !Raced && compareOutputs(Naive, Ref, Buffers, Cmp, F))
+      continue;
+
+    F.FailKind = !Ok ? OracleFailure::Kind::RunError
+                 : Raced ? OracleFailure::Kind::Race
+                         : OracleFailure::Kind::Mismatch;
+    F.Detail = Detail;
+    F.Stage = attributeStage(Naive, Opt, V.BlockMergeN, V.ThreadMergeM, Sim,
+                             Ref, Cmp);
+    Res.Failures.push_back(F);
+    Res.Passed = false;
+  }
+  return Res;
+}

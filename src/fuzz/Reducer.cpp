@@ -1,0 +1,296 @@
+//===-- fuzz/Reducer.cpp - Failing-kernel minimization --------------------===//
+
+#include "fuzz/Reducer.h"
+
+#include "ast/Printer.h"
+#include "ast/Subst.h"
+#include "ast/Walk.h"
+#include "parser/Parser.h"
+
+#include <vector>
+
+using namespace gpuc;
+
+namespace {
+
+/// Parses \p Source silently. \returns null on any diagnostic error.
+KernelFunction *parseQuiet(Module &M, const std::string &Source) {
+  DiagnosticsEngine Diags;
+  Parser P(Source, Diags);
+  KernelFunction *K = P.parseKernel(M);
+  return (K && !Diags.hasErrors()) ? K : nullptr;
+}
+
+/// Visits every compound statement under \p S (including \p S).
+void forEachCompound(CompoundStmt *S,
+                     const std::function<void(CompoundStmt *)> &Fn) {
+  Fn(S);
+  for (Stmt *Child : S->body()) {
+    if (auto *F = dyn_cast<ForStmt>(Child))
+      forEachCompound(F->body(), Fn);
+    else if (auto *If = dyn_cast<IfStmt>(Child)) {
+      forEachCompound(If->thenBody(), Fn);
+      if (If->elseBody())
+        forEachCompound(If->elseBody(), Fn);
+    }
+  }
+}
+
+/// Deletes the \p Ordinal-th statement (pre-order over compounds).
+/// \returns true when the ordinal existed.
+bool deleteStmtAt(KernelFunction &K, int Ordinal) {
+  int N = 0;
+  bool Done = false;
+  forEachCompound(K.body(), [&](CompoundStmt *C) {
+    if (Done)
+      return;
+    auto &Body = C->body();
+    for (size_t I = 0; I < Body.size(); ++I) {
+      if (N++ == Ordinal) {
+        Body.erase(Body.begin() + static_cast<long>(I));
+        Done = true;
+        return;
+      }
+    }
+  });
+  return Done;
+}
+
+int countStmts(KernelFunction &K) {
+  int N = 0;
+  forEachCompound(K.body(), [&](CompoundStmt *C) {
+    N += static_cast<int>(C->body().size());
+  });
+  return N;
+}
+
+/// Replaces the \p Ordinal-th ForStmt with its body, substituting the
+/// iterator with the loop's initial value (a single-iteration unroll).
+bool unwrapForAt(Module &M, KernelFunction &K, int Ordinal) {
+  int N = 0;
+  bool Done = false;
+  ASTContext &Ctx = M.context();
+  forEachCompound(K.body(), [&](CompoundStmt *C) {
+    if (Done)
+      return;
+    auto &Body = C->body();
+    for (size_t I = 0; I < Body.size(); ++I) {
+      auto *F = dyn_cast<ForStmt>(Body[I]);
+      if (!F || N++ != Ordinal)
+        continue;
+      substVar(Ctx, F->body(), F->iterName(), F->init());
+      std::vector<Stmt *> Inner = F->body()->body();
+      Body.erase(Body.begin() + static_cast<long>(I));
+      Body.insert(Body.begin() + static_cast<long>(I), Inner.begin(),
+                  Inner.end());
+      Done = true;
+      return;
+    }
+  });
+  return Done;
+}
+
+/// Replaces the \p Ordinal-th IfStmt with its then-branch contents
+/// (DropElse false) or just deletes its else branch (DropElse true).
+bool unwrapIfAt(KernelFunction &K, int Ordinal, bool DropElseOnly) {
+  int N = 0;
+  bool Done = false;
+  forEachCompound(K.body(), [&](CompoundStmt *C) {
+    if (Done)
+      return;
+    auto &Body = C->body();
+    for (size_t I = 0; I < Body.size(); ++I) {
+      auto *If = dyn_cast<IfStmt>(Body[I]);
+      if (!If || N++ != Ordinal)
+        continue;
+      if (DropElseOnly) {
+        if (!If->elseBody())
+          return; // nothing to drop; counts as a failed edit
+        If->setElseBody(nullptr);
+      } else {
+        std::vector<Stmt *> Inner = If->thenBody()->body();
+        Body.erase(Body.begin() + static_cast<long>(I));
+        Body.insert(Body.begin() + static_cast<long>(I), Inner.begin(),
+                    Inner.end());
+      }
+      Done = true;
+      return;
+    }
+  });
+  return Done;
+}
+
+/// The expression roots the shrink pass may rewrite: assignment RHS and
+/// scalar-decl initializers (LHS / indices / loop headers stay intact so
+/// every candidate remains well-formed).
+void forEachShrinkRoot(KernelFunction &K,
+                       const std::function<void(Expr **)> &Fn) {
+  forEachStmt(K.body(), [&](Stmt *S) {
+    if (auto *A = dyn_cast<AssignStmt>(S)) {
+      Expr *R = A->rhs();
+      Expr *Orig = R;
+      Fn(&R);
+      if (R != Orig)
+        A->setRHS(R);
+    } else if (auto *D = dyn_cast<DeclStmt>(S)) {
+      if (D->init()) {
+        Expr *R = D->init();
+        Expr *Orig = R;
+        Fn(&R);
+        if (R != Orig)
+          D->setInit(R);
+      }
+    }
+  });
+}
+
+/// Shrinks the \p Ordinal-th shrinkable node across all shrink roots:
+///   Binary -> lhs | rhs, Call -> first arg of matching type,
+///   float load -> 1.0f. \p Choice picks the replacement flavor.
+bool shrinkExprAt(Module &M, KernelFunction &K, int Ordinal, int Choice) {
+  int N = 0;
+  bool Done = false;
+  ASTContext &Ctx = M.context();
+  forEachShrinkRoot(K, [&](Expr **Root) {
+    if (Done)
+      return;
+    *Root = rewriteExpr(*Root, [&](Expr *E) -> Expr * {
+      if (Done)
+        return nullptr;
+      Expr *Repl = nullptr;
+      if (auto *B = dyn_cast<Binary>(E)) {
+        Expr *Cand = Choice == 0 ? B->lhs() : B->rhs();
+        if (Cand->type().kind() == B->type().kind())
+          Repl = Cand;
+      } else if (auto *C = dyn_cast<Call>(E)) {
+        if (!C->args().empty() &&
+            C->args()[0]->type().kind() == C->type().kind())
+          Repl = C->args()[0];
+      } else if (auto *A = dyn_cast<ArrayRef>(E)) {
+        if (A->type().isFloat() && A->vecWidth() == 1)
+          Repl = Ctx.floatLit(1.0);
+      }
+      if (!Repl)
+        return nullptr;
+      if (N++ != Ordinal)
+        return nullptr;
+      Done = true;
+      return Repl;
+    });
+  });
+  return Done;
+}
+
+/// Removes parameters never referenced in the body (and not the output),
+/// with their scalar bindings. Single-shot cleanup edit.
+bool dropUnusedParams(KernelFunction &K) {
+  auto &Params = K.params();
+  bool Any = false;
+  for (size_t I = Params.size(); I-- > 0;) {
+    const ParamDecl &P = Params[I];
+    if (P.IsOutput)
+      continue;
+    bool Used = containsVar(K.body(), P.Name);
+    if (!Used && P.IsArray) {
+      // Array uses are ArrayRef bases, not VarRefs.
+      forEachExpr(K.body(), [&](Expr *E) {
+        if (auto *A = dyn_cast<ArrayRef>(E))
+          if (A->base() == P.Name)
+            Used = true;
+      });
+    }
+    if (Used)
+      continue;
+    Params.erase(Params.begin() + static_cast<long>(I));
+    Any = true;
+  }
+  return Any;
+}
+
+} // namespace
+
+std::string gpuc::reduceKernelSource(const std::string &Source,
+                                     const FailurePredicate &StillFails,
+                                     ReduceStats *Stats) {
+  std::string Current = Source;
+  ReduceStats Local;
+  ReduceStats &St = Stats ? *Stats : Local;
+
+  /// Applies one parametrized edit to a fresh parse of Current and
+  /// accepts the result when the failure survives.
+  auto Try = [&](const std::function<bool(Module &, KernelFunction &)>
+                     &Edit) {
+    Module M;
+    KernelFunction *K = parseQuiet(M, Current);
+    if (!K)
+      return false;
+    if (!Edit(M, *K))
+      return false;
+    std::string Cand = printNaiveKernel(*K);
+    ++St.Attempts;
+    if (Cand == Current)
+      return false;
+    {
+      // The edit must leave a parseable kernel behind; otherwise the
+      // predicate (which parses) rejects it anyway, but skip the cost.
+      Module Check;
+      if (!parseQuiet(Check, Cand))
+        return false;
+    }
+    if (!StillFails(Cand))
+      return false;
+    Current = Cand;
+    ++St.Accepted;
+    return true;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    ++St.Rounds;
+
+    // Pass 1: statement deletion, back to front (later ordinals die
+    // first, so earlier ordinals stay valid within the sweep).
+    {
+      Module M;
+      KernelFunction *K = parseQuiet(M, Current);
+      if (!K)
+        break;
+      for (int I = countStmts(*K) - 1; I >= 0; --I)
+        Changed |= Try([I](Module &, KernelFunction &K2) {
+          return deleteStmtAt(K2, I);
+        });
+    }
+
+    // Pass 2: loop unwrapping (single-iteration unroll).
+    for (int I = 8; I >= 0; --I)
+      Changed |= Try([I](Module &M2, KernelFunction &K2) {
+        return unwrapForAt(M2, K2, I);
+      });
+
+    // Pass 3: else removal, then whole-if unwrapping.
+    for (int I = 8; I >= 0; --I)
+      Changed |= Try([I](Module &, KernelFunction &K2) {
+        return unwrapIfAt(K2, I, /*DropElseOnly=*/true);
+      });
+    for (int I = 8; I >= 0; --I)
+      Changed |= Try([I](Module &, KernelFunction &K2) {
+        return unwrapIfAt(K2, I, /*DropElseOnly=*/false);
+      });
+
+    // Pass 4: expression shrinking. Ordinal space is rebuilt per parse;
+    // sweep a generous fixed range front to back (hoisting a child can
+    // expose new shrinks, caught by the outer fixed point).
+    for (int I = 0; I < 48; ++I)
+      for (int Choice = 0; Choice < 2; ++Choice)
+        Changed |= Try([I, Choice](Module &M2, KernelFunction &K2) {
+          return shrinkExprAt(M2, K2, I, Choice);
+        });
+
+    // Pass 5: drop now-unused parameters.
+    Changed |= Try([](Module &, KernelFunction &K2) {
+      return dropUnusedParams(K2);
+    });
+  }
+  return Current;
+}

@@ -1,0 +1,51 @@
+//===-- fuzz/Reducer.h - Failing-kernel minimization ------------*- C++ -*-===//
+//
+// Part of the gpuc project: a reproduction of "A GPGPU Compiler for Memory
+// Optimization and Parallelism Management" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Greedy delta-debugging over the naive-kernel dialect: a failing kernel
+/// is re-parsed, candidate deletions/simplifications are applied one at a
+/// time, and an edit is kept whenever the caller's predicate confirms the
+/// failure still reproduces on the re-printed source. Passes (in order):
+/// statement deletion, loop unwrapping (iterator substituted with its
+/// initial value), if unwrapping / else removal, expression shrinking
+/// (operand hoisting, call unwrapping, load-to-literal), and unused
+/// parameter removal. Runs to a fixed point; every intermediate candidate
+/// is a well-formed dialect program, so the minimized repro is directly
+/// replayable with gpuc-fuzz --check.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUC_FUZZ_REDUCER_H
+#define GPUC_FUZZ_REDUCER_H
+
+#include <functional>
+#include <string>
+
+namespace gpuc {
+
+/// \returns true when the candidate source still reproduces the failure
+/// being minimized (parse failures must return false).
+using FailurePredicate = std::function<bool(const std::string &Source)>;
+
+struct ReduceStats {
+  /// Candidate edits tried / kept.
+  int Attempts = 0;
+  int Accepted = 0;
+  /// Full pass cycles until the fixed point.
+  int Rounds = 0;
+};
+
+/// Minimizes \p Source under \p StillFails. The input is assumed to fail
+/// (callers check before invoking); the result is the smallest source the
+/// greedy passes reach, never larger than the input.
+std::string reduceKernelSource(const std::string &Source,
+                               const FailurePredicate &StillFails,
+                               ReduceStats *Stats = nullptr);
+
+} // namespace gpuc
+
+#endif // GPUC_FUZZ_REDUCER_H

@@ -1,0 +1,10 @@
+#pragma gpuc output(c)
+#pragma gpuc bind(w=48)
+#pragma gpuc domain(48,48)
+__global__ void k12(float a[48][48], float b[48][48], float c[48][48], int w) {
+  float sum = 0.0f;
+  for (int i = 0; i < w; i = i + 1) {
+    sum += (a[idy][i]+b[i][idx]);
+  }
+  c[idy][idx] = (sum+sum);
+}

@@ -1,0 +1,10 @@
+#pragma gpuc output(c)
+#pragma gpuc bind(n=112)
+#pragma gpuc domain(112,1)
+__global__ void k9(float a[112][112], float x[112], float c[112], int n) {
+  float sum = 0.0f;
+  for (int i = 0; i < n; i = i + 1) {
+    sum += (a[idx][i]*x[i]);
+  }
+  c[idx] = (sum+sum);
+}

@@ -1,0 +1,6 @@
+#pragma gpuc output(c)
+#pragma gpuc domain(144,1)
+__global__ void k3(float a[288], float x[144], float c[288]) {
+  c[(2*idx)] = fmaxf(a[(2*idx)], x[idx]);
+  c[((2*idx)+1)] = a[((2*idx)+1)];
+}

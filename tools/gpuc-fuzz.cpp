@@ -1,0 +1,176 @@
+//===-- tools/gpuc-fuzz.cpp - Differential kernel fuzzer ------------------===//
+//
+// Part of the gpuc project: a reproduction of "A GPGPU Compiler for Memory
+// Optimization and Parallelism Management" (PLDI 2010).
+//
+// Translation validation by fuzzing: generate random well-typed naive
+// kernels, push each through the full optimization pipeline, and execute
+// every variant the design-space search produces against the naive kernel
+// on randomized inputs. Failures are minimized to a small replayable .cu
+// repro plus a machine-readable .json record.
+//
+//   gpuc-fuzz --seeds=500                 # fuzz seeds 0..499
+//   gpuc-fuzz --seed=41 --print           # show one generated kernel
+//   gpuc-fuzz --seed=41 --repro=r.cu      # save it for replay
+//   gpuc-fuzz --check=fuzz-out/seed41.cu  # re-run the oracle on a repro
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzzer.h"
+#include "fuzz/KernelGen.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+using namespace gpuc;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: gpuc-fuzz [options]\n"
+      "  --seeds=N                 number of seeds to fuzz (default 100)\n"
+      "  --seed=N                  first seed (default 0); the only seed\n"
+      "                            for --print / --repro\n"
+      "  --jobs=N                  concurrent seeds (default: hardware)\n"
+      "  --out=DIR                 failure artifact directory (default\n"
+      "                            fuzz-out; seedN.cu + seedN.json)\n"
+      "  --no-reduce               keep failing kernels unminimized\n"
+      "  --device=gtx280|gtx8800|hd5870  target machine description\n"
+      "  --print                   print the kernel --seed generates\n"
+      "  --repro=FILE              write that kernel to FILE and exit\n"
+      "  --check=FILE              parse FILE and run the differential\n"
+      "                            oracle on it (replay a repro)\n"
+      "  --quiet                   suppress per-seed progress lines\n");
+}
+
+int checkFile(const char *Path, const OracleOptions &Opt) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "gpuc-fuzz: error: cannot open '%s'\n", Path);
+    return 1;
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+
+  OracleResult R;
+  std::string ParseErrs;
+  if (!checkKernelSource(SS.str(), Opt, R, ParseErrs)) {
+    std::fprintf(stderr, "gpuc-fuzz: parse failed:\n%s", ParseErrs.c_str());
+    return 1;
+  }
+  if (R.Passed) {
+    std::printf("%s: ok (%d variants, %s compare, best b%d t%d)\n", Path,
+                R.VariantsChecked, R.ExactCompare ? "exact" : "ulp",
+                R.BestBlockN, R.BestThreadM);
+    return 0;
+  }
+  for (const OracleFailure &F : R.Failures) {
+    std::printf("%s: FAIL %s variant '%s' (b%d t%d) at stage '%s'\n", Path,
+                failureKindName(F.FailKind), F.Variant.c_str(), F.BlockN,
+                F.ThreadM, F.Stage.c_str());
+    if (F.FailKind == OracleFailure::Kind::Mismatch)
+      std::printf("  %lld bad elements in '%s'; first at [%lld]: "
+                  "want %.9g got %.9g\n",
+                  F.MismatchCount, F.Array.c_str(), F.FirstBadIndex,
+                  static_cast<double>(F.Want), static_cast<double>(F.Got));
+    if (!F.Detail.empty())
+      std::printf("  %s\n", F.Detail.c_str());
+  }
+  return 1;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  FuzzOptions Opt;
+  Opt.NumSeeds = 100;
+  Opt.OutDir = "fuzz-out";
+  bool Print = false, Quiet = false;
+  const char *ReproPath = nullptr;
+  const char *CheckPath = nullptr;
+
+  for (int I = 1; I < argc; ++I) {
+    const char *Arg = argv[I];
+    if (std::strncmp(Arg, "--seeds=", 8) == 0)
+      Opt.NumSeeds = static_cast<unsigned>(std::atoll(Arg + 8));
+    else if (std::strncmp(Arg, "--seed=", 7) == 0)
+      Opt.FirstSeed = static_cast<unsigned>(std::atoll(Arg + 7));
+    else if (std::strncmp(Arg, "--jobs=", 7) == 0)
+      Opt.Jobs = std::atoi(Arg + 7);
+    else if (std::strncmp(Arg, "--out=", 6) == 0)
+      Opt.OutDir = Arg + 6;
+    else if (std::strcmp(Arg, "--no-reduce") == 0)
+      Opt.ReduceFailures = false;
+    else if (std::strcmp(Arg, "--device=gtx8800") == 0)
+      Opt.Oracle.Compile.Device = DeviceSpec::gtx8800();
+    else if (std::strcmp(Arg, "--device=gtx280") == 0)
+      Opt.Oracle.Compile.Device = DeviceSpec::gtx280();
+    else if (std::strcmp(Arg, "--device=hd5870") == 0)
+      Opt.Oracle.Compile.Device = DeviceSpec::hd5870();
+    else if (std::strcmp(Arg, "--print") == 0)
+      Print = true;
+    else if (std::strncmp(Arg, "--repro=", 8) == 0)
+      ReproPath = Arg + 8;
+    else if (std::strncmp(Arg, "--check=", 8) == 0)
+      CheckPath = Arg + 8;
+    else if (std::strcmp(Arg, "--quiet") == 0)
+      Quiet = true;
+    else if (std::strcmp(Arg, "--help") == 0) {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "gpuc-fuzz: error: unknown option '%s'\n", Arg);
+      usage();
+      return 1;
+    }
+  }
+
+  if (CheckPath)
+    return checkFile(CheckPath, Opt.Oracle);
+
+  if (Print || ReproPath) {
+    // Deterministic replay: the same --seed regenerates the same bytes.
+    KernelGen Gen(Opt.FirstSeed);
+    GeneratedKernel GK = Gen.generate();
+    if (Print)
+      std::printf("// seed %u, shape %s\n%s", Opt.FirstSeed,
+                  GK.Shape.c_str(), GK.Source.c_str());
+    if (ReproPath) {
+      std::ofstream Out(ReproPath);
+      if (!Out) {
+        std::fprintf(stderr, "gpuc-fuzz: error: cannot write '%s'\n",
+                     ReproPath);
+        return 1;
+      }
+      Out << GK.Source;
+    }
+    return 0;
+  }
+
+  FuzzSummary Sum = runFuzz(Opt, Quiet ? nullptr : &std::cerr);
+
+  std::string Shapes;
+  for (const auto &[Shape, Count] : Sum.ShapeCounts)
+    Shapes += strFormat(" %s=%d", Shape.c_str(), Count);
+  std::printf("gpuc-fuzz: %d cases: %d passed, %d duplicates, %d failed; "
+              "%lld variants checked; shapes:%s\n",
+              Sum.Cases, Sum.Passed, Sum.Duplicates, Sum.Failed,
+              Sum.VariantsChecked, Shapes.c_str());
+  for (const FuzzCase &C : Sum.Failures) {
+    std::printf("seed %u: %s variant '%s' at stage '%s' (%s, reduced to %d "
+                "lines)\n",
+                C.Seed, failureKindName(C.Failure.FailKind),
+                C.Failure.Variant.c_str(), C.Failure.Stage.c_str(),
+                C.Shape.c_str(), countCodeLines(C.Reduced));
+    if (!Opt.OutDir.empty())
+      std::printf("  repro: %s/seed%u.cu (+.json)\n", Opt.OutDir.c_str(),
+                  C.Seed);
+  }
+  return Sum.Failed == 0 ? 0 : 1;
+}
