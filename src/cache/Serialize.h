@@ -1,0 +1,105 @@
+//===-- cache/Serialize.h - Versioned binary (de)serialization --*- C++ -*-===//
+//
+// Part of the gpuc project: a reproduction of "A GPGPU Compiler for Memory
+// Optimization and Parallelism Management" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fixed-width little-endian binary format for the disk cache's
+/// payloads. Every reader is bounds-checked and sticky-failing: a
+/// truncated or garbled payload flips the reader's fail bit and every
+/// subsequent read returns a default value, so decoding a corrupt entry
+/// can never crash or read out of bounds — the caller observes failed()
+/// and falls back to recomputation.
+///
+/// Payload kinds:
+///   - PerfResult      one memoized performance simulation (sim/SimCache)
+///   - CachedCompile   the winner of one full design-space search: the
+///                     emitted kernel text plus the selected merge factors
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUC_CACHE_SERIALIZE_H
+#define GPUC_CACHE_SERIALIZE_H
+
+#include "sim/Simulator.h"
+
+#include <cstdint>
+#include <string>
+
+namespace gpuc {
+
+/// Appends fixed-width little-endian fields to a byte buffer.
+class ByteWriter {
+public:
+  void u8(uint8_t V) { Buf.push_back(static_cast<char>(V)); }
+  void u32(uint32_t V);
+  void u64(uint64_t V);
+  void i64(int64_t V) { u64(static_cast<uint64_t>(V)); }
+  void f64(double V);
+  /// Length-prefixed byte string.
+  void str(const std::string &S);
+
+  const std::string &buffer() const { return Buf; }
+
+private:
+  std::string Buf;
+};
+
+/// Bounds-checked reader over a byte buffer; any out-of-range read sets
+/// the sticky fail bit and yields zero values from then on.
+class ByteReader {
+public:
+  ByteReader(const void *Data, size_t Len)
+      : P(static_cast<const uint8_t *>(Data)), End(P + Len) {}
+  explicit ByteReader(const std::string &S) : ByteReader(S.data(), S.size()) {}
+
+  uint8_t u8();
+  uint32_t u32();
+  uint64_t u64();
+  int64_t i64() { return static_cast<int64_t>(u64()); }
+  double f64();
+  std::string str();
+
+  bool failed() const { return Fail; }
+  /// True when every byte was consumed and nothing failed — the format is
+  /// self-delimiting, so trailing garbage also marks an entry corrupt.
+  bool atCleanEnd() const { return !Fail && P == End; }
+
+private:
+  bool take(size_t N, const uint8_t *&Out);
+
+  const uint8_t *P;
+  const uint8_t *End;
+  bool Fail = false;
+};
+
+/// The winner of one full design-space search, reusable without re-running
+/// the search (gpucc's warm fast path). KernelText is the CUDA print of
+/// the selected variant; the cross-dialect prints re-derive from a full
+/// compile.
+struct CachedCompile {
+  std::string KernelText;
+  int BlockMergeN = 1;
+  int ThreadMergeM = 1;
+  /// The winner's simulated time, for reports on the warm path.
+  double TimeMs = 0;
+};
+
+void encodePerfResult(ByteWriter &W, const PerfResult &R);
+/// \returns false (leaving \p R partially filled) on malformed input.
+bool decodePerfResult(ByteReader &R, PerfResult &Out);
+
+void encodeCachedCompile(ByteWriter &W, const CachedCompile &E);
+bool decodeCachedCompile(ByteReader &R, CachedCompile &Out);
+
+/// Maps a deserialized occupancy-limiter name back onto a stable
+/// `const char *`. Known limiter names (sim/Occupancy.cpp) come back as
+/// the usual static strings; unknown ones are interned into a process-
+/// lifetime table so the pointer stays valid wherever the PerfResult goes.
+const char *internLimiterName(const std::string &Name);
+
+} // namespace gpuc
+
+#endif // GPUC_CACHE_SERIALIZE_H

@@ -3,7 +3,10 @@
 #include "core/Compiler.h"
 
 #include "ast/Clone.h"
+#include "ast/Hash.h"
+#include "ast/Printer.h"
 #include "ast/Verifier.h"
+#include "cache/DiskCache.h"
 #include "core/BlockMerge.h"
 #include "core/Coalescing.h"
 #include "core/ConstantFold.h"
@@ -64,6 +67,25 @@ bool needsTransposeTile(KernelFunction &K) {
 }
 
 } // namespace
+
+uint64_t gpuc::compileCacheKey(const KernelFunction &Naive,
+                               const CompileOptions &Opt) {
+  uint64_t H = hashKernel(Naive);
+  H = hashCombine(H, hashDevice(Opt.Device));
+  H = hashCombine(H, hashPerfOptions(Opt.Perf));
+  uint64_t Flags = 0;
+  Flags |= Opt.Vectorize ? 1u << 0 : 0;
+  Flags |= Opt.Coalesce ? 1u << 1 : 0;
+  Flags |= Opt.Merge ? 1u << 2 : 0;
+  Flags |= Opt.Prefetch ? 1u << 3 : 0;
+  Flags |= Opt.PartitionElim ? 1u << 4 : 0;
+  Flags |= Opt.Fold ? 1u << 5 : 0;
+  Flags |= Opt.Verify ? 1u << 6 : 0;
+  // Pruning provably never changes the winner (test-enforced), but keying
+  // on it is free and keeps the entry's provenance unambiguous.
+  Flags |= Opt.ExhaustiveSearch ? 1u << 7 : 0;
+  return hashCombine(H, Flags);
+}
 
 const std::vector<const char *> &gpuc::pipelineStageNames() {
   static const std::vector<const char *> Names = {
@@ -241,8 +263,14 @@ CompileOutput GpuCompiler::compile(const KernelFunction &Naive,
 
   SimCache LocalCache;
   SimCache *Cache = Opt.Cache ? Opt.Cache : &LocalCache;
+  // Wire the persistent tier under whichever memo table this search uses;
+  // a caller-provided cache gets its previous wiring back afterwards.
+  SimCacheBackend *PrevBackend = Cache->backend();
+  if (Opt.Disk)
+    Cache->setBackend(Opt.Disk);
   const uint64_t Hits0 = Cache->hits();
   const uint64_t Misses0 = Cache->misses();
+  const uint64_t DiskHits0 = Cache->diskHits();
   Simulator Sim(Opt.Device);
   Sim.setCache(Cache);
 
@@ -388,9 +416,42 @@ CompileOutput GpuCompiler::compile(const KernelFunction &Naive,
     Out.Search.Infeasible += C.OccInfeasible ? 1 : 0;
     Out.Search.CompileMs += C.CompileWallMs;
     Out.Search.SimMs += C.SimWallMs;
+    Out.Search.CritPathMs = std::max(Out.Search.CritPathMs,
+                                     C.CompileWallMs + C.SimWallMs);
   }
   Out.Search.CacheHits = Cache->hits() - Hits0;
   Out.Search.CacheMisses = Cache->misses() - Misses0;
+  Out.Search.DiskHits = Cache->diskHits() - DiskHits0;
   Out.Search.WallMs = SearchWall.elapsedMs();
+
+  // Persist the search's winner (text + factors) so a later process can
+  // reuse it without re-searching. Only diagnostics-clean compilations are
+  // stored: a warm consumer that skips the search must not silently drop
+  // warnings a cold run would have printed. If a warm entry already exists
+  // it must match what this full search just produced — a mismatch means a
+  // stale or foreign entry (the schema version should have been bumped),
+  // and the freshly computed result overwrites it, so cached and uncached
+  // runs can never diverge.
+  if (Opt.Disk && Out.Best && Out.BestVariant.Feasible &&
+      !Diags.hasErrors() && !Diags.hasWarnings()) {
+    const uint64_t TextKey = compileCacheKey(Naive, Opt);
+    CachedCompile Entry;
+    Entry.KernelText = printKernel(*Out.Best);
+    Entry.BlockMergeN = Out.BestVariant.BlockMergeN;
+    Entry.ThreadMergeM = Out.BestVariant.ThreadMergeM;
+    Entry.TimeMs = Out.BestVariant.Perf.TimeMs;
+    CachedCompile Existing;
+    if (!Opt.Disk->loadText(TextKey, Existing)) {
+      Opt.Disk->storeText(TextKey, Entry);
+    } else if (Existing.KernelText != Entry.KernelText ||
+               Existing.BlockMergeN != Entry.BlockMergeN ||
+               Existing.ThreadMergeM != Entry.ThreadMergeM) {
+      Out.Log += "disk cache: stale winner entry replaced (cross-check "
+                 "mismatch)\n";
+      Opt.Disk->storeText(TextKey, Entry);
+    }
+  }
+  if (Opt.Disk && Opt.Cache)
+    Cache->setBackend(PrevBackend);
   return Out;
 }

@@ -35,6 +35,8 @@
 
 namespace gpuc {
 
+class DiskCache;
+
 /// Observer invoked after each pipeline stage of compileVariant with the
 /// stage's name and the (mutable) kernel as transformed so far. Installed
 /// by the sanitizer layer (analysis/Sanitizer.h) to race-check and lint
@@ -78,6 +80,12 @@ struct CompileOptions {
   /// External memo table for performance runs shared across compilations;
   /// null uses a search-private cache (see sim/SimCache.h).
   SimCache *Cache = nullptr;
+  /// Persistent second tier (cache/DiskCache). When set, performance runs
+  /// fall through to disk via the SimCache, and the search's winner text
+  /// is stored/cross-checked under compileCacheKey. Null disables disk
+  /// caching. The cache is bit-transparent: cached and uncached searches
+  /// emit identical text and pick identical winners (test-enforced).
+  DiskCache *Disk = nullptr;
   /// Sampling profile for the search's full performance runs (candidate
   /// probes always use PerfOptions::lowerBoundProbe()). The default
   /// work-normalized profile keeps heavily merged variants as cheap to
@@ -121,14 +129,22 @@ struct SearchStats {
   /// Candidates skipped by the lower-bound threshold.
   int Pruned = 0;
   int Infeasible = 0;
-  /// SimCache traffic attributable to this search.
+  /// SimCache traffic attributable to this search: in-memory hits, misses
+  /// in both tiers, and memory misses served by the disk tier.
   uint64_t CacheHits = 0;
   uint64_t CacheMisses = 0;
-  /// End-to-end search wall-clock, and the per-task compile/simulate time
-  /// summed across lanes (exceeds WallMs when lanes overlap).
+  uint64_t DiskHits = 0;
+  /// End-to-end search wall-clock.
   double WallMs = 0;
+  /// Per-task compile/simulate time SUMMED ACROSS LANES — an aggregate
+  /// work measure that exceeds WallMs whenever lanes overlap (never
+  /// compare it against wall-clock).
   double CompileMs = 0;
   double SimMs = 0;
+  /// Critical-path estimate: the longest single-candidate compile +
+  /// simulate chain. A lower bound on any schedule's wall-clock, and the
+  /// number to set against WallMs.
+  double CritPathMs = 0;
 };
 
 /// Result of a full compilation.
@@ -145,6 +161,14 @@ struct CompileOutput {
   /// keeps every KernelFunction* in Variants alive).
   std::vector<std::shared_ptr<Module>> OwnedModules;
 };
+
+/// Content address of one full design-space search: the naive kernel's
+/// alpha-invariant structural hash ⊕ the DeviceSpec ⊕ every pipeline and
+/// sampling option that can influence the winner. Lane count, hooks and
+/// cache wiring are deliberately excluded — they never change the result
+/// (test-enforced), so warm lookups are independent of them.
+uint64_t compileCacheKey(const KernelFunction &Naive,
+                         const CompileOptions &Opt);
 
 /// The optimizing compiler.
 class GpuCompiler {

@@ -67,12 +67,16 @@ std::string gpuc::searchStatsReport(const CompileOutput &Out) {
                   "pruned=%d  infeasible=%d\n",
                   S.Jobs, S.Candidates, S.Simulated, S.Probed, S.Pruned,
                   S.Infeasible);
-  OS << strFormat("  sim cache: %llu hits, %llu misses\n",
+  OS << strFormat("  sim cache: %llu memory hits, %llu disk hits, "
+                  "%llu misses\n",
                   static_cast<unsigned long long>(S.CacheHits),
+                  static_cast<unsigned long long>(S.DiskHits),
                   static_cast<unsigned long long>(S.CacheMisses));
-  OS << strFormat("  wall %.3f ms (compile %.3f ms, simulate %.3f ms "
-                  "summed over lanes)\n",
-                  S.WallMs, S.CompileMs, S.SimMs);
+  OS << strFormat("  wall %.3f ms, critical path %.3f ms\n", S.WallMs,
+                  S.CritPathMs);
+  OS << strFormat("  lane-summed aggregates: compile %.3f ms, simulate "
+                  "%.3f ms (exceed wall when lanes overlap)\n",
+                  S.CompileMs, S.SimMs);
   return OS.str();
 }
 

@@ -65,13 +65,29 @@ bool SimCache::lookup(uint64_t Key, PerfResult &Out) {
       return true;
     }
   }
+  // Second tier, outside the lock: backend loads do file I/O. Two threads
+  // may both miss here and recompute; the first insert wins, as always.
+  if (SimCacheBackend *B = Backend.load()) {
+    if (B->load(Key, Out)) {
+      DiskHits.fetch_add(1);
+      // Promote into memory without writing back to the tier the result
+      // just came from.
+      std::lock_guard<std::mutex> L(Mu);
+      Entries.emplace(Key, Out);
+      return true;
+    }
+  }
   Misses.fetch_add(1);
   return false;
 }
 
 void SimCache::insert(uint64_t Key, const PerfResult &Result) {
-  std::lock_guard<std::mutex> L(Mu);
-  Entries.emplace(Key, Result);
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    Entries.emplace(Key, Result);
+  }
+  if (SimCacheBackend *B = Backend.load())
+    B->store(Key, Result);
 }
 
 size_t SimCache::size() const {
@@ -84,4 +100,5 @@ void SimCache::clear() {
   Entries.clear();
   Hits.store(0);
   Misses.store(0);
+  DiskHits.store(0);
 }

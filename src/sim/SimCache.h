@@ -18,6 +18,13 @@
 /// The cache is thread-safe; the parallel search shares one instance
 /// across variant-simulation tasks.
 ///
+/// The table is two-tier: an optional SimCacheBackend (cache/DiskCache is
+/// the persistent implementation) backs the in-memory map. A memory miss
+/// falls through to the backend; a backend hit is promoted into memory; a
+/// fresh insert is written through to the backend. The backend must be
+/// thread-safe and may be shared by several SimCache instances and by
+/// other processes.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GPUC_SIM_SIMCACHE_H
@@ -45,26 +52,57 @@ uint64_t hashPerfOptions(const PerfOptions &Options);
 uint64_t simCacheKey(const KernelFunction &K, const DeviceSpec &Dev,
                      const PerfOptions &Options);
 
-/// Thread-safe memo table for performance runs, with hit/miss counters.
+/// A persistent (or otherwise external) second tier behind SimCache.
+/// Implementations must be thread-safe; load/store failures must degrade
+/// to misses/no-ops, never to errors observable by the search.
+class SimCacheBackend {
+public:
+  virtual ~SimCacheBackend() = default;
+
+  /// \returns true and fills \p Out when the backend holds \p Key.
+  virtual bool load(uint64_t Key, PerfResult &Out) = 0;
+
+  /// Persists \p Result under \p Key (idempotent; concurrent stores of
+  /// one key write identical content).
+  virtual void store(uint64_t Key, const PerfResult &Result) = 0;
+};
+
+/// Thread-safe memo table for performance runs, with hit/miss counters
+/// and an optional persistent second tier.
 class SimCache {
 public:
-  /// \returns true and fills \p Out when \p Key is present.
+  /// \returns true and fills \p Out when \p Key is present in memory or
+  /// in the backend (backend hits are promoted into memory).
   bool lookup(uint64_t Key, PerfResult &Out);
 
-  /// Records \p Result under \p Key (first write wins).
+  /// Records \p Result under \p Key (first write wins) and writes it
+  /// through to the backend.
   void insert(uint64_t Key, const PerfResult &Result);
 
+  /// Attaches the second tier (null detaches). Attach before sharing the
+  /// cache across threads; the pointer itself is read atomically.
+  void setBackend(SimCacheBackend *B) { Backend.store(B); }
+  SimCacheBackend *backend() const { return Backend.load(); }
+
+  /// In-memory hits.
   uint64_t hits() const { return Hits.load(); }
+  /// Misses in both tiers (a backend hit is neither a hit() nor a miss()).
   uint64_t misses() const { return Misses.load(); }
+  /// Memory misses answered by the backend.
+  uint64_t diskHits() const { return DiskHits.load(); }
   size_t size() const;
 
+  /// Drops the in-memory tier and resets counters; the backend's contents
+  /// are untouched (a persistent cache outlives any one process).
   void clear();
 
 private:
   mutable std::mutex Mu;
   std::unordered_map<uint64_t, PerfResult> Entries;
+  std::atomic<SimCacheBackend *> Backend{nullptr};
   std::atomic<uint64_t> Hits{0};
   std::atomic<uint64_t> Misses{0};
+  std::atomic<uint64_t> DiskHits{0};
 };
 
 } // namespace gpuc

@@ -3,8 +3,14 @@
 #include "support/StringUtils.h"
 
 #include <cstdio>
+#include <cstdlib>
 
 using namespace gpuc;
+
+std::string gpuc::envOr(const char *Name, const std::string &Default) {
+  const char *V = std::getenv(Name);
+  return V && *V ? std::string(V) : Default;
+}
 
 std::string gpuc::strFormat(const char *Fmt, ...) {
   va_list Args;

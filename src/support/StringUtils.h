@@ -32,6 +32,9 @@ std::string trimString(const std::string &S);
 /// \returns true if \p S begins with \p Prefix.
 bool startsWith(const std::string &S, const std::string &Prefix);
 
+/// The environment variable \p Name, or \p Default when unset or empty.
+std::string envOr(const char *Name, const std::string &Default);
+
 /// Counts the non-empty, non-brace-only source lines of a kernel body, the
 /// measure the paper's Table 1 uses for naive-kernel complexity.
 int countCodeLines(const std::string &Source);

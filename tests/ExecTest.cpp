@@ -14,6 +14,7 @@
 #include "ast/Hash.h"
 #include "ast/Printer.h"
 #include "baselines/NaiveKernels.h"
+#include "cache/DiskCache.h"
 #include "core/Compiler.h"
 #include "exec/ThreadPool.h"
 #include "sim/SimCache.h"
@@ -21,6 +22,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <filesystem>
 #include <numeric>
 #include <stdexcept>
 #include <tuple>
@@ -327,3 +329,120 @@ INSTANTIATE_TEST_SUITE_P(Table1, SearchDeterminism,
                          [](const ::testing::TestParamInfo<Algo> &Info) {
                            return std::string(algoInfo(Info.param).Name);
                          });
+
+//===----------------------------------------------------------------------===//
+// Shared disk cache under concurrency
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// RAII temp cache directory.
+struct TempCacheDir {
+  std::string Path = DiskCache::makeTempDir("gpuc-exec-test");
+  ~TempCacheDir() {
+    std::error_code EC;
+    std::filesystem::remove_all(Path, EC);
+  }
+};
+
+} // namespace
+
+TEST(DiskCacheConcurrency, HammeredSharedDirectoryStaysConsistent) {
+  // Many lanes across two DiskCache instances (two processes, as far as
+  // the cache can tell) racing to publish and read the same keys: every
+  // load is either a miss or the exact stored value; nothing corrupts.
+  TempCacheDir Tmp;
+  DiskCache A(Tmp.Path), B(Tmp.Path);
+  ASSERT_TRUE(A.valid());
+  ASSERT_TRUE(B.valid());
+
+  constexpr uint64_t Keys = 16;
+  auto makeResult = [](uint64_t Key) {
+    PerfResult R;
+    R.Valid = true;
+    R.TimeMs = 0.5 + static_cast<double>(Key);
+    R.Stats.Transactions = static_cast<double>(Key * 3);
+    return R;
+  };
+
+  ThreadPool Pool(8);
+  std::atomic<int> BadLoads{0};
+  Pool.parallelFor(256, [&](size_t I) {
+    uint64_t Key = I % Keys;
+    DiskCache &C = (I / Keys) % 2 ? A : B;
+    if (I % 3 == 0)
+      C.store(Key, makeResult(Key));
+    PerfResult Out;
+    if (C.load(Key, Out) &&
+        (Out.TimeMs != makeResult(Key).TimeMs ||
+         Out.Stats.Transactions != makeResult(Key).Stats.Transactions))
+      BadLoads.fetch_add(1);
+  });
+
+  EXPECT_EQ(BadLoads.load(), 0) << "a load returned a foreign value";
+  EXPECT_EQ(A.stats().Corrupt + B.stats().Corrupt, 0u);
+  EXPECT_EQ(A.stats().WriteErrors + B.stats().WriteErrors, 0u);
+  // After the dust settles every key is present and intact.
+  for (uint64_t Key = 0; Key < Keys; ++Key) {
+    PerfResult Out;
+    ASSERT_TRUE(A.load(Key, Out)) << "key " << Key;
+    EXPECT_DOUBLE_EQ(Out.TimeMs, makeResult(Key).TimeMs);
+  }
+}
+
+TEST(DiskCacheConcurrency, WarmSecondInstanceMatchesSerialColdRun) {
+  // The satellite invariant: a parallel search writing through to a shared
+  // cache dir, then a second instance reading it warm, must both emit
+  // byte-identical text to a serial run with no disk cache at all.
+  TempCacheDir Tmp;
+
+  SearchSnapshot Plain = runSearch(Algo::MM, /*Jobs=*/1);
+
+  auto diskSearch = [&](DiskCache &Disk, int Jobs) {
+    Module M;
+    DiagnosticsEngine D;
+    KernelFunction *Naive = parseNaive(M, Algo::MM, testSize(Algo::MM), D);
+    EXPECT_NE(Naive, nullptr) << D.str();
+    GpuCompiler GC(M, D);
+    CompileOptions Opt;
+    Opt.Jobs = Jobs;
+    SimCache Mem;
+    Mem.setBackend(&Disk);
+    Opt.Cache = &Mem;
+    Opt.Disk = &Disk;
+    return GC.compile(*Naive, Opt);
+  };
+
+  DiskCache Cold(Tmp.Path);
+  CompileOutput ColdOut = diskSearch(Cold, /*Jobs=*/8);
+  ASSERT_NE(ColdOut.Best, nullptr);
+  EXPECT_EQ(printKernel(*ColdOut.Best), Plain.BestText)
+      << "disk-backed parallel search diverged from the plain serial one";
+  EXPECT_GT(Cold.stats().Writes, 0u);
+
+  // "Second process": a fresh DiskCache and a fresh memory tier.
+  DiskCache Warm(Tmp.Path);
+  CompileOutput WarmOut = diskSearch(Warm, /*Jobs=*/8);
+  ASSERT_NE(WarmOut.Best, nullptr);
+  EXPECT_EQ(printKernel(*WarmOut.Best), Plain.BestText)
+      << "warm search diverged from the cold one";
+  EXPECT_EQ(WarmOut.BestVariant.BlockMergeN, ColdOut.BestVariant.BlockMergeN);
+  EXPECT_EQ(WarmOut.BestVariant.ThreadMergeM, ColdOut.BestVariant.ThreadMergeM);
+  EXPECT_EQ(WarmOut.BestVariant.Perf.TimeMs, ColdOut.BestVariant.Perf.TimeMs);
+  EXPECT_GT(WarmOut.Search.DiskHits, 0u)
+      << "warm search re-simulated instead of hitting the shared cache";
+  EXPECT_EQ(Warm.stats().SimMisses, 0u)
+      << "warm search missed entries the cold search should have written";
+}
+
+TEST(SearchStatsInvariants, CriticalPathNeverExceedsLaneSums) {
+  // The stats must be self-consistent on every lane count: the critical
+  // path bounds the wall-clock contribution of the slowest chain and can
+  // never exceed the lane-summed aggregate work.
+  for (int Jobs : {1, 8}) {
+    SearchSnapshot S = runSearch(Algo::MM, Jobs);
+    EXPECT_GT(S.Stats.CritPathMs, 0) << "jobs=" << Jobs;
+    EXPECT_LE(S.Stats.CritPathMs, S.Stats.CompileMs + S.Stats.SimMs)
+        << "jobs=" << Jobs;
+  }
+}

@@ -9,9 +9,13 @@
 
 #include "ast/Printer.h"
 #include "baselines/NaiveKernels.h"
+#include "cache/DiskCache.h"
 #include "core/Compiler.h"
+#include "sim/SimCache.h"
 
 #include <gtest/gtest.h>
+
+#include <filesystem>
 
 using namespace gpuc;
 
@@ -140,3 +144,106 @@ TEST(Golden, PrefetchedMmMatchesFigure8Shape) {
             std::string::npos)
       << Got;
 }
+
+//===----------------------------------------------------------------------===//
+// Disk-cache transparency over the full Table 1 suite
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+long long searchSize(Algo A) {
+  switch (A) {
+  case Algo::RD:
+  case Algo::CRD:
+  case Algo::VV:
+    return 4096;
+  case Algo::CONV:
+  case Algo::STRSM:
+    return 64;
+  default:
+    return 128;
+  }
+}
+
+/// What the cache must reproduce exactly: the emitted text and the
+/// search's winner.
+struct WinnerSnapshot {
+  std::string Text;
+  int BlockN = 0, ThreadM = 0;
+  double TimeMs = 0;
+  uint64_t DiskHits = 0;
+
+  bool operator==(const WinnerSnapshot &O) const {
+    return Text == O.Text && BlockN == O.BlockN && ThreadM == O.ThreadM &&
+           TimeMs == O.TimeMs;
+  }
+};
+
+WinnerSnapshot searchWinner(Algo A, DiskCache *Disk) {
+  Module M;
+  DiagnosticsEngine D;
+  KernelFunction *Naive = parseNaive(M, A, searchSize(A), D);
+  EXPECT_NE(Naive, nullptr) << D.str();
+  WinnerSnapshot S;
+  if (!Naive)
+    return S;
+  GpuCompiler GC(M, D);
+  CompileOptions Opt;
+  Opt.Jobs = 1;
+  SimCache Mem;
+  Mem.setBackend(Disk);
+  Opt.Cache = &Mem;
+  Opt.Disk = Disk;
+  CompileOutput Out = GC.compile(*Naive, Opt);
+  EXPECT_NE(Out.Best, nullptr) << D.str() << Out.Log;
+  if (!Out.Best)
+    return S;
+  S.Text = printKernel(*Out.Best);
+  S.BlockN = Out.BestVariant.BlockMergeN;
+  S.ThreadM = Out.BestVariant.ThreadMergeM;
+  S.TimeMs = Out.BestVariant.Perf.TimeMs;
+  S.DiskHits = Out.Search.DiskHits;
+  return S;
+}
+
+} // namespace
+
+class GoldenCacheTransparency : public ::testing::TestWithParam<Algo> {};
+
+TEST_P(GoldenCacheTransparency, ColdWarmAndUncachedAgree) {
+  // The headline cache invariant, per paper kernel: a cold disk-backed
+  // search, a warm one in a fresh "process" (new DiskCache + new memory
+  // tier), and a fully uncached one all emit identical text and select
+  // the identical winner. The warm run must actually use the disk.
+  Algo A = GetParam();
+  std::string Dir = DiskCache::makeTempDir("gpuc-golden");
+
+  WinnerSnapshot Uncached = searchWinner(A, /*Disk=*/nullptr);
+
+  DiskCache Cold(Dir);
+  ASSERT_TRUE(Cold.valid());
+  WinnerSnapshot ColdRun = searchWinner(A, &Cold);
+  EXPECT_TRUE(ColdRun == Uncached)
+      << "cold cached search diverged from the uncached one";
+  EXPECT_EQ(ColdRun.DiskHits, 0u);
+  EXPECT_GT(Cold.stats().Writes, 0u);
+
+  DiskCache Warm(Dir);
+  WinnerSnapshot WarmRun = searchWinner(A, &Warm);
+  EXPECT_TRUE(WarmRun == Uncached)
+      << "warm cached search diverged from the uncached one";
+  EXPECT_GT(WarmRun.DiskHits, 0u)
+      << "warm search never touched the disk tier";
+  EXPECT_EQ(Warm.stats().SimMisses, 0u)
+      << "warm search missed entries the cold run should have written";
+  EXPECT_EQ(Warm.stats().Corrupt, 0u);
+
+  std::error_code EC;
+  std::filesystem::remove_all(Dir, EC);
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1, GoldenCacheTransparency,
+                         ::testing::ValuesIn(table1Algos()),
+                         [](const ::testing::TestParamInfo<Algo> &Info) {
+                           return std::string(algoInfo(Info.param).Name);
+                         });

@@ -13,14 +13,22 @@
 //   gpucc --device=gtx8800 kernel.cu     # hardware-specific tuning
 //   gpucc --block=16 --thread=16 k.cu    # fixed merge factors, no search
 //   gpucc --report --validate kernel.cu  # analysis + functional check
+//   gpucc --cache-dir=DIR kernel.cu      # persistent compile/sim cache
+//   gpucc --batch a.cu b.cu c.cu         # many kernels, shared cache
+//
+// With a cache directory (--cache-dir or $GPUC_CACHE_DIR), performance
+// simulations and search winners persist across processes; a warm
+// invocation emits byte-identical output to a cold one.
 //
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Sanitizer.h"
 #include "ast/Printer.h"
+#include "cache/DiskCache.h"
 #include "core/Coalescing.h"
 #include "core/Report.h"
 #include "core/Compiler.h"
+#include "exec/ThreadPool.h"
 #include "parser/Parser.h"
 #include "support/StringUtils.h"
 #include "support/Timer.h"
@@ -41,6 +49,7 @@ void usage() {
   std::fprintf(
       stderr,
       "usage: gpucc [options] <kernel.cu | ->\n"
+      "       gpucc --batch [options] <kernel.cu>...\n"
       "  --device=gtx280|gtx8800|hd5870  target machine description\n"
       "  --opencl                  emit OpenCL C instead of CUDA\n"
       "  --block=N --thread=M      fixed merge factors (skips the search)\n"
@@ -57,30 +66,39 @@ void usage() {
       "                            accesses\n"
       "  --Werror                  treat warnings as errors\n"
       "  --print-naive             echo the parsed naive kernel first\n"
-      "  --jobs=N                  lanes for the design-space search\n"
+      "  --jobs=N                  lanes for the design-space search, and\n"
+      "                            for --batch the concurrent compilations\n"
       "                            (default: hardware concurrency; 1 =\n"
       "                            serial; results are identical)\n"
       "  --no-prune                simulate every feasible variant instead\n"
       "                            of pruning by the lower-bound probe\n"
       "  --search-stats            print search counters (simulated vs.\n"
       "                            pruned, cache hits, wall-clock)\n"
-      "  --time-report             print per-phase wall-clock timing\n");
+      "  --time-report             print per-phase wall-clock timing\n"
+      "  --batch                   compile every input file, sharing one\n"
+      "                            cache; output and diagnostics are\n"
+      "                            printed in input order\n"
+      "  --cache-dir=DIR           persistent compile/sim cache directory\n"
+      "                            (default: $GPUC_CACHE_DIR if set)\n"
+      "  --no-disk-cache           ignore --cache-dir and $GPUC_CACHE_DIR\n"
+      "  --cache-stats[=FILE]      print disk-cache traffic to stderr and\n"
+      "                            optionally write it as JSON to FILE\n");
 }
 
-std::string readInput(const char *Path) {
-  if (std::strcmp(Path, "-") == 0) {
+bool readInputFile(const std::string &Path, std::string &Out) {
+  if (Path == "-") {
     std::ostringstream SS;
     SS << std::cin.rdbuf();
-    return SS.str();
+    Out = SS.str();
+    return true;
   }
   std::ifstream In(Path);
-  if (!In) {
-    std::fprintf(stderr, "gpucc: error: cannot open '%s'\n", Path);
-    std::exit(1);
-  }
+  if (!In)
+    return false;
   std::ostringstream SS;
   SS << In.rdbuf();
-  return SS.str();
+  Out = SS.str();
+  return true;
 }
 
 void fillRandomInputs(const KernelFunction &K, BufferSet &B) {
@@ -102,128 +120,146 @@ void printReport(KernelFunction &Naive, const CompileOutput &Out,
   std::fprintf(stderr, "%s", fullReport(Naive, Out, Dev).c_str());
 }
 
-} // namespace
-
-int main(int argc, char **argv) {
-  const char *Path = nullptr;
+/// Everything main() parses from argv.
+struct DriverOptions {
   CompileOptions Opt;
+  std::vector<std::string> Inputs;
   int BlockN = 0, ThreadM = 0;
   bool Report = false, Validate = false, PrintNaive = false;
   bool Sanitize = false, Lint = false, Werror = false;
   bool SearchStats = false, TimeReportFlag = false;
+  bool Batch = false;
+  bool NoDiskCache = false;
+  bool CacheStatsFlag = false;
+  std::string CacheStatsFile;
+  std::string CacheDir;
   PrintDialect Dialect = PrintDialect::Cuda;
 
-  for (int I = 1; I < argc; ++I) {
-    const char *Arg = argv[I];
-    if (std::strcmp(Arg, "--device=gtx8800") == 0)
-      Opt.Device = DeviceSpec::gtx8800();
-    else if (std::strcmp(Arg, "--device=gtx280") == 0)
-      Opt.Device = DeviceSpec::gtx280();
-    else if (std::strcmp(Arg, "--device=hd5870") == 0)
-      Opt.Device = DeviceSpec::hd5870();
-    else if (std::strcmp(Arg, "--opencl") == 0)
-      Dialect = PrintDialect::OpenCL;
-    else if (std::strncmp(Arg, "--block=", 8) == 0)
-      BlockN = std::atoi(Arg + 8);
-    else if (std::strncmp(Arg, "--thread=", 9) == 0)
-      ThreadM = std::atoi(Arg + 9);
-    else if (std::strcmp(Arg, "--no-vectorize") == 0)
-      Opt.Vectorize = false;
-    else if (std::strcmp(Arg, "--no-coalesce") == 0)
-      Opt.Coalesce = false;
-    else if (std::strcmp(Arg, "--no-merge") == 0)
-      Opt.Merge = false;
-    else if (std::strcmp(Arg, "--no-prefetch") == 0)
-      Opt.Prefetch = false;
-    else if (std::strcmp(Arg, "--no-partition") == 0)
-      Opt.PartitionElim = false;
-    else if (std::strcmp(Arg, "--no-fold") == 0)
-      Opt.Fold = false;
-    else if (std::strcmp(Arg, "--report") == 0)
-      Report = true;
-    else if (std::strcmp(Arg, "--validate") == 0)
-      Validate = true;
-    else if (std::strcmp(Arg, "--print-naive") == 0)
-      PrintNaive = true;
-    else if (std::strcmp(Arg, "--sanitize") == 0)
-      Sanitize = true;
-    else if (std::strcmp(Arg, "--lint") == 0)
-      Lint = true;
-    else if (std::strcmp(Arg, "--Werror") == 0)
-      Werror = true;
-    else if (std::strncmp(Arg, "--jobs=", 7) == 0)
-      Opt.Jobs = std::atoi(Arg + 7);
-    else if (std::strcmp(Arg, "--jobs") == 0 && I + 1 < argc)
-      Opt.Jobs = std::atoi(argv[++I]);
-    else if (std::strcmp(Arg, "--no-prune") == 0)
-      Opt.ExhaustiveSearch = true;
-    else if (std::strcmp(Arg, "--search-stats") == 0)
-      SearchStats = true;
-    else if (std::strcmp(Arg, "--time-report") == 0)
-      TimeReportFlag = true;
-    else if (std::strcmp(Arg, "--help") == 0) {
-      usage();
-      return 0;
-    } else if (Arg[0] == '-' && std::strcmp(Arg, "-") != 0) {
-      std::fprintf(stderr, "gpucc: error: unknown option '%s'\n", Arg);
-      usage();
-      return 1;
-    } else {
-      Path = Arg;
-    }
+  /// The warm fast path replays a stored search winner verbatim. It is
+  /// only taken when this invocation would print exactly what the cold
+  /// run printed: plain CUDA text, no reports, no fixed factors, and no
+  /// analysis side channels (stored entries are diagnostics-clean).
+  bool fastPathEligible() const {
+    return !Report && !Validate && !Sanitize && !Lint && !PrintNaive &&
+           !SearchStats && !TimeReportFlag && BlockN == 0 && ThreadM == 0 &&
+           Dialect == PrintDialect::Cuda;
   }
-  if (!Path) {
-    usage();
-    return 1;
+};
+
+/// Emits --cache-stats output: a human line on stderr and optional JSON.
+void emitCacheStats(const DriverOptions &D, const DiskCache *Disk,
+                    const SimCache &Mem) {
+  if (!D.CacheStatsFlag && D.CacheStatsFile.empty())
+    return;
+  DiskCacheStats S;
+  std::string Dir = "(disabled)";
+  if (Disk) {
+    S = Disk->stats();
+    Dir = Disk->directory();
   }
+  if (D.CacheStatsFlag)
+    std::fprintf(stderr,
+                 "disk cache %s: %llu sim hits, %llu sim misses, %llu text "
+                 "hits, %llu text misses, %llu writes, %llu corrupt "
+                 "(%llu quarantined), hit rate %.1f%%; memory tier: %llu "
+                 "hits, %llu misses\n",
+                 Dir.c_str(), (unsigned long long)S.SimHits,
+                 (unsigned long long)S.SimMisses,
+                 (unsigned long long)S.TextHits,
+                 (unsigned long long)S.TextMisses,
+                 (unsigned long long)S.Writes,
+                 (unsigned long long)S.Corrupt,
+                 (unsigned long long)S.Quarantined, 100.0 * S.hitRate(),
+                 (unsigned long long)Mem.hits(),
+                 (unsigned long long)Mem.misses());
+  if (D.CacheStatsFile.empty())
+    return;
+  std::ofstream Out(D.CacheStatsFile, std::ios::trunc);
+  Out << strFormat(
+      "{\"dir\": \"%s\", \"schema_version\": %u, \"sim_hits\": %llu, "
+      "\"sim_misses\": %llu, \"text_hits\": %llu, \"text_misses\": %llu, "
+      "\"writes\": %llu, \"write_errors\": %llu, \"corrupt\": %llu, "
+      "\"quarantined\": %llu, \"hit_rate\": %.6f, \"mem_hits\": %llu, "
+      "\"mem_misses\": %llu}\n",
+      Dir.c_str(), DiskCache::SchemaVersion, (unsigned long long)S.SimHits,
+      (unsigned long long)S.SimMisses, (unsigned long long)S.TextHits,
+      (unsigned long long)S.TextMisses, (unsigned long long)S.Writes,
+      (unsigned long long)S.WriteErrors, (unsigned long long)S.Corrupt,
+      (unsigned long long)S.Quarantined, S.hitRate(),
+      (unsigned long long)Mem.hits(), (unsigned long long)Mem.misses());
+}
+
+/// One-file compilation, the original interactive flow.
+int runSingle(DriverOptions &D, DiskCache *Disk, SimCache &Mem) {
+  const std::string &Path = D.Inputs.front();
+  CompileOptions &Opt = D.Opt;
 
   TimeReport Times("gpucc --time-report");
   auto EmitTimes = [&] {
-    if (TimeReportFlag)
+    if (D.TimeReportFlag)
       std::fprintf(stderr, "%s", Times.str().c_str());
   };
 
+  std::string Source;
+  if (!readInputFile(Path, Source)) {
+    std::fprintf(stderr, "gpucc: error: cannot open '%s'\n", Path.c_str());
+    return 1;
+  }
+
   Module M;
   DiagnosticsEngine Diags;
-  if (Werror)
+  if (D.Werror)
     Diags.setWarningsAsErrors(true);
   WallTimer ParseTimer;
-  Parser P(readInput(Path), Diags);
+  Parser P(Source, Diags);
   KernelFunction *Naive = P.parseKernel(M);
   Times.add("parse", ParseTimer.elapsedMs());
   if (!Naive) {
     std::fprintf(stderr, "%s", Diags.str().c_str());
     return 1;
   }
-  if (PrintNaive)
+  if (D.PrintNaive)
     std::printf("// ---- naive input ----\n%s\n",
-                printKernel(*Naive, Dialect).c_str());
+                printKernel(*Naive, D.Dialect).c_str());
+
+  // Warm fast path: a clean prior search of this exact (kernel, device,
+  // options) already published its winner; replay it byte-for-byte.
+  if (Disk && D.fastPathEligible()) {
+    CachedCompile Cached;
+    if (Disk->loadText(compileCacheKey(*Naive, Opt), Cached)) {
+      std::printf("%s", Cached.KernelText.c_str());
+      return 0;
+    }
+  }
 
   SanitizeSummary SanSummary;
-  if (Sanitize || Lint) {
+  if (D.Sanitize || D.Lint) {
     SanitizeOptions SanOpt;
-    SanOpt.Races = Sanitize;
-    SanOpt.Lint = Lint;
+    SanOpt.Races = D.Sanitize;
+    SanOpt.Lint = D.Lint;
     attachStageSanitizer(Opt, Diags, SanOpt, &SanSummary);
   }
+
+  Opt.Cache = &Mem;
+  Opt.Disk = Disk;
 
   GpuCompiler GC(M, Diags);
   CompileOutput Out;
   WallTimer CompileTimer;
-  if (BlockN > 0 || ThreadM > 0) {
-    Out.Best = GC.compileVariant(*Naive, Opt, std::max(1, BlockN),
-                                 std::max(1, ThreadM), &Out.Plan,
+  if (D.BlockN > 0 || D.ThreadM > 0) {
+    Out.Best = GC.compileVariant(*Naive, Opt, std::max(1, D.BlockN),
+                                 std::max(1, D.ThreadM), &Out.Plan,
                                  &Out.Camping);
     VariantResult VR;
     VR.Kernel = Out.Best;
-    VR.BlockMergeN = std::max(1, BlockN);
-    VR.ThreadMergeM = std::max(1, ThreadM);
+    VR.BlockMergeN = std::max(1, D.BlockN);
+    VR.ThreadMergeM = std::max(1, D.ThreadM);
     Out.Variants.push_back(VR);
   } else {
     Out = GC.compile(*Naive, Opt);
   }
   Times.add("compile + search", CompileTimer.elapsedMs());
-  if (TimeReportFlag && Out.Variants.size() > 1) {
+  if (D.TimeReportFlag && Out.Variants.size() > 1) {
     // Per-variant detail in its own table: per-task times sum over lanes,
     // so they are not a partition of the driver wall-clock above.
     TimeReport VariantTimes("design-space variants (per-lane time)");
@@ -243,7 +279,7 @@ int main(int argc, char **argv) {
   if (Diags.hasWarnings())
     std::fprintf(stderr, "%s%s\n", Diags.str().c_str(),
                  Diags.summary().c_str());
-  if (Sanitize || Lint)
+  if (D.Sanitize || D.Lint)
     std::fprintf(stderr,
                  "sanitizer: %d kernels checked, %d races, %d lint "
                  "warnings, %d not statically analyzable\n",
@@ -251,15 +287,15 @@ int main(int argc, char **argv) {
                  SanSummary.LintWarnings, SanSummary.Unanalyzable);
 
   WallTimer EmitTimer;
-  std::printf("%s", printKernel(*Out.Best, Dialect).c_str());
+  std::printf("%s", printKernel(*Out.Best, D.Dialect).c_str());
   Times.add("emit", EmitTimer.elapsedMs());
 
-  if (Report)
+  if (D.Report)
     printReport(*Naive, Out, Opt.Device);
-  if (SearchStats)
+  if (D.SearchStats)
     std::fprintf(stderr, "%s", searchStatsReport(Out).c_str());
 
-  if (Validate) {
+  if (D.Validate) {
     WallTimer ValidateTimer;
     Simulator Sim(Opt.Device);
     BufferSet NaiveBufs, OptBufs;
@@ -268,14 +304,14 @@ int main(int argc, char **argv) {
     DiagnosticsEngine RunDiags;
     RaceLog NaiveRaces, OptRaces;
     if (!Sim.runFunctional(*Naive, NaiveBufs, RunDiags,
-                           Sanitize ? &NaiveRaces : nullptr) ||
+                           D.Sanitize ? &NaiveRaces : nullptr) ||
         !Sim.runFunctional(*Out.Best, OptBufs, RunDiags,
-                           Sanitize ? &OptRaces : nullptr)) {
+                           D.Sanitize ? &OptRaces : nullptr)) {
       std::fprintf(stderr, "validation run failed:\n%s",
                    RunDiags.str().c_str());
       return 1;
     }
-    if (Sanitize) {
+    if (D.Sanitize) {
       for (const RaceLog *Log : {&NaiveRaces, &OptRaces})
         for (const RaceRecord &R : Log->Races)
           std::fprintf(stderr,
@@ -306,4 +342,199 @@ int main(int argc, char **argv) {
   }
   EmitTimes();
   return 0;
+}
+
+/// Batch mode: compile every input over the thread pool, sharing one
+/// memory cache and one disk cache, then print kernels (stdout) and
+/// diagnostics (stderr) strictly in input order — the streams are
+/// byte-identical for any lane count and any cache temperature.
+int runBatch(DriverOptions &D, DiskCache *Disk, SimCache &Mem) {
+  struct FileResult {
+    std::string Text;
+    std::string Err;
+    int Code = 0;
+  };
+  std::vector<FileResult> Results(D.Inputs.size());
+
+  unsigned OuterJobs = D.Opt.Jobs <= 0
+                           ? ThreadPool::defaultConcurrency()
+                           : static_cast<unsigned>(D.Opt.Jobs);
+  // One lane per file; the per-file search runs serially (nested
+  // parallelism would oversubscribe, and results are identical anyway).
+  CompileOptions Inner = D.Opt;
+  Inner.Jobs = 1;
+  Inner.Cache = &Mem;
+  Inner.Disk = Disk;
+
+  ThreadPool Pool(OuterJobs);
+  Pool.parallelFor(D.Inputs.size(), [&](size_t I) {
+    FileResult &FR = Results[I];
+    std::string Source;
+    if (!readInputFile(D.Inputs[I], Source)) {
+      FR.Code = 1;
+      FR.Err = "error: cannot open file\n";
+      return;
+    }
+    Module M;
+    DiagnosticsEngine Diags;
+    if (D.Werror)
+      Diags.setWarningsAsErrors(true);
+    Parser P(Source, Diags);
+    KernelFunction *Naive = P.parseKernel(M);
+    if (!Naive) {
+      FR.Code = 1;
+      FR.Err = Diags.str();
+      return;
+    }
+    if (Disk && D.fastPathEligible()) {
+      CachedCompile Cached;
+      if (Disk->loadText(compileCacheKey(*Naive, Inner), Cached)) {
+        FR.Text = Cached.KernelText;
+        return;
+      }
+    }
+    GpuCompiler GC(M, Diags);
+    CompileOutput Out = GC.compile(*Naive, Inner);
+    if (!Out.Best || Diags.hasErrors()) {
+      FR.Code = 1;
+      FR.Err = Diags.str() + Diags.summary() + Out.Log;
+      return;
+    }
+    if (Diags.hasWarnings())
+      FR.Err = Diags.str() + Diags.summary() + "\n";
+    FR.Text = printKernel(*Out.Best, D.Dialect);
+    if (D.SearchStats)
+      FR.Err += searchStatsReport(Out);
+  });
+
+  int Code = 0;
+  for (size_t I = 0; I < D.Inputs.size(); ++I) {
+    const FileResult &FR = Results[I];
+    std::printf("// ==== %s ====\n%s", D.Inputs[I].c_str(),
+                FR.Text.c_str());
+    if (!FR.Err.empty())
+      std::fprintf(stderr, "== %s ==\n%s", D.Inputs[I].c_str(),
+                   FR.Err.c_str());
+    if (FR.Code != 0)
+      Code = 1;
+  }
+  return Code;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  DriverOptions D;
+
+  for (int I = 1; I < argc; ++I) {
+    const char *Arg = argv[I];
+    if (std::strcmp(Arg, "--device=gtx8800") == 0)
+      D.Opt.Device = DeviceSpec::gtx8800();
+    else if (std::strcmp(Arg, "--device=gtx280") == 0)
+      D.Opt.Device = DeviceSpec::gtx280();
+    else if (std::strcmp(Arg, "--device=hd5870") == 0)
+      D.Opt.Device = DeviceSpec::hd5870();
+    else if (std::strcmp(Arg, "--opencl") == 0)
+      D.Dialect = PrintDialect::OpenCL;
+    else if (std::strncmp(Arg, "--block=", 8) == 0)
+      D.BlockN = std::atoi(Arg + 8);
+    else if (std::strncmp(Arg, "--thread=", 9) == 0)
+      D.ThreadM = std::atoi(Arg + 9);
+    else if (std::strcmp(Arg, "--no-vectorize") == 0)
+      D.Opt.Vectorize = false;
+    else if (std::strcmp(Arg, "--no-coalesce") == 0)
+      D.Opt.Coalesce = false;
+    else if (std::strcmp(Arg, "--no-merge") == 0)
+      D.Opt.Merge = false;
+    else if (std::strcmp(Arg, "--no-prefetch") == 0)
+      D.Opt.Prefetch = false;
+    else if (std::strcmp(Arg, "--no-partition") == 0)
+      D.Opt.PartitionElim = false;
+    else if (std::strcmp(Arg, "--no-fold") == 0)
+      D.Opt.Fold = false;
+    else if (std::strcmp(Arg, "--report") == 0)
+      D.Report = true;
+    else if (std::strcmp(Arg, "--validate") == 0)
+      D.Validate = true;
+    else if (std::strcmp(Arg, "--print-naive") == 0)
+      D.PrintNaive = true;
+    else if (std::strcmp(Arg, "--sanitize") == 0)
+      D.Sanitize = true;
+    else if (std::strcmp(Arg, "--lint") == 0)
+      D.Lint = true;
+    else if (std::strcmp(Arg, "--Werror") == 0)
+      D.Werror = true;
+    else if (std::strncmp(Arg, "--jobs=", 7) == 0)
+      D.Opt.Jobs = std::atoi(Arg + 7);
+    else if (std::strcmp(Arg, "--jobs") == 0 && I + 1 < argc)
+      D.Opt.Jobs = std::atoi(argv[++I]);
+    else if (std::strcmp(Arg, "--no-prune") == 0)
+      D.Opt.ExhaustiveSearch = true;
+    else if (std::strcmp(Arg, "--search-stats") == 0)
+      D.SearchStats = true;
+    else if (std::strcmp(Arg, "--time-report") == 0)
+      D.TimeReportFlag = true;
+    else if (std::strcmp(Arg, "--batch") == 0)
+      D.Batch = true;
+    else if (std::strncmp(Arg, "--cache-dir=", 12) == 0)
+      D.CacheDir = Arg + 12;
+    else if (std::strcmp(Arg, "--no-disk-cache") == 0)
+      D.NoDiskCache = true;
+    else if (std::strcmp(Arg, "--cache-stats") == 0)
+      D.CacheStatsFlag = true;
+    else if (std::strncmp(Arg, "--cache-stats=", 14) == 0) {
+      D.CacheStatsFlag = true;
+      D.CacheStatsFile = Arg + 14;
+    } else if (std::strcmp(Arg, "--help") == 0) {
+      usage();
+      return 0;
+    } else if (Arg[0] == '-' && std::strcmp(Arg, "-") != 0) {
+      std::fprintf(stderr, "gpucc: error: unknown option '%s'\n", Arg);
+      usage();
+      return 1;
+    } else {
+      D.Inputs.push_back(Arg);
+    }
+  }
+  if (D.Inputs.empty()) {
+    usage();
+    return 1;
+  }
+  if (!D.Batch && D.Inputs.size() > 1) {
+    std::fprintf(stderr,
+                 "gpucc: error: multiple inputs require --batch\n");
+    return 1;
+  }
+  if (D.Batch &&
+      (D.Report || D.Validate || D.PrintNaive || D.BlockN > 0 ||
+       D.ThreadM > 0)) {
+    std::fprintf(stderr,
+                 "gpucc: error: --report/--validate/--print-naive/--block/"
+                 "--thread are not supported with --batch\n");
+    return 1;
+  }
+
+  // Persistent cache wiring: explicit flag first, then the environment.
+  std::unique_ptr<DiskCache> Disk;
+  if (!D.NoDiskCache) {
+    std::string Dir = D.CacheDir.empty() ? envOr("GPUC_CACHE_DIR", "")
+                                         : D.CacheDir;
+    if (!Dir.empty()) {
+      Disk = std::make_unique<DiskCache>(Dir);
+      if (!Disk->valid()) {
+        std::fprintf(stderr,
+                     "gpucc: warning: cannot use cache directory '%s'; "
+                     "continuing without a disk cache\n",
+                     Dir.c_str());
+        Disk.reset();
+      }
+    }
+  }
+  SimCache Mem;
+  Mem.setBackend(Disk.get());
+
+  int Code = D.Batch ? runBatch(D, Disk.get(), Mem)
+                     : runSingle(D, Disk.get(), Mem);
+  emitCacheStats(D, Disk.get(), Mem);
+  return Code;
 }
