@@ -36,6 +36,7 @@
 #include "BenchUtil.h"
 #include "ast/Printer.h"
 #include "cache/DiskCache.h"
+#include "parser/Parser.h"
 #include "support/Timer.h"
 
 #include <filesystem>
@@ -176,6 +177,42 @@ const ConfigResult *find(const char *Name) {
   return nullptr;
 }
 
+/// Static-prune effectiveness: an mm-shaped kernel whose store is a
+/// proven violation (the abstract-interpretation pre-filter rejects
+/// every candidate before probe/simulation), searched with the filter
+/// off and on. Kept out of the main Results table: its winner is the
+/// unit-probe fallback, not the mm grid's.
+CompileOutput runOobSearch(bool StaticPrune, double &WallMs) {
+  static const char *Src =
+      "#pragma gpuc output(c)\n"
+      "#pragma gpuc bind(w=256)\n"
+      "#pragma gpuc domain(256,256)\n"
+      "__global__ void mmoob(float a[256][256], float b[256][256],\n"
+      "                      float c[256][256], int w) {\n"
+      "  float s = 0.0f;\n"
+      "  for (int i = 0; i < w; i = i + 1) {\n"
+      "    s += a[idy][i] * b[i][idx];\n"
+      "  }\n"
+      "  c[idy][idx + 256] = s;\n"
+      "}\n";
+  Module M;
+  DiagnosticsEngine D;
+  Parser P(Src, D);
+  KernelFunction *K = P.parseKernel(M);
+  CompileOutput Out;
+  if (!K)
+    return Out;
+  GpuCompiler GC(M, D);
+  CompileOptions Opt;
+  Opt.Device = DeviceSpec::gtx280();
+  Opt.Jobs = 8;
+  Opt.StaticPrune = StaticPrune;
+  WallTimer T;
+  Out = GC.compile(*K, Opt);
+  WallMs = T.elapsedMs();
+  return Out;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -193,6 +230,8 @@ int main(int argc, char **argv) {
         {"simulated", static_cast<double>(R.Stats.Simulated)},
         {"probed", static_cast<double>(R.Stats.Probed)},
         {"pruned", static_cast<double>(R.Stats.Pruned)},
+        {"statically_pruned",
+         static_cast<double>(R.Stats.StaticallyPruned)},
         {"cache_hits", static_cast<double>(R.Stats.CacheHits)}};
     if (R.UsedDisk)
       Cols.push_back({"disk_hits", static_cast<double>(R.Stats.DiskHits)});
@@ -246,6 +285,30 @@ int main(int argc, char **argv) {
                   ? std::string("none")
                   : strFormat("b%d t%d", Results.front().BlockN,
                               Results.front().ThreadM));
+  // Static-prune effectiveness on a proven-out-of-bounds kernel: how
+  // many variants the pre-filter rejects and how much lane-summed
+  // simulation time that avoids.
+  {
+    double OffMs = 0, OnMs = 0;
+    CompileOutput Off = runOobSearch(/*StaticPrune=*/false, OffMs);
+    CompileOutput On = runOobSearch(/*StaticPrune=*/true, OnMs);
+    for (const auto &[Name, Out, Wall] :
+         {std::tuple<const char *, const CompileOutput &, double>(
+              "static_prune_off", Off, OffMs),
+          std::tuple<const char *, const CompileOutput &, double>(
+              "static_prune_on", On, OnMs)})
+      Rep.add(strFormat("%-18s (oob mm)", Name),
+              {{"wall_ms", Wall},
+               {"sim_ms_sum", Out.Search.SimMs},
+               {"simulated", static_cast<double>(Out.Search.Simulated)},
+               {"statically_pruned",
+                static_cast<double>(Out.Search.StaticallyPruned)}});
+    Rep.addMeta("static_prune_variants_rejected",
+                static_cast<double>(On.Search.StaticallyPruned));
+    Rep.addMeta("static_prune_sim_ms_saved",
+                Off.Search.SimMs - On.Search.SimMs);
+  }
+
   Rep.addNote("jobs1 exhaustive reproduces the pre-parallel-search "
               "compiler; identical winner is required across all configs");
   Rep.addNote("compile_ms_sum / sim_ms_sum are lane-summed aggregates and "

@@ -1,0 +1,26 @@
+//===-- analysis/BarrierCheck.cpp - Barrier-validity proofs ---------------===//
+
+#include "analysis/BarrierCheck.h"
+
+#include <algorithm>
+
+using namespace gpuc;
+
+std::vector<BarrierIssue> gpuc::checkBarriers(const DataflowResult &Result) {
+  std::vector<BarrierIssue> Issues;
+  for (const BarrierFact &F : Result.Barriers) {
+    if (F.Uniformity == Verdict::Proven)
+      continue;
+    Issues.push_back({F.Uniformity, F.IsGlobal, F.Reason});
+  }
+  std::stable_sort(Issues.begin(), Issues.end(),
+                   [](const BarrierIssue &A, const BarrierIssue &B) {
+                     return A.Uniformity == Verdict::Violation &&
+                            B.Uniformity != Verdict::Violation;
+                   });
+  return Issues;
+}
+
+std::vector<BarrierIssue> gpuc::checkBarriers(const KernelFunction &K) {
+  return checkBarriers(runDataflow(K));
+}

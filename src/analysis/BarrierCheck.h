@@ -1,0 +1,46 @@
+//===-- analysis/BarrierCheck.h - Barrier-validity proofs -------*- C++ -*-===//
+//
+// Part of the gpuc project: a reproduction of "A GPGPU Compiler for Memory
+// Optimization and Parallelism Management" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Barrier-validity verification on top of the dataflow engine: every
+/// __syncthreads must execute under thread-uniform control flow with
+/// equal trip counts in every enclosing loop, and __globalSync
+/// additionally under block-uniform control flow. This replaces the
+/// Verifier's old syntactic special case (thread-dependent trip counts on
+/// for loops) with a semantic proof: conditions whose canonical affine
+/// form is thread-invariant are accepted, and divergence the straddle
+/// test proves is reported as a hard Violation rather than a maybe.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUC_ANALYSIS_BARRIERCHECK_H
+#define GPUC_ANALYSIS_BARRIERCHECK_H
+
+#include "analysis/Dataflow.h"
+#include "ast/Kernel.h"
+
+#include <string>
+#include <vector>
+
+namespace gpuc {
+
+/// One barrier that could not be proven valid.
+struct BarrierIssue {
+  Verdict Uniformity = Verdict::Possible;
+  bool IsGlobal = false;
+  std::string Message;
+};
+
+/// Runs the dataflow engine over \p K (or reuses \p Result when the caller
+/// already has one) and returns every barrier not Proven uniform,
+/// Violations first.
+std::vector<BarrierIssue> checkBarriers(const KernelFunction &K);
+std::vector<BarrierIssue> checkBarriers(const DataflowResult &Result);
+
+} // namespace gpuc
+
+#endif // GPUC_ANALYSIS_BARRIERCHECK_H

@@ -2,6 +2,7 @@
 
 #include "analysis/Lint.h"
 
+#include "analysis/Dataflow.h"
 #include "ast/Printer.h"
 #include "core/Accesses.h"
 #include "core/Coalescing.h"
@@ -23,13 +24,18 @@ public:
   int run() {
     if (Opt.OutOfBounds || Opt.Coalescing)
       Globals = collectGlobalAccesses(K);
-    if (Opt.OutOfBounds) {
+    if (Opt.OutOfBounds && Opt.Strict) {
+      // Verdict mode: the dataflow engine subsumes both bounds lints and
+      // sees through guards instead of skipping them.
+      Facts = runDataflow(K);
+      lintStrictBounds();
+    } else if (Opt.OutOfBounds) {
       collectGuarded(K.body(), /*UnderIf=*/false);
       lintGlobalBounds();
     }
-    if (Opt.OutOfBounds || Opt.BankConflicts)
+    if ((Opt.OutOfBounds && !Opt.Strict) || Opt.BankConflicts)
       Model = buildPhaseModel(K, Opt.Phases);
-    if (Opt.OutOfBounds)
+    if (Opt.OutOfBounds && !Opt.Strict)
       lintSharedBounds();
     if (Opt.BankConflicts)
       lintBankConflicts();
@@ -66,6 +72,11 @@ private:
     }
     case StmtKind::For:
       collectGuarded(cast<ForStmt>(S)->body(), UnderIf);
+      return;
+    case StmtKind::While:
+      // A while body executes only when its (data-dependent) condition
+      // holds, so treat it like a guarded region.
+      collectGuarded(cast<WhileStmt>(S)->body(), /*UnderIf=*/true);
       return;
     default:
       return;
@@ -121,6 +132,29 @@ private:
     }
   }
 
+  void lintStrictBounds() {
+    std::set<const ArrayRef *> Reported;
+    for (const AccessFact &A : Facts.Accesses) {
+      if (A.Bounds == Verdict::Proven || !Reported.insert(A.Ref).second)
+        continue;
+      const char *Kind = A.IsStore ? "store" : "load";
+      const char *Space = A.IsShared ? "__shared__ " : "";
+      if (A.Bounds == Verdict::Violation)
+        warn(A.Loc,
+             strFormat("%s of %s'%s' is proven out of bounds: word range %s "
+                       "with %d lane(s) exceeds the declared %lld words",
+                       Kind, Space, printExpr(A.Ref).c_str(),
+                       A.Words.str().c_str(), A.Lanes, A.TotalWords));
+      else
+        warn(A.Loc,
+             strFormat("%s of %s'%s' is possibly out of bounds (in-bounds "
+                       "not proven): word range %s with %d lane(s) against "
+                       "%lld declared words",
+                       Kind, Space, printExpr(A.Ref).c_str(),
+                       A.Words.str().c_str(), A.Lanes, A.TotalWords));
+    }
+  }
+
   void lintSharedBounds() {
     const LaunchConfig &L = K.launch();
     std::set<const ArrayRef *> Reported;
@@ -173,7 +207,10 @@ private:
     for (const SharedAccess &A : Model.Accesses) {
       if (!A.Resolved || !A.Decl || !Reported.insert(A.Ref).second)
         continue;
-      if (!A.Guards.empty() || A.UnknownGuard)
+      // A guard masks off lanes, so the all-lanes degree is only an upper
+      // bound; strict mode still reports it, qualified as "possible".
+      const bool GuardMasked = !A.Guards.empty() || A.UnknownGuard;
+      if (GuardMasked && !Opt.Strict)
         continue;
       // First iteration of every enclosing loop; the affine stride makes
       // later iterations shift all lanes alike, so the conflict degree is
@@ -211,9 +248,12 @@ private:
         Degree = std::max(Degree, WordsInBank.size());
       if (Degree > 1)
         warn(A.Ref->loc(),
-             strFormat("%zu-way shared-memory bank conflict on %s (half-warp "
-                       "lanes hit %zu distinct words in one bank of %d); "
-                       "consider padding the innermost dimension",
+             strFormat("%s%zu-way shared-memory bank conflict on %s "
+                       "(half-warp lanes hit %zu distinct words in one bank "
+                       "of %d); consider padding the innermost dimension",
+                       !Opt.Strict          ? ""
+                       : GuardMasked        ? "possible "
+                                            : "proven ",
                        Degree, printExpr(A.Ref).c_str(), Degree,
                        Opt.SharedBanks));
     }
@@ -225,12 +265,24 @@ private:
       if (!A.Ref || !Reported.insert(A.Ref).second)
         continue;
       CoalesceInfo CI = checkCoalescing(A, K);
-      if (CI.Coalesced || CI.Failure == CoalesceFailure::Unresolved)
+      if (CI.Coalesced)
         continue;
+      if (CI.Failure == CoalesceFailure::Unresolved) {
+        // Default mode stays silent on unresolved addresses; strict mode's
+        // contract is "prove it or hear about it".
+        if (Opt.Strict)
+          warn(A.Ref->loc(),
+               strFormat("global %s %s is possibly non-coalesced (address "
+                         "not statically resolvable)",
+                         A.IsStore ? "store" : "load",
+                         printExpr(A.Ref).c_str()));
+        continue;
+      }
       warn(A.Ref->loc(),
-           strFormat("global %s %s is not coalesced (%s, thread stride %lld "
-                     "bytes)",
+           strFormat("global %s %s is %snot coalesced (%s, thread stride "
+                     "%lld bytes)",
                      A.IsStore ? "store" : "load", printExpr(A.Ref).c_str(),
+                     Opt.Strict ? "provenly " : "",
                      coalesceFailureName(CI.Failure), CI.ThreadStrideBytes));
     }
   }
@@ -240,6 +292,7 @@ private:
   const LintOptions &Opt;
   std::vector<AccessInfo> Globals;
   PhaseModel Model;
+  DataflowResult Facts;
   std::set<const Stmt *> Guarded;
   int NumWarnings = 0;
 };

@@ -34,6 +34,13 @@ struct LintOptions {
   bool OutOfBounds = true;
   bool BankConflicts = true;
   bool Coalescing = true;
+  /// Verdict mode (gpucc --lint=strict): bounds lints come from the
+  /// abstract-interpretation engine (analysis/Dataflow.h) and every
+  /// finding carries a proven/possible verdict. Guarded accesses are no
+  /// longer silently skipped — a guard the engine can prove sufficient
+  /// (the clamped-halo idiom) stays quiet, an unprovable one reports as
+  /// "possible", and an access proven to fault reports as "proven".
+  bool Strict = false;
   /// Number of shared-memory banks (16 on the paper's hardware).
   int SharedBanks = 16;
   /// Prefix for messages, e.g. the pipeline stage name.

@@ -2,6 +2,8 @@
 
 #include "analysis/RaceDetector.h"
 
+#include "analysis/Dataflow.h"
+
 #include "ast/Printer.h"
 #include "support/StringUtils.h"
 
@@ -50,13 +52,51 @@ public:
     if (!Model.Analyzable)
       return std::move(Report);
 
+    Facts = runDataflow(K);
+
+    // Word extents of every write per (phase, array), from the dataflow
+    // engine's range facts; unknown when any write's extent is unknown.
+    // An unresolved *read* whose word interval is disjoint from all of its
+    // phase's write extents provably cannot race — the range facts triage
+    // what the exact symbolic enumeration cannot model.
+    struct WriteExtents {
+      std::vector<Interval> Extents;
+      bool AllKnown = true;
+    };
+    std::map<std::pair<int, const DeclStmt *>, WriteExtents> Writes;
+    for (const SharedAccess &A : Model.Accesses) {
+      if (!A.IsWrite)
+        continue;
+      WriteExtents &W = Writes[{A.Phase, A.Decl}];
+      Interval Ext = wordExtent(A);
+      W.AllKnown &= Ext.Known;
+      W.Extents.push_back(Ext);
+    }
+    auto RangeTriaged = [&](const SharedAccess &A) {
+      if (A.IsWrite)
+        return false;
+      Interval RE = wordExtent(A);
+      if (!RE.Known)
+        return false;
+      auto It = Writes.find({A.Phase, A.Decl});
+      if (It == Writes.end())
+        return true; // no writes to this array in this phase at all
+      if (!It->second.AllKnown)
+        return false;
+      for (const Interval &WE : It->second.Extents)
+        if (RE.Lo <= WE.Hi && WE.Lo <= RE.Hi)
+          return false;
+      return true;
+    };
+
     // Group accesses by (phase, array); skip groups with no writes.
     std::map<std::pair<int, const DeclStmt *>,
              std::vector<const SharedAccess *>>
         Groups;
     for (const SharedAccess &A : Model.Accesses) {
       if (!A.Resolved) {
-        noteUnresolved(A);
+        if (!RangeTriaged(A))
+          noteUnresolved(A);
         continue;
       }
       Groups[{A.Phase, A.Decl}].push_back(&A);
@@ -76,6 +116,15 @@ public:
   }
 
 private:
+  /// Closed word interval [first, last] the access may touch, from the
+  /// dataflow engine; unknown when the engine has no fact for it.
+  Interval wordExtent(const SharedAccess &A) const {
+    const AccessFact *F = Facts.factFor(A.Ref);
+    if (!F || !F->Words.Known)
+      return Interval::top();
+    return Interval::make(F->Words.Lo, F->Words.Hi + F->Lanes - 1);
+  }
+
   void noteUnresolved(const SharedAccess &A) {
     std::string Expr = A.Ref ? printExpr(A.Ref) : std::string("<access>");
     Report.Notes.push_back(strFormat(
@@ -271,6 +320,7 @@ private:
   const KernelFunction &K;
   const RaceDetectOptions &Opt;
   RaceReport Report;
+  DataflowResult Facts;
   std::unordered_map<long long, WordState> Words;
   std::set<std::tuple<const ArrayRef *, const ArrayRef *, int, bool>> Seen;
 };

@@ -4,6 +4,9 @@
 
 #include "support/StringUtils.h"
 
+#include <memory>
+#include <mutex>
+
 using namespace gpuc;
 
 RaceReport gpuc::sanitizeKernel(KernelFunction &K, DiagnosticsEngine &Diags,
@@ -67,13 +70,28 @@ RaceReport gpuc::sanitizeKernel(KernelFunction &K, DiagnosticsEngine &Diags,
 void gpuc::attachStageSanitizer(CompileOptions &CO, DiagnosticsEngine &Diags,
                                 const SanitizeOptions &Opt,
                                 SanitizeSummary *Summary) {
-  // Copy Opt by value: the hook outlives the caller's options object.
-  CO.Hook = [&Diags, Opt, Summary](const char *Stage, KernelFunction &K,
-                                   bool Final) {
-    // "final" is itself a stage name; avoid "after final, final".
-    std::string Context = strFormat(
-        "after %s%s", Stage,
-        Final && std::string(Stage) != "final" ? ", final" : "");
-    sanitizeKernel(K, Diags, Opt, Context, Final, Summary);
+  (void)Diags; // task hooks bind the per-task engine the factory receives
+  // Copy Opt by value: the hooks outlive the caller's options object. The
+  // summary is shared across search tasks; a mutex keeps its counters
+  // exact (sums are order-independent, so the totals are deterministic).
+  auto Mutex = std::make_shared<std::mutex>();
+  CO.HookFactory = [Opt, Summary, Mutex](DiagnosticsEngine &TaskDiags) {
+    return [&TaskDiags, Opt, Summary, Mutex](const char *Stage,
+                                             KernelFunction &K, bool Final) {
+      // "final" is itself a stage name; avoid "after final, final".
+      std::string Context = strFormat(
+          "after %s%s", Stage,
+          Final && std::string(Stage) != "final" ? ", final" : "");
+      SanitizeSummary Local;
+      sanitizeKernel(K, TaskDiags, Opt, Context, Final,
+                     Summary ? &Local : nullptr);
+      if (Summary) {
+        std::lock_guard<std::mutex> Lock(*Mutex);
+        Summary->KernelsChecked += Local.KernelsChecked;
+        Summary->RaceErrors += Local.RaceErrors;
+        Summary->LintWarnings += Local.LintWarnings;
+        Summary->Unanalyzable += Local.Unanalyzable;
+      }
+    };
   };
 }

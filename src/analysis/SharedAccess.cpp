@@ -103,6 +103,9 @@ private:
     case StmtKind::For:
       walkFor(cast<ForStmt>(S));
       return;
+    case StmtKind::While:
+      walkWhile(cast<WhileStmt>(S));
+      return;
     case StmtKind::Sync:
       if (!GuardStack.empty() || UnknownGuardDepth > 0)
         problem("barrier under divergent control flow; phases cannot be "
@@ -263,6 +266,25 @@ private:
       walkStmt(F->body());
     }
     SyncIters.erase(F->iterName());
+  }
+
+  void walkWhile(const WhileStmt *W) {
+    collectReads(W->cond());
+    if (containsBarrier(W->body())) {
+      // A while's trip count is condition-controlled and in general
+      // thread-dependent; no symbolic unrolling is possible, so barriers
+      // inside defeat phase delimitation outright.
+      problem("while loop contains a barrier; trip count is not statically "
+              "analyzable",
+              /*Fatal=*/true);
+      walkStmt(W->body()); // still collect accesses once
+      return;
+    }
+    // Body accesses execute only while the (unmodelled) condition holds:
+    // treat them as under an unknown guard, over-approximating may-access.
+    ++UnknownGuardDepth;
+    walkStmt(W->body());
+    --UnknownGuardDepth;
   }
 
   void collectReads(const Expr *E) {

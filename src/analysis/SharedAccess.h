@@ -26,7 +26,7 @@
 #ifndef GPUC_ANALYSIS_SHAREDACCESS_H
 #define GPUC_ANALYSIS_SHAREDACCESS_H
 
-#include "core/Affine.h"
+#include "ast/Affine.h"
 
 #include <map>
 #include <string>

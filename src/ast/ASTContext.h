@@ -113,6 +113,9 @@ public:
     return create<ForStmt>(std::move(Iter), Init, CmpKind::LT, Bound,
                            StepKind::Add, Step, Body);
   }
+  WhileStmt *whileStmt(Expr *Cond, CompoundStmt *Body) {
+    return create<WhileStmt>(Cond, Body);
+  }
   SyncStmt *syncThreads() { return create<SyncStmt>(/*IsGlobal=*/false); }
   SyncStmt *globalSync() { return create<SyncStmt>(/*IsGlobal=*/true); }
 

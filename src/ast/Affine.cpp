@@ -1,6 +1,6 @@
-//===-- core/Affine.cpp - Affine index expressions ------------------------===//
+//===-- ast/Affine.cpp  - Affine index expressions ------------------------===//
 
-#include "core/Affine.h"
+#include "ast/Affine.h"
 
 #include "support/StringUtils.h"
 

@@ -1,4 +1,4 @@
-//===-- core/Affine.h - Affine index expressions ----------------*- C++ -*-===//
+//===-- ast/Affine.h  - Affine index expressions ----------------*- C++ -*-===//
 //
 // Part of the gpuc project: a reproduction of "A GPGPU Compiler for Memory
 // Optimization and Parallelism Management" (PLDI 2010).
@@ -14,8 +14,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#ifndef GPUC_CORE_AFFINE_H
-#define GPUC_CORE_AFFINE_H
+#ifndef GPUC_AST_AFFINE_H
+#define GPUC_AST_AFFINE_H
 
 #include "ast/Kernel.h"
 
@@ -76,4 +76,4 @@ Expr *affineToExpr(ASTContext &Ctx, const AffineExpr &A);
 
 } // namespace gpuc
 
-#endif // GPUC_CORE_AFFINE_H
+#endif // GPUC_AST_AFFINE_H

@@ -83,6 +83,11 @@ Stmt *gpuc::cloneStmt(ASTContext &Ctx, const Stmt *S) {
                                F->stepKind(), cloneExpr(Ctx, F->step()),
                                cloneCompound(Ctx, F->body()));
   }
+  case StmtKind::While: {
+    const auto *W = cast<WhileStmt>(S);
+    return Ctx.whileStmt(cloneExpr(Ctx, W->cond()),
+                         cloneCompound(Ctx, W->body()));
+  }
   case StmtKind::Sync:
     return Ctx.create<SyncStmt>(cast<SyncStmt>(S)->isGlobal());
   }

@@ -177,6 +177,12 @@ void Hasher::stmt(const Stmt *S) {
     stmt(F->body());
     break;
   }
+  case StmtKind::While: {
+    const auto *W = cast<WhileStmt>(S);
+    expr(W->cond());
+    stmt(W->body());
+    break;
+  }
   case StmtKind::Sync:
     raw(cast<SyncStmt>(S)->isGlobal() ? 1 : 0);
     break;

@@ -201,6 +201,15 @@ static void printStmtTo(std::ostringstream &OS, const Stmt *S, int Indent,
     OS << Pad << "}\n";
     break;
   }
+  case StmtKind::While: {
+    const auto *W = cast<WhileStmt>(S);
+    OS << Pad << "while (";
+    printExprTo(OS, W->cond(), Dialect);
+    OS << ") {\n";
+    printStmtTo(OS, W->body(), Indent + 1, Dialect);
+    OS << Pad << "}\n";
+    break;
+  }
   case StmtKind::Sync:
     if (Dialect == PrintDialect::OpenCL)
       OS << Pad

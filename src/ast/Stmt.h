@@ -23,7 +23,7 @@
 
 namespace gpuc {
 
-enum class StmtKind { Compound, Decl, Assign, If, For, Sync };
+enum class StmtKind { Compound, Decl, Assign, If, For, While, Sync };
 
 class Stmt {
 public:
@@ -184,6 +184,27 @@ private:
   Expr *Bound;
   StepKind StepK;
   Expr *Step;
+  CompoundStmt *Body;
+};
+
+/// General condition-controlled loop: `while (Cond) Body`. Unlike the
+/// canonical ForStmt there is no iterator or affine trip count, so every
+/// analysis treats the body conservatively (unknown trip, data-dependent
+/// guard); the transforms of Sections 3.2/3.3 never restructure one.
+class WhileStmt : public Stmt {
+public:
+  WhileStmt(Expr *Cond, CompoundStmt *Body)
+      : Stmt(StmtKind::While), Cond(Cond), Body(Body) {}
+
+  Expr *cond() const { return Cond; }
+  void setCond(Expr *E) { Cond = E; }
+  CompoundStmt *body() const { return Body; }
+  void setBody(CompoundStmt *B) { Body = B; }
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::While; }
+
+private:
+  Expr *Cond;
   CompoundStmt *Body;
 };
 

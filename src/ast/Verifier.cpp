@@ -18,79 +18,13 @@ public:
 
   std::vector<std::string> run() {
     collectSymbols();
-    collectTaint();
     checkLaunch();
-    walk(K.body(), /*UnderIf=*/false, /*LoopThreadDep=*/false,
-         /*LoopBlockDep=*/false);
+    walk(K.body());
     return std::move(Violations);
   }
 
 private:
   void bad(std::string Message) { Violations.push_back(std::move(Message)); }
-
-  /// True if \p E can evaluate differently across the threads of a block:
-  /// it mentions tidx/tidy (or idx/idy), a thread-tainted local, or loads
-  /// from memory (conservatively data-dependent).
-  bool threadDependent(const Expr *E) const {
-    bool Dep = false;
-    forEachExprIn(const_cast<Expr *>(E), [&](Expr *Sub) {
-      if (auto *B = dyn_cast<BuiltinRef>(Sub)) {
-        if (B->id() == BuiltinId::Tidx || B->id() == BuiltinId::Tidy ||
-            B->id() == BuiltinId::Idx || B->id() == BuiltinId::Idy)
-          Dep = true;
-      } else if (isa<ArrayRef>(Sub)) {
-        Dep = true;
-      } else if (auto *V = dyn_cast<VarRef>(Sub)) {
-        if (ThreadTainted.count(V->name()))
-          Dep = true;
-      }
-    });
-    return Dep;
-  }
-
-  /// True if \p E can evaluate differently across blocks (relevant for
-  /// __globalSync, which every thread of the grid must reach).
-  bool blockDependent(const Expr *E) const {
-    bool Dep = false;
-    forEachExprIn(const_cast<Expr *>(E), [&](Expr *Sub) {
-      if (auto *B = dyn_cast<BuiltinRef>(Sub)) {
-        if (B->id() == BuiltinId::Bidx || B->id() == BuiltinId::Bidy)
-          Dep = true;
-      } else if (auto *V = dyn_cast<VarRef>(Sub)) {
-        if (BlockTainted.count(V->name()))
-          Dep = true;
-      }
-    });
-    return Dep;
-  }
-
-  /// Fixpoint taint of kernel locals: a local assigned (anywhere) from a
-  /// thread- or block-dependent expression is itself dependent. Loop
-  /// iterators inherit the taint of their init/step.
-  void collectTaint() {
-    bool Changed = true;
-    while (Changed) {
-      Changed = false;
-      auto Taint = [&](const std::string &Name, const Expr *Src) {
-        if (threadDependent(Src) && ThreadTainted.insert(Name).second)
-          Changed = true;
-        if (blockDependent(Src) && BlockTainted.insert(Name).second)
-          Changed = true;
-      };
-      forEachStmt(const_cast<CompoundStmt *>(K.body()), [&](Stmt *S) {
-        if (auto *D = dyn_cast<DeclStmt>(S)) {
-          if (!D->isShared() && D->init())
-            Taint(D->name(), D->init());
-        } else if (auto *A = dyn_cast<AssignStmt>(S)) {
-          if (auto *V = dyn_cast<VarRef>(A->lhs()))
-            Taint(V->name(), A->rhs());
-        } else if (auto *F = dyn_cast<ForStmt>(S)) {
-          Taint(F->iterName(), F->init());
-          Taint(F->iterName(), F->step());
-        }
-      });
-    }
-  }
 
   void collectSymbols() {
     for (const ParamDecl &P : K.params()) {
@@ -151,14 +85,13 @@ private:
     });
   }
 
-  void walk(const CompoundStmt *C, bool UnderIf, bool LoopThreadDep,
-            bool LoopBlockDep) {
+  void walk(const CompoundStmt *C) {
     if (!C)
       return;
     for (const Stmt *S : C->body()) {
       switch (S->kind()) {
       case StmtKind::Compound:
-        walk(cast<CompoundStmt>(S), UnderIf, LoopThreadDep, LoopBlockDep);
+        walk(cast<CompoundStmt>(S));
         break;
       case StmtKind::Decl: {
         const auto *D = cast<DeclStmt>(S);
@@ -188,8 +121,8 @@ private:
       case StmtKind::If: {
         const auto *If = cast<IfStmt>(S);
         checkExpr(If->cond());
-        walk(If->thenBody(), /*UnderIf=*/true, LoopThreadDep, LoopBlockDep);
-        walk(If->elseBody(), /*UnderIf=*/true, LoopThreadDep, LoopBlockDep);
+        walk(If->thenBody());
+        walk(If->elseBody());
         break;
       }
       case StmtKind::For: {
@@ -197,23 +130,18 @@ private:
         checkExpr(F->init());
         checkExpr(F->bound());
         checkExpr(F->step());
-        // A loop whose trip count can differ across threads makes any
-        // barrier in its body divergent even though the barrier is not
-        // syntactically under an if: some threads run one more iteration.
-        bool TDep = LoopThreadDep || threadDependent(F->init()) ||
-                    threadDependent(F->bound()) || threadDependent(F->step());
-        bool BDep = LoopBlockDep || blockDependent(F->init()) ||
-                    blockDependent(F->bound()) || blockDependent(F->step());
-        walk(F->body(), UnderIf, TDep, BDep);
+        walk(F->body());
+        break;
+      }
+      case StmtKind::While: {
+        const auto *W = cast<WhileStmt>(S);
+        checkExpr(W->cond());
+        walk(W->body());
         break;
       }
       case StmtKind::Sync:
-        if (UnderIf)
-          bad("barrier under divergent control flow");
-        else if (LoopThreadDep)
-          bad("barrier inside loop with thread-dependent trip count");
-        else if (cast<SyncStmt>(S)->isGlobal() && LoopBlockDep)
-          bad("__globalSync inside loop with block-dependent trip count");
+        // Barrier uniformity is a semantic property, proven (or refuted)
+        // by analysis/BarrierCheck's divergence lattice.
         break;
       }
     }
@@ -222,8 +150,6 @@ private:
   const KernelFunction &K;
   std::set<std::string> Locals;
   std::set<std::string> Scalars;
-  std::set<std::string> ThreadTainted;
-  std::set<std::string> BlockTainted;
   std::map<std::string, size_t> ArrayDims;
   std::vector<std::string> Violations;
 };

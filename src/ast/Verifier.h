@@ -31,9 +31,13 @@ namespace gpuc {
 ///    (one flat subscript for reinterpreted float2/float4 views);
 ///  * assignment targets are variables, arrays or vector fields, and
 ///    scalar parameters are never stored to;
-///  * barriers do not appear under divergent control flow (if bodies);
 ///  * launch dimensions are positive, the block is not larger than any
 ///    supported hardware allows, and shared usage is positive-sized.
+///
+/// Barrier validity (no barrier under divergent control flow or inside a
+/// loop with thread-dependent trip count) is proven separately by the
+/// divergence lattice in analysis/BarrierCheck, which the compiler runs
+/// alongside this structural pass.
 ///
 /// \returns human-readable violations; empty means the kernel verified.
 std::vector<std::string> verifyKernel(const KernelFunction &K);

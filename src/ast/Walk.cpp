@@ -22,6 +22,9 @@ void gpuc::forEachStmt(Stmt *S, const std::function<void(Stmt *)> &Fn) {
   case StmtKind::For:
     forEachStmt(cast<ForStmt>(S)->body(), Fn);
     break;
+  case StmtKind::While:
+    forEachStmt(cast<WhileStmt>(S)->body(), Fn);
+    break;
   case StmtKind::Decl:
   case StmtKind::Assign:
   case StmtKind::Sync:
@@ -84,6 +87,9 @@ void gpuc::forEachExpr(Stmt *S, const std::function<void(Expr *)> &Fn) {
       forEachExprIn(F->step(), Fn);
       break;
     }
+    case StmtKind::While:
+      forEachExprIn(cast<WhileStmt>(Child)->cond(), Fn);
+      break;
     case StmtKind::Compound:
     case StmtKind::Sync:
       break;
@@ -159,6 +165,11 @@ void gpuc::rewriteExprs(Stmt *S, const std::function<Expr *(Expr *)> &Fn) {
       F->setInit(rewriteExpr(F->init(), Fn));
       F->setBound(rewriteExpr(F->bound(), Fn));
       F->setStep(rewriteExpr(F->step(), Fn));
+      break;
+    }
+    case StmtKind::While: {
+      auto *W = cast<WhileStmt>(Child);
+      W->setCond(rewriteExpr(W->cond(), Fn));
       break;
     }
     case StmtKind::Compound:

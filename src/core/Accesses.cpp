@@ -81,6 +81,15 @@ private:
       LoopStack.pop_back();
       return;
     }
+    case StmtKind::While: {
+      // No iterator and no affine trip count: accesses inside stay
+      // loop-free, so subscripts that vary across rounds fail the affine
+      // build and are reported unresolved (conservative).
+      auto *W = cast<WhileStmt>(S);
+      walkExpr(W->cond(), Owner, false);
+      walkStmt(W->body(), Owner);
+      return;
+    }
     case StmtKind::Sync:
       return;
     }

@@ -16,7 +16,7 @@
 #ifndef GPUC_CORE_ACCESSES_H
 #define GPUC_CORE_ACCESSES_H
 
-#include "core/Affine.h"
+#include "ast/Affine.h"
 
 #include <vector>
 

@@ -3,7 +3,7 @@
 #include "core/AmdVectorize.h"
 
 #include "ast/Walk.h"
-#include "core/Affine.h"
+#include "ast/Affine.h"
 
 using namespace gpuc;
 

@@ -6,6 +6,7 @@
 #include "ast/Hash.h"
 #include "ast/Printer.h"
 #include "ast/Verifier.h"
+#include "analysis/BarrierCheck.h"
 #include "cache/DiskCache.h"
 #include "core/BlockMerge.h"
 #include "core/Coalescing.h"
@@ -21,6 +22,8 @@
 
 #include <algorithm>
 #include <limits>
+#include <set>
+#include <tuple>
 
 using namespace gpuc;
 
@@ -105,10 +108,15 @@ KernelFunction *GpuCompiler::compileVariant(const KernelFunction &Naive,
   ASTContext &Ctx = M.context();
 
   // Per-stage observer (the sanitizer layer): every intermediate kernel is
-  // announced, and the last announcement on each return path is final.
+  // announced, and the last announcement on each return path is final. A
+  // HookFactory binds to this compiler's engine, which in a search task is
+  // the task's own — that's what keeps hooked searches parallel.
+  StageHook Hook = Opt.Hook;
+  if (!Hook && Opt.HookFactory)
+    Hook = Opt.HookFactory(Diags);
   auto Stage = [&](const char *StageName, bool Final = false) {
-    if (Opt.Hook)
-      Opt.Hook(StageName, *V, Final);
+    if (Hook)
+      Hook(StageName, *V, Final);
   };
   Stage("input");
 
@@ -187,6 +195,13 @@ KernelFunction *GpuCompiler::compileVariant(const KernelFunction &Naive,
     for (const std::string &Violation : verifyKernel(*V))
       Diags.error(SourceLocation(),
                   strFormat("%s: %s", V->name().c_str(), Violation.c_str()));
+    // Barrier uniformity is semantic, not structural: the dataflow
+    // engine's divergence lattice must prove every barrier (conservative
+    // parity with the pre-analysis Verifier: an unproven barrier is still
+    // an error, but thread-invariant conditions now verify).
+    for (const BarrierIssue &Issue : checkBarriers(*V))
+      Diags.error(SourceLocation(), strFormat("%s: %s", V->name().c_str(),
+                                              Issue.Message.c_str()));
   }
   Stage("final", /*Final=*/true);
   return V;
@@ -236,6 +251,7 @@ CompileOutput GpuCompiler::compile(const KernelFunction &Naive,
     double LowerBoundMs = 0;
     bool Simulated = false;
     bool Pruned = false;
+    bool StaticallyPruned = false;
     PerfResult Perf;
     std::string SimLog;
     double CompileWallMs = 0;
@@ -298,7 +314,18 @@ CompileOutput GpuCompiler::compile(const KernelFunction &Naive,
       return;
     C.Occ = computeOccupancy(Opt.Device, *C.Kernel);
     C.OccInfeasible = C.Occ.Infeasible;
-    if (C.OccInfeasible || Opt.ExhaustiveSearch)
+    if (C.OccInfeasible)
+      return;
+    // A Violation verdict means the variant provably faults at runtime —
+    // its performance run could never succeed, so skip probe and
+    // simulation outright. The fuzz oracle's static/dynamic differential
+    // keeps this sound, which is what guarantees identical winners with
+    // pruning on or off.
+    if (Opt.StaticPrune && runDataflow(*C.Kernel).anyViolation()) {
+      C.StaticallyPruned = true;
+      return;
+    }
+    if (Opt.ExhaustiveSearch)
       return;
     WallTimer ProbeTimer;
     BufferSet Buffers;
@@ -312,10 +339,19 @@ CompileOutput GpuCompiler::compile(const KernelFunction &Naive,
   });
 
   // Replay per-task diagnostics into the caller's engine in slot order
-  // (identical text for every lane count).
-  for (Candidate &C : Cands)
-    for (const Diagnostic &D : C.TaskDiags.diagnostics())
-      Diags.report(D.Kind, D.Loc, D.Message);
+  // (identical text for every lane count). Exact duplicates are emitted
+  // once: every variant of one kernel runs the same sanitizer over mostly
+  // identical stages, and repeating a finding per candidate only buries
+  // it.
+  {
+    std::set<std::tuple<DiagKind, int, int, std::string>> Seen;
+    for (const Diagnostic &D : Diags.diagnostics())
+      Seen.insert({D.Kind, D.Loc.Line, D.Loc.Col, D.Message});
+    for (Candidate &C : Cands)
+      for (const Diagnostic &D : C.TaskDiags.diagnostics())
+        if (Seen.insert({D.Kind, D.Loc.Line, D.Loc.Col, D.Message}).second)
+          Diags.report(D.Kind, D.Loc, D.Message);
+  }
 
   auto FullSim = [&](size_t I) {
     Candidate &C = Cands[I];
@@ -331,7 +367,8 @@ CompileOutput GpuCompiler::compile(const KernelFunction &Naive,
 
   std::vector<size_t> Runnable;
   for (size_t I = 0; I < Cands.size(); ++I)
-    if (Cands[I].Kernel && !Cands[I].OccInfeasible)
+    if (Cands[I].Kernel && !Cands[I].OccInfeasible &&
+        !Cands[I].StaticallyPruned)
       Runnable.push_back(I);
 
   // Phase B: full performance runs. The candidate with the smallest lower
@@ -382,6 +419,11 @@ CompileOutput GpuCompiler::compile(const KernelFunction &Naive,
       VR.Perf.Occ = C.Occ;
       Out.Log += strFormat("b%d t%d: infeasible (%s)\n", C.N, C.Mm,
                            C.Occ.LimitedBy);
+    } else if (C.StaticallyPruned) {
+      VR.StaticallyPruned = true;
+      Out.Log += strFormat("b%d t%d: statically pruned (proven "
+                           "out-of-bounds access or invalid barrier)\n",
+                           C.N, C.Mm);
     } else if (C.Pruned) {
       VR.Pruned = true;
       Out.Log += strFormat(
@@ -413,6 +455,7 @@ CompileOutput GpuCompiler::compile(const KernelFunction &Naive,
     Out.Search.Simulated += C.Simulated ? 1 : 0;
     Out.Search.Probed += C.Probed ? 1 : 0;
     Out.Search.Pruned += C.Pruned ? 1 : 0;
+    Out.Search.StaticallyPruned += C.StaticallyPruned ? 1 : 0;
     Out.Search.Infeasible += C.OccInfeasible ? 1 : 0;
     Out.Search.CompileMs += C.CompileWallMs;
     Out.Search.SimMs += C.SimWallMs;

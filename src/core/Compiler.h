@@ -45,6 +45,14 @@ class DiskCache;
 using StageHook =
     std::function<void(const char *Stage, KernelFunction &K, bool Final)>;
 
+/// Makes a task-local StageHook reporting into the given engine. Unlike a
+/// plain Hook, a factory keeps the design-space search parallel: each
+/// search task calls it once with its own DiagnosticsEngine, and the
+/// task diagnostics are replayed into the caller's engine in canonical
+/// slot order with exact duplicates collapsed — so the diagnostic stream
+/// is byte-identical for every lane count.
+using StageHookFactory = std::function<StageHook(DiagnosticsEngine &Diags)>;
+
 /// The stage names compileVariant announces to StageHook, in announcement
 /// order ("input" first, "final" last; disabled stages are skipped). The
 /// fuzz oracle (fuzz/Oracle.h) snapshots the kernel at each announcement
@@ -67,6 +75,16 @@ struct CompileOptions {
   bool Verify = true;
   /// Per-stage observer; null disables it.
   StageHook Hook;
+  /// Parallel-safe per-stage observer (see StageHookFactory); preferred
+  /// over Hook for the sanitizer layer. Ignored when Hook is set.
+  StageHookFactory HookFactory;
+  /// Reject search candidates the abstract-interpretation engine
+  /// (analysis/Dataflow.h) proves will fault — an out-of-bounds access or
+  /// invalid barrier that certainly executes — without probing or
+  /// simulating them. A Violation verdict implies the dynamic run could
+  /// never have succeeded, so pruning cannot change the winner
+  /// (test-enforced); SearchStats::StaticallyPruned counts the skips.
+  bool StaticPrune = true;
   /// Lanes for the design-space search (compiling/simulating candidate
   /// variants concurrently). 0 = hardware concurrency, 1 = serial. A
   /// serial search and a parallel one select the same best variant and
@@ -109,6 +127,9 @@ struct VariantResult {
   /// Skipped by the search: the cheap lower-bound estimate already
   /// exceeded the champion's measured time.
   bool Pruned = false;
+  /// Rejected before any simulation: the dataflow engine proved the
+  /// variant executes an out-of-bounds access or an invalid barrier.
+  bool StaticallyPruned = false;
   /// The pruning estimate (ms); 0 when no probe ran.
   double LowerBoundMs = 0;
   /// Wall-clock spent compiling / simulating this variant.
@@ -128,6 +149,9 @@ struct SearchStats {
   int Probed = 0;
   /// Candidates skipped by the lower-bound threshold.
   int Pruned = 0;
+  /// Candidates rejected by the dataflow engine's Violation proof before
+  /// any simulation (CompileOptions::StaticPrune).
+  int StaticallyPruned = 0;
   int Infeasible = 0;
   /// SimCache traffic attributable to this search: in-memory hits, misses
   /// in both tiers, and memory misses served by the disk tier.

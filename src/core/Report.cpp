@@ -64,9 +64,9 @@ std::string gpuc::searchStatsReport(const CompileOutput &Out) {
   std::ostringstream OS;
   OS << "== search stats ==\n";
   OS << strFormat("  jobs=%d  candidates=%d  simulated=%d  probed=%d  "
-                  "pruned=%d  infeasible=%d\n",
+                  "pruned=%d  statically-pruned=%d  infeasible=%d\n",
                   S.Jobs, S.Candidates, S.Simulated, S.Probed, S.Pruned,
-                  S.Infeasible);
+                  S.StaticallyPruned, S.Infeasible);
   OS << strFormat("  sim cache: %llu memory hits, %llu disk hits, "
                   "%llu misses\n",
                   static_cast<unsigned long long>(S.CacheHits),

@@ -104,6 +104,11 @@ private:
       taintWalkStmt(F->body(), C, Changed);
       return;
     }
+    case StmtKind::While: {
+      auto *W = cast<WhileStmt>(S);
+      taintWalkStmt(W->body(), CtxTainted || exprTainted(W->cond()), Changed);
+      return;
+    }
     case StmtKind::Sync:
       return;
     case StmtKind::Decl:
@@ -224,6 +229,17 @@ private:
           rewriteCompound(If->thenBody());
           if (If->elseBody())
             rewriteCompound(If->elseBody());
+          NewBody.push_back(S);
+        } else {
+          for (int R = 0; R < M; ++R)
+            NewBody.push_back(replica(S, R));
+        }
+        break;
+      }
+      case StmtKind::While: {
+        auto *W = cast<WhileStmt>(S);
+        if (!exprTainted(W->cond())) {
+          rewriteCompound(W->body());
           NewBody.push_back(S);
         } else {
           for (int R = 0; R < M; ++R)

@@ -25,6 +25,8 @@ const char *gpuc::failureKindName(OracleFailure::Kind K) {
     return "mismatch";
   case OracleFailure::Kind::Race:
     return "race";
+  case OracleFailure::Kind::StaticUnsound:
+    return "static-unsound";
   }
   return "?";
 }

@@ -2,6 +2,8 @@
 
 #include "fuzz/Oracle.h"
 
+#include "analysis/Dataflow.h"
+#include "analysis/RaceDetector.h"
 #include "ast/Clone.h"
 #include "ast/Walk.h"
 #include "sim/Simulator.h"
@@ -177,6 +179,40 @@ std::string attributeStage(const KernelFunction &Naive,
   return "unattributed";
 }
 
+/// Static classification of one kernel for the --check-static
+/// differential. Clean demands Proven verdicts on every access and
+/// barrier plus a clean race report; ProvenOOB means some access carries
+/// a Violation verdict (must-execute, proven out of bounds), which the
+/// dynamic sanitizer is then obligated to observe.
+struct StaticClass {
+  bool Clean = false;
+  bool ProvenOOB = false;
+  std::string Desc;
+};
+
+StaticClass classifyStatic(const KernelFunction &K) {
+  StaticClass C;
+  DataflowResult DF = runDataflow(K);
+  RaceReport RR = detectSharedRaces(K);
+  int Proven = 0, Possible = 0, Violations = 0;
+  for (const AccessFact &A : DF.Accesses) {
+    if (A.Bounds == Verdict::Proven)
+      ++Proven;
+    else if (A.Bounds == Verdict::Violation)
+      ++Violations;
+    else
+      ++Possible;
+  }
+  C.ProvenOOB = Violations > 0;
+  C.Clean = DF.boundsClean() && DF.barriersClean() && RR.clean();
+  C.Desc = strFormat("accesses: %d proven, %d possible, %d violation; "
+                     "barriers %s; races %s",
+                     Proven, Possible, Violations,
+                     DF.barriersClean() ? "proven" : "unproven",
+                     RR.clean() ? "clean" : "unproven");
+  return C;
+}
+
 } // namespace
 
 OracleResult gpuc::runOracle(Module &M, const KernelFunction &Naive,
@@ -184,17 +220,52 @@ OracleResult gpuc::runOracle(Module &M, const KernelFunction &Naive,
   OracleResult Res;
   Simulator Sim(Opt.Compile.Device);
 
-  // Reference: the naive kernel's own outputs on the seeded inputs.
+  StaticClass SC;
+  if (Opt.CheckStatic)
+    SC = classifyStatic(Naive);
+
+  // Reference: the naive kernel's own outputs on the seeded inputs. Under
+  // --check-static the naive run is itself race-checked, since the static
+  // claim being audited covers race-freedom too.
   BufferSet Ref;
   {
     fillFuzzInputs(Naive, Ref, Opt.InputSeed);
     DiagnosticsEngine RunDiags;
-    if (!Sim.runFunctional(Naive, Ref, RunDiags)) {
+    RaceLog NaiveRaces;
+    bool WantRaces = Opt.CheckStatic && Opt.CheckRaces;
+    bool Ok = Sim.runFunctional(Naive, Ref, RunDiags,
+                                WantRaces ? &NaiveRaces : nullptr);
+    bool Raced = WantRaces && !NaiveRaces.clean();
+    if (!Ok || Raced) {
       OracleFailure F;
-      F.FailKind = OracleFailure::Kind::RunError;
       F.Variant = "naive";
       F.Stage = "input";
-      F.Detail = RunDiags.str();
+      if (Opt.CheckStatic && SC.Clean) {
+        // The engine proved this kernel in-bounds, barrier-uniform and
+        // race-free; the dynamic sanitizer disagrees. Unsound analysis.
+        F.FailKind = OracleFailure::Kind::StaticUnsound;
+        F.Stage = "static";
+        F.Detail = "statically clean kernel failed the dynamic sanitizer "
+                   "(" + SC.Desc + "):\n" +
+                   (!Ok ? RunDiags.str() : describeRaces(NaiveRaces));
+      } else {
+        F.FailKind = !Ok ? OracleFailure::Kind::RunError
+                         : OracleFailure::Kind::Race;
+        F.Detail = !Ok ? RunDiags.str() : describeRaces(NaiveRaces);
+      }
+      Res.Failures.push_back(F);
+      Res.Passed = false;
+      return Res;
+    }
+    if (Opt.CheckStatic && SC.ProvenOOB) {
+      // A Violation verdict asserts some thread must fault; a clean run
+      // refutes the proof. Unsound in the other direction.
+      OracleFailure F;
+      F.FailKind = OracleFailure::Kind::StaticUnsound;
+      F.Variant = "naive";
+      F.Stage = "static";
+      F.Detail = "proven out-of-bounds access did not fault dynamically (" +
+                 SC.Desc + ")";
       Res.Failures.push_back(F);
       Res.Passed = false;
       return Res;
@@ -250,6 +321,17 @@ OracleResult gpuc::runOracle(Module &M, const KernelFunction &Naive,
     F.Detail = Detail;
     F.Stage = attributeStage(Naive, Opt, V.BlockMergeN, V.ThreadMergeM, Sim,
                              Ref, Cmp);
+    // A sanitizer-level failure (fault or race, not a value mismatch) on
+    // a variant the engine proved clean is the same unsoundness the naive
+    // check hunts for, surfaced on a transformed kernel.
+    if (Opt.CheckStatic && F.FailKind != OracleFailure::Kind::Mismatch) {
+      StaticClass VSC = classifyStatic(*V.Kernel);
+      if (VSC.Clean) {
+        F.FailKind = OracleFailure::Kind::StaticUnsound;
+        F.Detail = "statically clean variant failed the dynamic sanitizer "
+                   "(" + VSC.Desc + "):\n" + Detail;
+      }
+    }
     Res.Failures.push_back(F);
     Res.Passed = false;
   }

@@ -45,6 +45,15 @@ struct OracleOptions {
   double RelTol = 1e-4;
   /// Race-check every optimized variant with the dynamic sanitizer.
   bool CheckRaces = true;
+  /// Differential static-vs-dynamic soundness check (gpuc-fuzz
+  /// --check-static): classify the naive kernel with the
+  /// abstract-interpretation engine (analysis/Dataflow.h) before running
+  /// it. A kernel proven clean (every access and barrier Proven, race
+  /// detector clean) must never fail the dynamic sanitizer, and a kernel
+  /// with a proven out-of-bounds access must always fault dynamically.
+  /// Either direction broken is a Kind::StaticUnsound failure — a bug in
+  /// the analysis engine, not in the kernel under test.
+  bool CheckStatic = false;
   /// Test-only fault injection, run inside the pipeline's stage hook
   /// before the oracle snapshots the kernel.
   StageHook Inject;
@@ -52,7 +61,7 @@ struct OracleOptions {
 
 /// One equivalence violation found by the oracle.
 struct OracleFailure {
-  enum class Kind { CompileError, RunError, Mismatch, Race };
+  enum class Kind { CompileError, RunError, Mismatch, Race, StaticUnsound };
   Kind FailKind = Kind::Mismatch;
   /// Variant identity ("naive" for reference-side failures).
   std::string Variant;

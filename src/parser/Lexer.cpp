@@ -36,6 +36,8 @@ const char *gpuc::tokKindName(TokKind K) {
     return "float4";
   case TokKind::KwFor:
     return "for";
+  case TokKind::KwWhile:
+    return "while";
   case TokKind::KwIf:
     return "if";
   case TokKind::KwElse:
@@ -181,6 +183,7 @@ static const std::map<std::string, TokKind> &keywordTable() {
       {"float2", TokKind::KwFloat2},
       {"float4", TokKind::KwFloat4},
       {"for", TokKind::KwFor},
+      {"while", TokKind::KwWhile},
       {"if", TokKind::KwIf},
       {"else", TokKind::KwElse},
       {"__syncthreads", TokKind::KwSyncThreads},

@@ -212,6 +212,8 @@ Stmt *Parser::parseStmt() {
     return parseDecl();
   case TokKind::KwFor:
     return parseFor();
+  case TokKind::KwWhile:
+    return parseWhile();
   case TokKind::KwIf:
     return parseIf();
   case TokKind::KwSyncThreads: {
@@ -362,6 +364,17 @@ Stmt *Parser::parseFor() {
     return nullptr;
   CompoundStmt *Body = parseStmtAsCompound();
   return Ctx->create<ForStmt>(Iter, Init, Cmp, Bound, SK, Step, Body);
+}
+
+Stmt *Parser::parseWhile() {
+  consume(); // while
+  if (!expect(TokKind::LParen, "after 'while'"))
+    return nullptr;
+  Expr *Cond = parseExpr();
+  if (!expect(TokKind::RParen, "after while condition"))
+    return nullptr;
+  CompoundStmt *Body = parseStmtAsCompound();
+  return Ctx->whileStmt(Cond, Body);
 }
 
 Stmt *Parser::parseIf() {

@@ -56,6 +56,7 @@ private:
   Stmt *parseStmt();
   Stmt *parseDecl();
   Stmt *parseFor();
+  Stmt *parseWhile();
   Stmt *parseIf();
   Stmt *parseAssignOrError();
   CompoundStmt *parseStmtAsCompound();

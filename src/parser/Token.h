@@ -33,6 +33,7 @@ enum class TokKind {
   KwFloat2,
   KwFloat4,
   KwFor,
+  KwWhile,
   KwIf,
   KwElse,
   KwSyncThreads, // __syncthreads

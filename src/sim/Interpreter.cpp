@@ -792,6 +792,9 @@ void Interpreter::execStmt(Stmt *S, const std::vector<uint8_t> &Mask) {
   case StmtKind::For:
     execFor(cast<ForStmt>(S), Mask);
     return;
+  case StmtKind::While:
+    execWhile(cast<WhileStmt>(S), Mask);
+    return;
   case StmtKind::Sync: {
     auto *Sync = cast<SyncStmt>(S);
     // Barriers must be reached by every thread of the group.
@@ -1054,6 +1057,40 @@ void Interpreter::execFor(ForStmt *F, const std::vector<uint8_t> &Mask) {
         slot(Slot, T).I /= static_cast<int>(Step);
       }
     }
+    ++Iter;
+    if (Iter > (1LL << 26)) {
+      reportOnce("loop iteration limit exceeded (runaway loop?)");
+      return;
+    }
+  }
+}
+
+void Interpreter::execWhile(WhileStmt *W, const std::vector<uint8_t> &Mask) {
+  const bool Collect = Opt && Opt->CollectStats;
+  std::vector<uint8_t> LoopMask(static_cast<size_t>(GroupThreads), 0);
+  long long Iter = 0;
+  while (!Failed) {
+    bool Any = false;
+    for (long long T = 0; T < GroupThreads; ++T) {
+      LoopMask[static_cast<size_t>(T)] = 0;
+      if (!Mask[static_cast<size_t>(T)])
+        continue;
+      Value C = evalExpr(W->cond(), T);
+      bool In = W->cond()->type().isBool() || W->cond()->type().isInt()
+                    ? C.I != 0
+                    : C.F0 != 0.0f;
+      if (In) {
+        LoopMask[static_cast<size_t>(T)] = 1;
+        Any = true;
+      }
+      if (Collect)
+        Opt->Stats->DynOps += 1; // condition re-evaluation per round
+    }
+    if (!Any)
+      break;
+    execStmt(W->body(), LoopMask);
+    if (Failed)
+      return;
     ++Iter;
     if (Iter > (1LL << 26)) {
       reportOnce("loop iteration limit exceeded (runaway loop?)");

@@ -133,6 +133,7 @@ private:
   void execStmt(Stmt *S, const std::vector<uint8_t> &Mask);
   void execAssign(AssignStmt *A, const std::vector<uint8_t> &Mask);
   void execFor(ForStmt *F, const std::vector<uint8_t> &Mask);
+  void execWhile(WhileStmt *W, const std::vector<uint8_t> &Mask);
   bool uniformLoopTrip(ForStmt *F, const std::vector<uint8_t> &Mask,
                        long long &Trip);
 

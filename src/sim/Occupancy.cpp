@@ -64,6 +64,8 @@ int regsOfStmt(const Stmt *S) {
   }
   case StmtKind::For:
     return 1 + regsOfCompound(cast<ForStmt>(S)->body());
+  case StmtKind::While:
+    return regsOfCompound(cast<WhileStmt>(S)->body());
   case StmtKind::Decl:
   case StmtKind::Assign:
   case StmtKind::Sync:

@@ -3,7 +3,7 @@
 #include "ast/Builder.h"
 #include "ast/Printer.h"
 #include "core/Accesses.h"
-#include "core/Affine.h"
+#include "ast/Affine.h"
 
 #include <gtest/gtest.h>
 

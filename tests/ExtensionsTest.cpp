@@ -2,6 +2,7 @@
 
 #include "ast/Builder.h"
 #include "ast/Printer.h"
+#include "analysis/BarrierCheck.h"
 #include "ast/Verifier.h"
 #include "baselines/CpuReference.h"
 #include "core/AmdVectorize.h"
@@ -152,9 +153,11 @@ TEST(Verifier, FlagsBarrierUnderIf) {
   B.assign(B.at("c", {B.idx()}), B.f(0));
   B.endIf();
   KernelFunction *K = B.finish(16, 1, 64, 1);
-  auto V = verifyKernel(*K);
-  ASSERT_FALSE(V.empty());
-  EXPECT_NE(V[0].find("barrier"), std::string::npos);
+  EXPECT_TRUE(verifyKernel(*K).empty());
+  std::vector<BarrierIssue> Issues = checkBarriers(*K);
+  ASSERT_FALSE(Issues.empty());
+  EXPECT_EQ(Issues[0].Uniformity, Verdict::Violation);
+  EXPECT_NE(Issues[0].Message.find("barrier"), std::string::npos);
 }
 
 TEST(Verifier, FlagsOversizedBlock) {

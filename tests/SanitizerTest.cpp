@@ -13,6 +13,7 @@
 #include "analysis/RaceDetector.h"
 #include "analysis/Sanitizer.h"
 #include "ast/Printer.h"
+#include "analysis/BarrierCheck.h"
 #include "ast/Verifier.h"
 #include "ast/Walk.h"
 #include "baselines/CpuReference.h"
@@ -407,11 +408,13 @@ TEST(Verifier, FlagsThreadDependentTripBarrier) {
   DiagnosticsEngine D;
   KernelFunction *K = parseSource(M, Src, D);
   ASSERT_NE(K, nullptr);
-  std::vector<std::string> Problems = verifyKernel(*K);
+  EXPECT_TRUE(verifyKernel(*K).empty());
+  std::vector<BarrierIssue> Issues = checkBarriers(*K);
   bool Found = false;
-  for (const std::string &P : Problems)
-    Found |= P.find("thread-dependent") != std::string::npos;
-  EXPECT_TRUE(Found) << "got " << Problems.size() << " problems";
+  for (const BarrierIssue &I : Issues)
+    Found |= I.Uniformity == Verdict::Violation &&
+             I.Message.find("thread-dependent") != std::string::npos;
+  EXPECT_TRUE(Found) << "got " << Issues.size() << " issues";
 }
 
 TEST(Verifier, AcceptsUniformTripBarrier) {
@@ -428,8 +431,10 @@ TEST(Verifier, AcceptsUniformTripBarrier) {
   DiagnosticsEngine D;
   KernelFunction *K = parseSource(M, Src, D);
   ASSERT_NE(K, nullptr);
-  for (const std::string &P : verifyKernel(*K))
-    EXPECT_EQ(P.find("thread-dependent"), std::string::npos) << P;
+  EXPECT_TRUE(verifyKernel(*K).empty());
+  for (const BarrierIssue &I : checkBarriers(*K))
+    EXPECT_EQ(I.Message.find("thread-dependent"), std::string::npos)
+        << I.Message;
 }
 
 //===----------------------------------------------------------------------===//

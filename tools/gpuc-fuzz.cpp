@@ -46,6 +46,10 @@ void usage() {
       "  --repro=FILE              write that kernel to FILE and exit\n"
       "  --check=FILE              parse FILE and run the differential\n"
       "                            oracle on it (replay a repro)\n"
+      "  --check-static            audit the abstract-interpretation\n"
+      "                            engine: a statically clean kernel must\n"
+      "                            never fail the dynamic sanitizer, a\n"
+      "                            proven-OOB kernel must always fault\n"
       "  --quiet                   suppress per-seed progress lines\n");
 }
 
@@ -119,6 +123,8 @@ int main(int argc, char **argv) {
       ReproPath = Arg + 8;
     else if (std::strncmp(Arg, "--check=", 8) == 0)
       CheckPath = Arg + 8;
+    else if (std::strcmp(Arg, "--check-static") == 0)
+      Opt.Oracle.CheckStatic = true;
     else if (std::strcmp(Arg, "--quiet") == 0)
       Quiet = true;
     else if (std::strcmp(Arg, "--help") == 0) {

@@ -64,6 +64,11 @@ void usage() {
       "  --lint                    warn about out-of-bounds accesses, bank\n"
       "                            conflicts and surviving non-coalesced\n"
       "                            accesses\n"
+      "  --lint=strict             verdict mode: bounds lints come from the\n"
+      "                            abstract-interpretation engine and every\n"
+      "                            finding is qualified proven/possible;\n"
+      "                            guarded accesses are checked, not\n"
+      "                            skipped\n"
       "  --Werror                  treat warnings as errors\n"
       "  --print-naive             echo the parsed naive kernel first\n"
       "  --jobs=N                  lanes for the design-space search, and\n"
@@ -126,7 +131,7 @@ struct DriverOptions {
   std::vector<std::string> Inputs;
   int BlockN = 0, ThreadM = 0;
   bool Report = false, Validate = false, PrintNaive = false;
-  bool Sanitize = false, Lint = false, Werror = false;
+  bool Sanitize = false, Lint = false, LintStrict = false, Werror = false;
   bool SearchStats = false, TimeReportFlag = false;
   bool Batch = false;
   bool NoDiskCache = false;
@@ -237,6 +242,7 @@ int runSingle(DriverOptions &D, DiskCache *Disk, SimCache &Mem) {
     SanitizeOptions SanOpt;
     SanOpt.Races = D.Sanitize;
     SanOpt.Lint = D.Lint;
+    SanOpt.LintOpts.Strict = D.LintStrict;
     attachStageSanitizer(Opt, Diags, SanOpt, &SanSummary);
   }
 
@@ -462,6 +468,8 @@ int main(int argc, char **argv) {
       D.Sanitize = true;
     else if (std::strcmp(Arg, "--lint") == 0)
       D.Lint = true;
+    else if (std::strcmp(Arg, "--lint=strict") == 0)
+      D.Lint = D.LintStrict = true;
     else if (std::strcmp(Arg, "--Werror") == 0)
       D.Werror = true;
     else if (std::strncmp(Arg, "--jobs=", 7) == 0)
