@@ -289,6 +289,7 @@ CompileOutput GpuCompiler::compile(const KernelFunction &Naive,
   const uint64_t DiskHits0 = Cache->diskHits();
   Simulator Sim(Opt.Device);
   Sim.setCache(Cache);
+  Sim.setInterpBackend(Opt.Interp);
 
   // The probe profile's coarser sampling can miss camping and imbalance
   // effects that only ever increase the full-run estimate; the safety

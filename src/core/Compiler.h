@@ -110,6 +110,10 @@ struct CompileOptions {
   /// evaluate as naive ones; set Perf.WorkPerBlockRef = 0 to reproduce the
   /// original fixed-count sampling.
   PerfOptions Perf;
+  /// Interpreter engine for the search's simulation runs. Scalar and
+  /// Vector are bit-identical (test-enforced), so this is excluded from
+  /// compileCacheKey; Scalar is the differential oracle / debug path.
+  InterpBackend Interp = InterpBackend::Vector;
 };
 
 /// One explored design point (Section 4 / Figure 10).

@@ -27,6 +27,8 @@ const char *gpuc::failureKindName(OracleFailure::Kind K) {
     return "race";
   case OracleFailure::Kind::StaticUnsound:
     return "static-unsound";
+  case OracleFailure::Kind::InterpDivergence:
+    return "interp-divergence";
   }
   return "?";
 }

@@ -190,6 +190,76 @@ struct StaticClass {
   std::string Desc;
 };
 
+bool sameRaceLog(const RaceLog &A, const RaceLog &B) {
+  if (A.Phases != B.Phases || A.Races.size() != B.Races.size())
+    return false;
+  for (size_t I = 0; I < A.Races.size(); ++I) {
+    const RaceRecord &X = A.Races[I], &Y = B.Races[I];
+    if (X.Array != Y.Array || X.WriteWrite != Y.WriteWrite ||
+        X.Phase != Y.Phase || X.Word != Y.Word || X.T1 != Y.T1 ||
+        X.T2 != Y.T2 || X.Block != Y.Block)
+      return false;
+  }
+  return true;
+}
+
+/// Runs \p K with both interpreter engines on identical seeded inputs and
+/// demands equal outcomes, bit-identical buffers and a record-identical
+/// race log. \returns false with \p Detail filled on divergence.
+bool crossCheckInterp(const Simulator &Sim, const KernelFunction &K,
+                      unsigned InputSeed, std::string &Detail) {
+  Simulator Scalar(Sim.device());
+  Scalar.setInterpBackend(InterpBackend::Scalar);
+  Simulator Vector(Sim.device());
+  Vector.setInterpBackend(InterpBackend::Vector);
+
+  BufferSet BufS, BufV;
+  fillFuzzInputs(K, BufS, InputSeed);
+  fillFuzzInputs(K, BufV, InputSeed);
+  DiagnosticsEngine DiagS, DiagV;
+  RaceLog RaceS, RaceV;
+  bool OkS = Scalar.runFunctional(K, BufS, DiagS, &RaceS);
+  bool OkV = Vector.runFunctional(K, BufV, DiagV, &RaceV);
+  if (OkS != OkV) {
+    Detail = strFormat("engines disagree on outcome: scalar %s, vector %s\n",
+                       OkS ? "ok" : "error", OkV ? "ok" : "error") +
+             DiagS.str() + DiagV.str();
+    return false;
+  }
+  if (!OkS)
+    return true; // both faulted; the result is discarded either way
+  for (const ParamDecl &P : K.params()) {
+    if (!P.IsArray)
+      continue;
+    const auto &A = BufS.data(P.Name);
+    const auto &B = BufV.data(P.Name);
+    if (A.size() != B.size() ||
+        (!A.empty() &&
+         std::memcmp(A.data(), B.data(), A.size() * sizeof(float)) != 0)) {
+      for (size_t I = 0; I < A.size() && I < B.size(); ++I) {
+        if (std::memcmp(&A[I], &B[I], sizeof(float)) != 0) {
+          Detail = strFormat("buffer '%s' diverges at [%zu]: scalar %.9g, "
+                             "vector %.9g",
+                             P.Name.c_str(), I, A[I], B[I]);
+          break;
+        }
+      }
+      if (Detail.empty())
+        Detail = strFormat("buffer '%s' sizes diverge", P.Name.c_str());
+      return false;
+    }
+  }
+  if (!sameRaceLog(RaceS, RaceV)) {
+    Detail = "race logs diverge:\nscalar:\n" + describeRaces(RaceS) +
+             "vector:\n" + describeRaces(RaceV) +
+             strFormat("(%zu vs %zu records, %d vs %d phases)",
+                       RaceS.Races.size(), RaceV.Races.size(), RaceS.Phases,
+                       RaceV.Phases);
+    return false;
+  }
+  return true;
+}
+
 StaticClass classifyStatic(const KernelFunction &K) {
   StaticClass C;
   DataflowResult DF = runDataflow(K);
@@ -219,10 +289,25 @@ OracleResult gpuc::runOracle(Module &M, const KernelFunction &Naive,
                              const OracleOptions &Opt) {
   OracleResult Res;
   Simulator Sim(Opt.Compile.Device);
+  Sim.setInterpBackend(Opt.Compile.Interp);
 
   StaticClass SC;
   if (Opt.CheckStatic)
     SC = classifyStatic(Naive);
+
+  if (Opt.CheckInterp) {
+    std::string Detail;
+    if (!crossCheckInterp(Sim, Naive, Opt.InputSeed, Detail)) {
+      OracleFailure F;
+      F.FailKind = OracleFailure::Kind::InterpDivergence;
+      F.Variant = "naive";
+      F.Stage = "interp";
+      F.Detail = Detail;
+      Res.Failures.push_back(F);
+      Res.Passed = false;
+      return Res;
+    }
+  }
 
   // Reference: the naive kernel's own outputs on the seeded inputs. Under
   // --check-static the naive run is itself race-checked, since the static

@@ -54,6 +54,12 @@ struct OracleOptions {
   /// Either direction broken is a Kind::StaticUnsound failure — a bug in
   /// the analysis engine, not in the kernel under test.
   bool CheckStatic = false;
+  /// Differential check of the two interpreter engines: run the naive
+  /// kernel with both the vector and the scalar backend and demand
+  /// bit-identical buffers and a record-identical race log. Any
+  /// divergence is a Kind::InterpDivergence failure — a bug in one of the
+  /// engines, not in the kernel under test.
+  bool CheckInterp = true;
   /// Test-only fault injection, run inside the pipeline's stage hook
   /// before the oracle snapshots the kernel.
   StageHook Inject;
@@ -61,7 +67,14 @@ struct OracleOptions {
 
 /// One equivalence violation found by the oracle.
 struct OracleFailure {
-  enum class Kind { CompileError, RunError, Mismatch, Race, StaticUnsound };
+  enum class Kind {
+    CompileError,
+    RunError,
+    Mismatch,
+    Race,
+    StaticUnsound,
+    InterpDivergence,
+  };
   Kind FailKind = Kind::Mismatch;
   /// Variant identity ("naive" for reference-side failures).
   std::string Variant;

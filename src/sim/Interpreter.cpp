@@ -3,17 +3,23 @@
 #include "sim/Interpreter.h"
 
 #include "ast/Walk.h"
+#include "sim/Bytecode.h"
+#include "sim/VectorExec.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <map>
 
 using namespace gpuc;
 
 Interpreter::Interpreter(const DeviceSpec &Device, const KernelFunction &K,
                          BufferSet &Buffers, DiagnosticsEngine &Diags)
     : Dev(Device), K(K), Buffers(Buffers), Diags(Diags) {}
+
+// Out of line: ~unique_ptr<BcProgram> needs the complete type.
+Interpreter::~Interpreter() = default;
 
 void Interpreter::reportOnce(const std::string &Message) {
   if (ReportedRuntimeError)
@@ -146,9 +152,16 @@ bool Interpreter::prepare() {
   return ResolveOk;
 }
 
-void Interpreter::setupGroup(long long NumThreads) {
+void Interpreter::setupGroup(long long NumThreads, bool ScalarFrame) {
   GroupThreads = NumThreads;
-  Frame.assign(static_cast<size_t>(NumSlots) * NumThreads, Value());
+  if (ScalarFrame) {
+    Frame.assign(static_cast<size_t>(NumSlots) * NumThreads, Value());
+    RhsScratch.resize(static_cast<size_t>(NumThreads));
+  } else {
+    // The vector executor keeps slot values in its own SoA planes.
+    Frame.clear();
+    RhsScratch.clear();
+  }
   TidX.resize(NumThreads);
   TidY.resize(NumThreads);
   IdX.resize(NumThreads);
@@ -156,7 +169,33 @@ void Interpreter::setupGroup(long long NumThreads) {
   BidX.resize(NumThreads);
   BidY.resize(NumThreads);
   FullMask.assign(static_cast<size_t>(NumThreads), 1);
-  RhsScratch.resize(static_cast<size_t>(NumThreads));
+}
+
+bool Interpreter::vectorEligible(const InterpOptions &O) {
+  if (O.Backend == InterpBackend::Scalar)
+    return false;
+  if (!BCTried) {
+    BCTried = true;
+    BC = compileBytecode(*this);
+  }
+  if (!BC || BC->HazardStoreIdx)
+    return false;
+  // Sampled fast-forward interleaves init/step shared reads per thread;
+  // the plane executor runs them range-major, so the race-check order
+  // would differ. Only observable when both sampling and the sanitizer
+  // are active.
+  if (BC->HazardLoopEval && O.Races && O.CollectStats &&
+      O.LoopSampleThreshold > 0)
+    return false;
+  return true;
+}
+
+std::vector<uint8_t> &Interpreter::acquireMask() {
+  if (MaskTop == MaskPool.size())
+    MaskPool.emplace_back();
+  std::vector<uint8_t> &M = MaskPool[MaskTop++];
+  M.assign(static_cast<size_t>(GroupThreads), 0);
+  return M;
 }
 
 void Interpreter::bindBlock(long long BlockId, long long ThreadBase) {
@@ -185,13 +224,25 @@ void Interpreter::runBlocks(long long Begin, long long End,
   assert(Prepared && "call prepare() first");
   Opt = &Options;
   BlocksInGroup = 1;
-  setupGroup(K.launch().threadsPerBlock());
+  const bool Vec = vectorEligible(Options);
+  setupGroup(K.launch().threadsPerBlock(), /*ScalarFrame=*/!Vec);
   SharedData.assign(static_cast<size_t>((SharedBytesPerBlock + 3) / 4), 0.0f);
-  for (long long B = Begin; B < End && !Failed; ++B) {
-    bindBlock(B, 0);
-    CurBlock = B;
-    raceCheckSetup();
-    execStmt(K.body(), FullMask);
+  if (Vec) {
+    VectorExec VX(*this, *BC);
+    for (long long B = Begin; B < End && !Failed; ++B) {
+      bindBlock(B, 0);
+      CurBlock = B;
+      raceCheckSetup();
+      VX.bindBlockPlanes();
+      VX.run();
+    }
+  } else {
+    for (long long B = Begin; B < End && !Failed; ++B) {
+      bindBlock(B, 0);
+      CurBlock = B;
+      raceCheckSetup();
+      execStmt(K.body(), FullMask);
+    }
   }
   Opt = nullptr;
 }
@@ -202,14 +253,21 @@ void Interpreter::runGrid(const InterpOptions &Options) {
   const LaunchConfig &L = K.launch();
   long long Blocks = L.numBlocks();
   BlocksInGroup = Blocks;
-  setupGroup(L.totalThreads());
+  const bool Vec = vectorEligible(Options);
+  setupGroup(L.totalThreads(), /*ScalarFrame=*/!Vec);
   SharedData.assign(
       static_cast<size_t>((SharedBytesPerBlock + 3) / 4 * Blocks), 0.0f);
   for (long long B = 0; B < Blocks; ++B)
     bindBlock(B, B * L.threadsPerBlock());
   CurBlock = 0;
   raceCheckSetup();
-  execStmt(K.body(), FullMask);
+  if (Vec) {
+    VectorExec VX(*this, *BC);
+    VX.bindBlockPlanes();
+    VX.run();
+  } else {
+    execStmt(K.body(), FullMask);
+  }
   Opt = nullptr;
 }
 
@@ -239,7 +297,8 @@ void Interpreter::raceCheckBarrier() {
 void Interpreter::raceCheckAccess(const ArrayRef *A, long long T,
                                   long long AbsWord, long long RelWord,
                                   int Lanes, bool IsWrite,
-                                  const float *NewVals) {
+                                  const float *NewVals,
+                                  const float *OldVals) {
   RaceLog &Log = *Opt->Races;
   const int Tid =
       static_cast<int>(T % K.launch().threadsPerBlock()) + 1; // 0 = none
@@ -264,9 +323,10 @@ void Interpreter::raceCheckAccess(const ArrayRef *A, long long T,
       if (ShWr[W] && ShWr[W] != Tid) {
         // Redundant same-value write (bitwise-equal to what an earlier
         // writer deposited this phase): the benign halo-staging overlap.
+        const float *CurWord = OldVals ? &OldVals[Lane] : &SharedData[W];
         const bool SameValue =
             NewVals &&
-            std::memcmp(&SharedData[W], &NewVals[Lane], sizeof(float)) == 0;
+            std::memcmp(CurWord, &NewVals[Lane], sizeof(float)) == 0;
         if (!SameValue)
           Conflict(ShWr[W], /*WriteWrite=*/true);
       } else if (!ShWr[W])
@@ -761,8 +821,8 @@ void Interpreter::execStmt(Stmt *S, const std::vector<uint8_t> &Mask) {
     return;
   case StmtKind::If: {
     auto *If = cast<IfStmt>(S);
-    std::vector<uint8_t> ThenMask(static_cast<size_t>(GroupThreads), 0);
-    std::vector<uint8_t> ElseMask(static_cast<size_t>(GroupThreads), 0);
+    std::vector<uint8_t> &ThenMask = acquireMask();
+    std::vector<uint8_t> &ElseMask = acquireMask();
     bool AnyThen = false, AnyElse = false;
     if (Collect && Opt->MM)
       Opt->MM->beginStatement();
@@ -787,6 +847,7 @@ void Interpreter::execStmt(Stmt *S, const std::vector<uint8_t> &Mask) {
       execStmt(If->thenBody(), ThenMask);
     if (AnyElse && If->elseBody())
       execStmt(If->elseBody(), ElseMask);
+    releaseMasks(2);
     return;
   }
   case StmtKind::For:
@@ -967,6 +1028,13 @@ bool Interpreter::uniformLoopTrip(ForStmt *F,
 }
 
 void Interpreter::execFor(ForStmt *F, const std::vector<uint8_t> &Mask) {
+  std::vector<uint8_t> &LoopMask = acquireMask();
+  execForRounds(F, Mask, LoopMask);
+  releaseMasks(1);
+}
+
+void Interpreter::execForRounds(ForStmt *F, const std::vector<uint8_t> &Mask,
+                                std::vector<uint8_t> &LoopMask) {
   const bool Collect = Opt && Opt->CollectStats;
   const int Slot = F->IterSlot;
 
@@ -989,7 +1057,6 @@ void Interpreter::execFor(ForStmt *F, const std::vector<uint8_t> &Mask) {
   if (Sample)
     Before = *Opt->Stats;
 
-  std::vector<uint8_t> LoopMask(static_cast<size_t>(GroupThreads), 0);
   long long Iter = 0;
   while (!Failed) {
     bool Any = false;
@@ -1066,8 +1133,15 @@ void Interpreter::execFor(ForStmt *F, const std::vector<uint8_t> &Mask) {
 }
 
 void Interpreter::execWhile(WhileStmt *W, const std::vector<uint8_t> &Mask) {
+  std::vector<uint8_t> &LoopMask = acquireMask();
+  execWhileRounds(W, Mask, LoopMask);
+  releaseMasks(1);
+}
+
+void Interpreter::execWhileRounds(WhileStmt *W,
+                                  const std::vector<uint8_t> &Mask,
+                                  std::vector<uint8_t> &LoopMask) {
   const bool Collect = Opt && Opt->CollectStats;
-  std::vector<uint8_t> LoopMask(static_cast<size_t>(GroupThreads), 0);
   long long Iter = 0;
   while (!Failed) {
     bool Any = false;

@@ -18,6 +18,16 @@
 ///  * grid mode — the entire grid as one group (required for functional
 ///    correctness of kernels that use __globalSync()).
 ///
+/// Two execution engines (DESIGN.md section 14):
+///  * vector (default) — the kernel body is lowered once to flat bytecode
+///    (Bytecode.h) and stepped over SoA lane planes (VectorExec.h), one
+///    host loop per op instead of one AST walk per thread;
+///  * scalar — the original per-thread recursive walk, kept as the
+///    differential oracle and as the fallback for the few constructs whose
+///    access interleaving the plane executor cannot reproduce exactly.
+/// Both engines produce bit-identical outputs, SimStats, memory-model
+/// folds and race logs on every non-failing run.
+///
 /// In performance mode, uniform loops longer than a threshold execute only
 /// their first few iterations and the statistics delta is extrapolated
 /// (addresses in the paper's kernels are data-independent, so the access
@@ -37,13 +47,16 @@
 #include "support/Diagnostics.h"
 
 #include <cstdint>
-#include <map>
-#include <set>
+#include <deque>
+#include <memory>
 #include <string>
-#include <tuple>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 namespace gpuc {
+
+struct BcProgram;
 
 /// One conflict observed by the dynamic race sanitizer.
 struct RaceRecord {
@@ -69,6 +82,12 @@ struct RaceLog {
   bool clean() const { return Races.empty(); }
 };
 
+/// Which execution engine interprets the kernel body.
+enum class InterpBackend : uint8_t {
+  Scalar, ///< per-thread recursive AST walk (differential oracle)
+  Vector, ///< lane-vectorized bytecode over SoA planes (default)
+};
+
 /// Options controlling one interpretation run.
 struct InterpOptions {
   /// Collect SimStats / feed the memory model.
@@ -81,6 +100,9 @@ struct InterpOptions {
   int LoopSampleCount = 4;
   /// When set, shared-memory accesses are race-checked phase by phase.
   RaceLog *Races = nullptr;
+  /// Execution engine. Results are bit-identical either way, so this is
+  /// excluded from compile/sim cache keys.
+  InterpBackend Backend = InterpBackend::Vector;
 };
 
 /// Interprets one kernel against one buffer set.
@@ -88,6 +110,7 @@ class Interpreter {
 public:
   Interpreter(const DeviceSpec &Device, const KernelFunction &K,
               BufferSet &Buffers, DiagnosticsEngine &Diags);
+  ~Interpreter();
 
   /// Resolves names, assigns device addresses and shared offsets.
   /// \returns false on binding errors (missing buffers, size mismatches).
@@ -102,6 +125,9 @@ public:
   bool ok() const { return !Failed; }
 
 private:
+  friend class BcBuilder;  // Bytecode.cpp: AST -> op stream lowering
+  friend class VectorExec; // VectorExec.cpp: plane executor
+
   struct Value {
     float F0 = 0, F1 = 0, F2 = 0, F3 = 0;
     int I = 0;
@@ -128,12 +154,20 @@ private:
   int slotFor(const std::string &Name);
 
   // Execution over the current group.
-  void setupGroup(long long NumThreads);
+  void setupGroup(long long NumThreads, bool ScalarFrame);
   void bindBlock(long long BlockId, long long ThreadBase);
+  /// True when this run can use the plane executor: vector backend
+  /// requested, the kernel lowered to bytecode, and no race-order hazard
+  /// applies under these options. Compiles the bytecode on first use.
+  bool vectorEligible(const InterpOptions &O);
   void execStmt(Stmt *S, const std::vector<uint8_t> &Mask);
   void execAssign(AssignStmt *A, const std::vector<uint8_t> &Mask);
   void execFor(ForStmt *F, const std::vector<uint8_t> &Mask);
+  void execForRounds(ForStmt *F, const std::vector<uint8_t> &Mask,
+                     std::vector<uint8_t> &LoopMask);
   void execWhile(WhileStmt *W, const std::vector<uint8_t> &Mask);
+  void execWhileRounds(WhileStmt *W, const std::vector<uint8_t> &Mask,
+                       std::vector<uint8_t> &LoopMask);
   bool uniformLoopTrip(ForStmt *F, const std::vector<uint8_t> &Mask,
                        long long &Trip);
 
@@ -148,10 +182,14 @@ private:
   void raceCheckBarrier();
   /// \p NewVals: the per-lane values about to be stored (null for loads);
   /// a second write that deposits the value a word already holds this
-  /// phase is the benign redundant halo-load idiom, not a race.
+  /// phase is the benign redundant halo-load idiom, not a race. \p
+  /// OldVals, when non-null, supplies the pre-store word contents for that
+  /// comparison instead of SharedData (the vector executor commits data
+  /// before replaying buffered checks).
   void raceCheckAccess(const ArrayRef *A, long long T, long long AbsWord,
                        long long RelWord, int Lanes, bool IsWrite,
-                       const float *NewVals = nullptr);
+                       const float *NewVals = nullptr,
+                       const float *OldVals = nullptr);
   /// Computes the flat element index; false if out of bounds.
   bool flattenIndex(const ArrayRef *A, long long T, long long &FlatOut);
 
@@ -159,6 +197,11 @@ private:
     return Frame[static_cast<size_t>(Slot) * GroupThreads +
                  static_cast<size_t>(T)];
   }
+
+  // Reusable divergence-mask scratch (stack discipline along the statement
+  // recursion; deque keeps references stable while the pool grows).
+  std::vector<uint8_t> &acquireMask();
+  void releaseMasks(size_t Count) { MaskTop -= Count; }
 
   void reportOnce(const std::string &Message);
 
@@ -168,7 +211,7 @@ private:
   DiagnosticsEngine &Diags;
 
   // Resolved state.
-  std::map<std::string, int> SlotByName;
+  std::unordered_map<std::string, int> SlotByName;
   int NumSlots = 0;
   std::vector<GlobalArray> Globals;
   std::vector<SharedArray> Shareds;
@@ -178,6 +221,10 @@ private:
   bool Prepared = false;
   bool Failed = false;
   bool ReportedRuntimeError = false;
+
+  // Lazily-compiled bytecode (shared by every vector run of this kernel).
+  std::unique_ptr<BcProgram> BC;
+  bool BCTried = false;
 
   // Group state.
   long long GroupThreads = 0;
@@ -191,6 +238,8 @@ private:
 
   // Scratch for two-phase assignment.
   std::vector<Value> RhsScratch;
+  std::deque<std::vector<uint8_t>> MaskPool;
+  size_t MaskTop = 0;
 
   // Race-sanitizer state: first writer / first two distinct readers per
   // shared float word this phase (thread id + 1; 0 = none). Two readers
@@ -198,7 +247,23 @@ private:
   std::vector<int> ShWr, ShRd1, ShRd2;
   int CurPhase = 0;
   long long CurBlock = 0;
-  std::set<std::tuple<std::string, bool, int>> RaceSeen;
+  struct RaceKey {
+    std::string Array;
+    bool WriteWrite;
+    int Phase;
+    bool operator==(const RaceKey &O) const {
+      return WriteWrite == O.WriteWrite && Phase == O.Phase &&
+             Array == O.Array;
+    }
+  };
+  struct RaceKeyHash {
+    size_t operator()(const RaceKey &Key) const {
+      size_t H = std::hash<std::string>()(Key.Array);
+      return H * 1315423911u + static_cast<size_t>(Key.Phase) * 2 +
+             (Key.WriteWrite ? 1 : 0);
+    }
+  };
+  std::unordered_set<RaceKey, RaceKeyHash> RaceSeen;
 
   // Current run options.
   const InterpOptions *Opt = nullptr;

@@ -8,8 +8,13 @@
 using namespace gpuc;
 
 void MemoryModel::beginStatement() {
-  PendingGlobal.clear();
-  PendingShared.clear();
+  // Keep the map nodes and the Accesses capacity: sites repeat every
+  // statement, and rebuilding the buckets per statement dominated the
+  // model's cost. Empty buckets are skipped at endStatement.
+  for (auto &[Site, B] : PendingGlobal)
+    B.Accesses.clear();
+  for (auto &[Site, B] : PendingShared)
+    B.Accesses.clear();
 }
 
 void MemoryModel::recordGlobal(const void *Site, long long Tid,
@@ -25,6 +30,21 @@ void MemoryModel::recordShared(const void *Site, long long Tid,
   Bucket &B = PendingShared[Site];
   B.ElemBytes = ElemBytes;
   B.Accesses.push_back({Tid, Offset});
+}
+
+std::vector<MemoryModel::Access> &
+MemoryModel::globalSink(const void *Site, int ElemBytes, bool IsStore) {
+  Bucket &B = PendingGlobal[Site];
+  B.ElemBytes = ElemBytes;
+  B.IsStore = IsStore;
+  return B.Accesses;
+}
+
+std::vector<MemoryModel::Access> &MemoryModel::sharedSink(const void *Site,
+                                                          int ElemBytes) {
+  Bucket &B = PendingShared[Site];
+  B.ElemBytes = ElemBytes;
+  return B.Accesses;
 }
 
 void MemoryModel::addPartitionBytes(SimStats &Stats, long long Addr,
@@ -119,12 +139,17 @@ void MemoryModel::foldGlobalHalfWarp(const void *Site, const Bucket &B,
   Attribute();
 }
 
-void MemoryModel::foldSharedHalfWarp(const Bucket &B, const Access *Lanes,
+void MemoryModel::foldSharedGroup(int ElemBytes, const Access *Lanes,
+                                  int Count, SimStats &Stats) {
+  foldSharedHalfWarp(ElemBytes, Lanes, Count, Stats);
+}
+
+void MemoryModel::foldSharedHalfWarp(int ElemBytes, const Access *Lanes,
                                      int Count, SimStats &Stats) {
   Stats.SharedAccessHalfWarps += 1;
   // Bank = word index modulo 16. A multi-word element occupies
   // ElemBytes/4 consecutive banks (float2 shared accesses serialize).
-  const int WordsPerElem = std::max(1, B.ElemBytes / 4);
+  const int WordsPerElem = std::max(1, ElemBytes / 4);
   int BankCount[32] = {0};
   bool AllSameWord = true;
   long long FirstWord = Lanes[0].Addr / 4;
@@ -147,10 +172,15 @@ void MemoryModel::endStatement(SimStats &Stats) {
   auto FoldBuckets = [&](std::map<const void *, Bucket> &Pending,
                          bool IsShared) {
     for (auto &[Site, B] : Pending) {
-      std::sort(B.Accesses.begin(), B.Accesses.end(),
-                [](const Access &A1, const Access &A2) {
-                  return A1.Tid < A2.Tid;
-                });
+      if (B.Accesses.empty())
+        continue;
+      // Both engines emit accesses in ascending thread order, so the sort
+      // is a no-op guard for exotic callers; probe before paying for it.
+      auto ByTid = [](const Access &A1, const Access &A2) {
+        return A1.Tid < A2.Tid;
+      };
+      if (!std::is_sorted(B.Accesses.begin(), B.Accesses.end(), ByTid))
+        std::sort(B.Accesses.begin(), B.Accesses.end(), ByTid);
       size_t I = 0;
       while (I < B.Accesses.size()) {
         long long HalfWarpId = B.Accesses[I].Tid / Dev.HalfWarp;
@@ -160,13 +190,13 @@ void MemoryModel::endStatement(SimStats &Stats) {
           ++J;
         int Count = static_cast<int>(J - I);
         if (IsShared)
-          foldSharedHalfWarp(B, &B.Accesses[I], Count, Stats);
+          foldSharedHalfWarp(B.ElemBytes, &B.Accesses[I], Count, Stats);
         else
           foldGlobalHalfWarp(Site, B, &B.Accesses[I], Count, Stats);
         I = J;
       }
+      B.Accesses.clear();
     }
-    Pending.clear();
   };
   FoldBuckets(PendingGlobal, /*IsShared=*/false);
   FoldBuckets(PendingShared, /*IsShared=*/true);

@@ -54,6 +54,12 @@ public:
     return Sites;
   }
 
+  /// One thread's recorded access (Tid = linear id within its block).
+  struct Access {
+    long long Tid;
+    long long Addr; // byte address (global) or byte offset (shared)
+  };
+
   void beginStatement();
 
   /// Records one thread's access to global memory at device address
@@ -68,6 +74,24 @@ public:
   void recordShared(const void *Site, long long Tid, long long Offset,
                     int ElemBytes);
 
+  /// Bulk-recording variant for the vector executor: returns the pending
+  /// access list for \p Site (creating the bucket and stamping its
+  /// element size / store flag), so a whole plane of accesses can be
+  /// pushed without re-resolving the bucket per thread. Equivalent to
+  /// calling recordGlobal/recordShared once per pushed Access.
+  std::vector<Access> &globalSink(const void *Site, int ElemBytes,
+                                  bool IsStore);
+  std::vector<Access> &sharedSink(const void *Site, int ElemBytes);
+
+  /// Folds one already-grouped half-warp of shared accesses (ascending
+  /// thread order, one access site) immediately, without buffering.
+  /// Equivalent to recordShared per lane plus the endStatement fold:
+  /// every shared-memory contribution to SimStats is an integral count
+  /// added in double, so the accumulation is exact and order-free.
+  void foldSharedGroup(int ElemBytes, const Access *Lanes, int Count,
+                       SimStats &Stats);
+  int halfWarp() const { return Dev.HalfWarp; }
+
   /// Classifies all pending accesses and accumulates into \p Stats.
   void endStatement(SimStats &Stats);
 
@@ -77,10 +101,6 @@ public:
   static double campingFactor(const std::vector<double> &PartitionBytes);
 
 private:
-  struct Access {
-    long long Tid;
-    long long Addr; // byte address (global) or byte offset (shared)
-  };
   struct Bucket {
     std::vector<Access> Accesses;
     int ElemBytes = 4;
@@ -89,7 +109,7 @@ private:
 
   void foldGlobalHalfWarp(const void *Site, const Bucket &B,
                           const Access *Lanes, int Count, SimStats &Stats);
-  void foldSharedHalfWarp(const Bucket &B, const Access *Lanes, int Count,
+  void foldSharedHalfWarp(int ElemBytes, const Access *Lanes, int Count,
                           SimStats &Stats);
   void addPartitionBytes(SimStats &Stats, long long Addr, double Bytes);
 

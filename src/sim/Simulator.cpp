@@ -29,6 +29,7 @@ bool Simulator::runFunctional(const KernelFunction &K, BufferSet &Buffers,
     return false;
   InterpOptions Opt; // no statistics, full execution
   Opt.Races = Races;
+  Opt.Backend = Backend;
   if (kernelHasGlobalSync(K))
     Interp.runGrid(Opt);
   else
@@ -68,6 +69,7 @@ PerfResult Simulator::runPerformance(const KernelFunction &K,
   Opt.CollectStats = true;
   Opt.Stats = &Sampled;
   Opt.MM = &MM;
+  Opt.Backend = Backend;
   // Loop sampling extrapolates aggregate statistics but not the per-site
   // attribution, so site tracking runs loops in full.
   Opt.LoopSampleThreshold =

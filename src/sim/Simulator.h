@@ -101,6 +101,12 @@ public:
   void setCache(SimCache *C) { Cache = C; }
   SimCache *cache() const { return Cache; }
 
+  /// Selects the interpreter engine (DESIGN.md section 14). Results are
+  /// bit-identical either way, so the choice is excluded from cache keys;
+  /// Scalar exists as the differential oracle and for debugging.
+  void setInterpBackend(InterpBackend B) { Backend = B; }
+  InterpBackend interpBackend() const { return Backend; }
+
   /// Executes the whole grid with correct semantics, updating \p Buffers.
   /// Kernels containing __globalSync run as one grid-wide SPMD group.
   /// When \p Races is non-null the run doubles as a dynamic race sanitizer:
@@ -121,6 +127,7 @@ public:
 private:
   DeviceSpec Dev;
   SimCache *Cache = nullptr;
+  InterpBackend Backend = InterpBackend::Vector;
 };
 
 } // namespace gpuc

@@ -50,6 +50,10 @@ void usage() {
       "                            engine: a statically clean kernel must\n"
       "                            never fail the dynamic sanitizer, a\n"
       "                            proven-OOB kernel must always fault\n"
+      "  --interp=scalar|vector    simulator engine for oracle runs\n"
+      "                            (default vector)\n"
+      "  --no-check-interp         skip the per-seed scalar-vs-vector\n"
+      "                            engine cross-check\n"
       "  --quiet                   suppress per-seed progress lines\n");
 }
 
@@ -125,6 +129,12 @@ int main(int argc, char **argv) {
       CheckPath = Arg + 8;
     else if (std::strcmp(Arg, "--check-static") == 0)
       Opt.Oracle.CheckStatic = true;
+    else if (std::strcmp(Arg, "--interp=scalar") == 0)
+      Opt.Oracle.Compile.Interp = InterpBackend::Scalar;
+    else if (std::strcmp(Arg, "--interp=vector") == 0)
+      Opt.Oracle.Compile.Interp = InterpBackend::Vector;
+    else if (std::strcmp(Arg, "--no-check-interp") == 0)
+      Opt.Oracle.CheckInterp = false;
     else if (std::strcmp(Arg, "--quiet") == 0)
       Quiet = true;
     else if (std::strcmp(Arg, "--help") == 0) {

@@ -69,6 +69,9 @@ void usage() {
       "                            finding is qualified proven/possible;\n"
       "                            guarded accesses are checked, not\n"
       "                            skipped\n"
+      "  --interp=scalar|vector    simulator engine: lane-vectorized\n"
+      "                            bytecode (default) or the per-thread\n"
+      "                            AST walk; results are bit-identical\n"
       "  --Werror                  treat warnings as errors\n"
       "  --print-naive             echo the parsed naive kernel first\n"
       "  --jobs=N                  lanes for the design-space search, and\n"
@@ -304,6 +307,7 @@ int runSingle(DriverOptions &D, DiskCache *Disk, SimCache &Mem) {
   if (D.Validate) {
     WallTimer ValidateTimer;
     Simulator Sim(Opt.Device);
+    Sim.setInterpBackend(Opt.Interp);
     BufferSet NaiveBufs, OptBufs;
     fillRandomInputs(*Naive, NaiveBufs);
     fillRandomInputs(*Naive, OptBufs);
@@ -478,6 +482,17 @@ int main(int argc, char **argv) {
       D.Opt.Jobs = std::atoi(argv[++I]);
     else if (std::strcmp(Arg, "--no-prune") == 0)
       D.Opt.ExhaustiveSearch = true;
+    else if (std::strncmp(Arg, "--interp=", 9) == 0) {
+      if (std::strcmp(Arg + 9, "scalar") == 0)
+        D.Opt.Interp = InterpBackend::Scalar;
+      else if (std::strcmp(Arg + 9, "vector") == 0)
+        D.Opt.Interp = InterpBackend::Vector;
+      else {
+        std::fprintf(stderr, "gpucc: error: bad --interp value '%s'\n",
+                     Arg + 9);
+        return 1;
+      }
+    }
     else if (std::strcmp(Arg, "--search-stats") == 0)
       D.SearchStats = true;
     else if (std::strcmp(Arg, "--time-report") == 0)
