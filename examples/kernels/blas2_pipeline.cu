@@ -1,0 +1,21 @@
+// BLAS-2 pipeline: y = A*x, then z = y + b. The mv stage produces y
+// element-wise (one dot product per thread), so the add stage can absorb
+// it: fusion keeps y in a register and the intermediate never round-trips
+// through global memory. gpucc --report shows the legality verdict and
+// the fused-vs-unfused decision.
+#pragma gpuc pipeline(mv -> addv)
+
+#pragma gpuc output(y)
+#pragma gpuc bind(w=128)
+__global__ void mv(float a[128][128], float x[128], float y[128], int w) {
+  float sum = 0;
+  for (int i = 0; i < w; i++) {
+    sum += a[idx][i] * x[i];
+  }
+  y[idx] = sum;
+}
+
+#pragma gpuc output(z)
+__global__ void addv(float y[128], float b[128], float z[128]) {
+  z[idx] = y[idx] + b[idx];
+}

@@ -143,9 +143,27 @@ public:
     return Kernels.empty() ? nullptr : Kernels.front().get();
   }
 
+  /// \returns the kernel named \p Name, or null.
+  KernelFunction *findKernel(const std::string &Name) const {
+    for (const auto &K : Kernels)
+      if (K->name() == Name)
+        return K.get();
+    return nullptr;
+  }
+
+  /// Pipeline stage order for multi-kernel translation units, from the
+  /// `#pragma gpuc pipeline(a -> b -> ...)` clause: each stage's declared
+  /// output arrays feed same-named array parameters of later stages.
+  /// Empty for single-kernel units.
+  const std::vector<std::string> &pipeline() const { return PipelineStages; }
+  void setPipeline(std::vector<std::string> Stages) {
+    PipelineStages = std::move(Stages);
+  }
+
 private:
   ASTContext Ctx;
   std::vector<std::unique_ptr<KernelFunction>> Kernels;
+  std::vector<std::string> PipelineStages;
 };
 
 } // namespace gpuc

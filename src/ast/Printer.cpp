@@ -264,6 +264,24 @@ std::string gpuc::printNaiveKernel(const KernelFunction &K) {
   return OS.str();
 }
 
+std::string gpuc::printNaiveProgram(
+    const std::vector<const KernelFunction *> &Stages) {
+  std::ostringstream OS;
+  OS << "#pragma gpuc pipeline(";
+  for (size_t I = 0; I < Stages.size(); ++I) {
+    if (I)
+      OS << " -> ";
+    OS << Stages[I]->name();
+  }
+  OS << ")\n";
+  for (size_t I = 0; I < Stages.size(); ++I) {
+    if (I)
+      OS << "\n";
+    OS << printNaiveKernel(*Stages[I]);
+  }
+  return OS.str();
+}
+
 std::string gpuc::printKernel(const KernelFunction &K,
                               PrintDialect Dialect) {
   std::ostringstream OS;

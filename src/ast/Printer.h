@@ -50,6 +50,12 @@ std::string printKernel(const KernelFunction &K,
 /// test-case reducer's minimized repros are emitted this way.
 std::string printNaiveKernel(const KernelFunction &K);
 
+/// Renders a multi-kernel pipeline in the naive input dialect: the
+/// `#pragma gpuc pipeline(a -> b -> ...)` clause followed by every stage
+/// via printNaiveKernel, in pipeline order. Round-trips through
+/// Parser::parseProgram. \p Stages must be in pipeline order.
+std::string printNaiveProgram(const std::vector<const KernelFunction *> &Stages);
+
 } // namespace gpuc
 
 #endif // GPUC_AST_PRINTER_H

@@ -466,6 +466,7 @@ CompileOutput GpuCompiler::compile(const KernelFunction &Naive,
   Out.Search.CacheHits = Cache->hits() - Hits0;
   Out.Search.CacheMisses = Cache->misses() - Misses0;
   Out.Search.DiskHits = Cache->diskHits() - DiskHits0;
+  Out.Search.ScalarFallbacks = Sim.scalarFallbacks();
   Out.Search.WallMs = SearchWall.elapsedMs();
 
   // Persist the search's winner (text + factors) so a later process can
@@ -497,5 +498,161 @@ CompileOutput GpuCompiler::compile(const KernelFunction &Naive,
   }
   if (Opt.Disk && Opt.Cache)
     Cache->setBackend(PrevBackend);
+  return Out;
+}
+
+uint64_t
+gpuc::programCacheKey(const std::vector<const KernelFunction *> &Stages,
+                      const CompileOptions &Opt) {
+  // Ordered fold: swapping two stages or dropping one changes the key even
+  // when the per-stage keys are a permutation of each other.
+  uint64_t H = hashCombine(0x70697065u /* 'pipe' */,
+                           static_cast<uint64_t>(Stages.size()));
+  for (const KernelFunction *S : Stages)
+    H = hashCombine(H, compileCacheKey(*S, Opt));
+  return H;
+}
+
+namespace {
+
+/// Merges one search's counters into the program-level aggregate. The
+/// program's searches run back to back, so wall-clock and critical path
+/// add (unlike lanes within one search, which overlap).
+void addSearchStats(SearchStats &A, const SearchStats &B) {
+  A.Jobs = std::max(A.Jobs, B.Jobs);
+  A.Candidates += B.Candidates;
+  A.Simulated += B.Simulated;
+  A.Probed += B.Probed;
+  A.Pruned += B.Pruned;
+  A.StaticallyPruned += B.StaticallyPruned;
+  A.Infeasible += B.Infeasible;
+  A.CacheHits += B.CacheHits;
+  A.CacheMisses += B.CacheMisses;
+  A.DiskHits += B.DiskHits;
+  A.WallMs += B.WallMs;
+  A.CompileMs += B.CompileMs;
+  A.SimMs += B.SimMs;
+  A.CritPathMs += B.CritPathMs;
+  A.ScalarFallbacks += B.ScalarFallbacks;
+}
+
+} // namespace
+
+ProgramCompileOutput
+GpuCompiler::compileProgram(const std::vector<const KernelFunction *> &Stages,
+                            const CompileOptions &Opt) {
+  ProgramCompileOutput Out;
+  Out.Search.Jobs = 0;
+  for (const KernelFunction *S : Stages)
+    Out.StageNames.push_back(S->name());
+  if (Stages.size() < 2) {
+    Diags.error({}, "a pipeline compilation needs at least two kernels");
+    return Out;
+  }
+
+  // Fusion legality is decided once, up front; the fused kernel (if any)
+  // then competes in the design-space search like any other dimension.
+  const std::string FusedName = Stages.back()->name() + "_fused";
+  PipelineFusion PF = fusePipeline(M, Stages, Opt.Device, FusedName);
+  Out.FusionLegal = PF.Legal;
+  Out.FusionReason = PF.Reason;
+  Out.FusionSteps = PF.Steps;
+  Out.Fused = PF.Fused;
+  Out.Search.FusionCandidates = static_cast<int>(PF.Steps.size());
+  for (const FusionDecision &D : PF.Steps)
+    ++(D.Legal ? Out.Search.FusionLegal : Out.Search.FusionRejected);
+
+  // Unfused side: every stage gets its own full search. The shared
+  // SimCache/DiskCache wiring (Opt.Cache / Opt.Disk) carries over, so
+  // repeated program compiles reuse per-stage winners.
+  bool AllStagesFeasible = true;
+  double UnfusedMs = 0;
+  for (const KernelFunction *S : Stages) {
+    CompileOutput CO = compile(*S, Opt);
+    if (CO.Best && CO.BestVariant.Feasible)
+      UnfusedMs += CO.BestVariant.Perf.TimeMs;
+    else
+      AllStagesFeasible = false;
+    addSearchStats(Out.Search, CO.Search);
+    Out.StageOuts.push_back(std::move(CO));
+  }
+  if (AllStagesFeasible)
+    Out.UnfusedMs = UnfusedMs;
+
+  // Fused side. A shared-stage kernel is searched with merging pinned
+  // off: the 16-wide staging tile bakes the launch geometry into the
+  // body, and merge factors would break the barrier proof's alignment.
+  bool FusedFeasible = false;
+  if (PF.Legal) {
+    CompileOptions FOpt = Opt;
+    if (PF.UsedSharedStage)
+      FOpt.Merge = false;
+    Out.FusedOut = compile(*PF.Fused, FOpt);
+    addSearchStats(Out.Search, Out.FusedOut.Search);
+    FusedFeasible = Out.FusedOut.Best && Out.FusedOut.BestVariant.Feasible;
+    if (FusedFeasible)
+      Out.FusedMs = Out.FusedOut.BestVariant.Perf.TimeMs;
+  }
+  Out.AllFeasible = AllStagesFeasible && (!PF.Legal || FusedFeasible);
+
+  Out.UseFused =
+      FusedFeasible && (!AllStagesFeasible || Out.FusedMs < Out.UnfusedMs);
+  if (Out.UseFused)
+    Out.Search.FusionWins = 1;
+
+  // Deterministic program text: decision header + the chosen winner(s).
+  // This is what gpucc emits and what the disk cache replays, so cold and
+  // warm runs are byte-identical.
+  std::string T = "// pipeline:";
+  for (size_t I = 0; I < Out.StageNames.size(); ++I)
+    T += strFormat("%s %s", I ? " ->" : "", Out.StageNames[I].c_str());
+  T += "\n";
+  if (PF.Legal) {
+    for (size_t I = 0; I < PF.Steps.size(); ++I) {
+      const FusionDecision &D = PF.Steps[I];
+      T += strFormat("// fusion: '%s' -> %s (%s)\n", D.Intermediate.c_str(),
+                     fusePlacementName(D.Placement), D.Reason.c_str());
+    }
+  } else {
+    T += "// fusion: rejected: " + PF.Reason + "\n";
+  }
+  T += strFormat("// decision: %s (fused %.6f ms vs unfused %.6f ms)\n",
+                 Out.UseFused ? "fused" : "unfused", Out.FusedMs,
+                 Out.UnfusedMs);
+  if (Out.UseFused) {
+    T += printKernel(*Out.FusedOut.Best);
+  } else {
+    for (size_t I = 0; I < Out.StageOuts.size(); ++I) {
+      T += strFormat("%s// stage: %s\n", I ? "\n" : "",
+                     Out.StageNames[I].c_str());
+      if (Out.StageOuts[I].Best)
+        T += printKernel(*Out.StageOuts[I].Best);
+    }
+  }
+  Out.ProgramText = std::move(T);
+
+  // Program-level winner store, mirroring the single-kernel block above:
+  // clean compiles only, cross-check-replace on mismatch. The per-stage
+  // and fused entries were already stored by the nested compile() calls;
+  // this entry memoizes the decision and the assembled text.
+  if (Opt.Disk && Out.AllFeasible && !Diags.hasErrors() &&
+      !Diags.hasWarnings()) {
+    const uint64_t TextKey = programCacheKey(Stages, Opt);
+    CachedCompile Entry;
+    Entry.KernelText = Out.ProgramText;
+    if (Out.UseFused) {
+      Entry.BlockMergeN = Out.FusedOut.BestVariant.BlockMergeN;
+      Entry.ThreadMergeM = Out.FusedOut.BestVariant.ThreadMergeM;
+      Entry.TimeMs = Out.FusedMs;
+    } else {
+      Entry.BlockMergeN = 0;
+      Entry.ThreadMergeM = 0;
+      Entry.TimeMs = Out.UnfusedMs;
+    }
+    CachedCompile Existing;
+    if (!Opt.Disk->loadText(TextKey, Existing) ||
+        Existing.KernelText != Entry.KernelText)
+      Opt.Disk->storeText(TextKey, Entry);
+  }
   return Out;
 }

@@ -23,6 +23,7 @@
 #define GPUC_CORE_COMPILER_H
 
 #include "core/DataSharing.h"
+#include "core/Fusion.h"
 #include "core/PartitionCamp.h"
 #include "sim/Simulator.h"
 #include "support/Diagnostics.h"
@@ -173,6 +174,20 @@ struct SearchStats {
   /// simulate chain. A lower bound on any schedule's wall-clock, and the
   /// number to set against WallMs.
   double CritPathMs = 0;
+  /// Interpreter runs in this search that asked for the vector engine but
+  /// fell back to the scalar walk (shapes the lane engine cannot run; see
+  /// sim/Interpreter.h). Counts actual engine executions — runs answered
+  /// from the SimCache do not add to it. Excluded from SimStats/PerfResult
+  /// so the scalar/vector bit-identity and cache contracts are untouched.
+  uint64_t ScalarFallbacks = 0;
+  /// Kernel-fusion counters (multi-kernel pipelines; core/Fusion.h):
+  /// producer/consumer pairs the legality analysis examined, how many it
+  /// proved fusable vs. rejected, and whether the search's winner for the
+  /// program was the fused kernel.
+  int FusionCandidates = 0;
+  int FusionLegal = 0;
+  int FusionRejected = 0;
+  int FusionWins = 0;
 };
 
 /// Result of a full compilation.
@@ -190,12 +205,57 @@ struct CompileOutput {
   std::vector<std::shared_ptr<Module>> OwnedModules;
 };
 
+/// Result of compiling a multi-kernel pipeline (compileProgram). The
+/// fused-vs-unfused choice is itself a dimension of the design-space
+/// search: when fusion is legal the fused kernel gets its own full search
+/// and the program's winner is whichever side the performance model ranks
+/// faster. Both sides stay available for differential testing.
+struct ProgramCompileOutput {
+  /// Stage names in pipeline order.
+  std::vector<std::string> StageNames;
+  /// Legality verdict for the whole pipeline (all-or-nothing fold).
+  bool FusionLegal = false;
+  /// First failing pair's reason when !FusionLegal, empty otherwise.
+  std::string FusionReason;
+  /// Per-pair decisions in stage order (stops at the first illegal pair).
+  std::vector<FusionDecision> FusionSteps;
+  /// The fully fused kernel (owned by the compiler's Module); null when
+  /// fusion is illegal.
+  KernelFunction *Fused = nullptr;
+  /// True when the search picked the fused kernel for the program.
+  bool UseFused = false;
+  /// Full search output for the fused kernel (meaningful iff FusionLegal).
+  CompileOutput FusedOut;
+  /// Per-stage search outputs for the unfused sequence, in stage order.
+  std::vector<CompileOutput> StageOuts;
+  /// Modeled times driving the decision: the fused winner vs. the sum of
+  /// the unfused stage winners (0 when the respective side is infeasible).
+  double FusedMs = 0;
+  double UnfusedMs = 0;
+  /// The emitted program: a deterministic decision header followed by the
+  /// chosen kernel text(s).
+  std::string ProgramText;
+  /// Counters aggregated over every search run for this program, plus the
+  /// fusion counters.
+  SearchStats Search;
+  /// Every search produced a feasible winner (each unfused stage, and the
+  /// fused kernel when legal).
+  bool AllFeasible = false;
+};
+
 /// Content address of one full design-space search: the naive kernel's
 /// alpha-invariant structural hash ⊕ the DeviceSpec ⊕ every pipeline and
 /// sampling option that can influence the winner. Lane count, hooks and
 /// cache wiring are deliberately excluded — they never change the result
 /// (test-enforced), so warm lookups are independent of them.
 uint64_t compileCacheKey(const KernelFunction &Naive,
+                         const CompileOptions &Opt);
+
+/// Content address of a whole pipeline compile: the ordered fold of every
+/// stage's compileCacheKey, salted with the stage count. The fusion
+/// analysis and decision are pure functions of the stages + options, so
+/// the key does not (and must not) encode them separately.
+uint64_t programCacheKey(const std::vector<const KernelFunction *> &Stages,
                          const CompileOptions &Opt);
 
 /// The optimizing compiler.
@@ -216,6 +276,18 @@ public:
   /// the fastest feasible one.
   CompileOutput compile(const KernelFunction &Naive,
                         const CompileOptions &Opt = CompileOptions());
+
+  /// Compiles a multi-kernel pipeline (parser order, ≥ 2 stages): runs the
+  /// fusion legality analysis, searches the unfused stages individually
+  /// and — when fusion is legal — the fused kernel too, then picks the
+  /// side the model ranks faster. The winner program text is stored in
+  /// the disk cache under programCacheKey (clean compiles only), mirroring
+  /// the single-kernel winner store. Fused kernels that stage through
+  /// shared memory are searched with merging pinned off: the 16-wide
+  /// staging tile encodes the launch geometry the barrier proof relies on.
+  ProgramCompileOutput
+  compileProgram(const std::vector<const KernelFunction *> &Stages,
+                 const CompileOptions &Opt = CompileOptions());
 
 private:
   Module &M;

@@ -1,0 +1,524 @@
+//===-- core/Fusion.cpp - Kernel fusion for pipelines ---------------------===//
+
+#include "core/Fusion.h"
+
+#include "ast/Clone.h"
+#include "ast/Subst.h"
+#include "ast/Walk.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace gpuc;
+
+const char *gpuc::fusePlacementName(FusePlacement P) {
+  switch (P) {
+  case FusePlacement::None:
+    return "none";
+  case FusePlacement::Register:
+    return "register";
+  case FusePlacement::SharedStage:
+    return "shared-stage";
+  }
+  return "?";
+}
+
+/// The fused staging tile is one half warp wide, like every staged tile
+/// this compiler emits (Section 3.2's coalesced segment width).
+static const int TileW = 16;
+
+static bool isBuiltinId(const Expr *E, BuiltinId Id) {
+  const auto *B = dyn_cast<BuiltinRef>(E);
+  return B && B->id() == Id;
+}
+
+/// Matches idx, idx + c, idx - c, c + idx; \p C receives the offset.
+static bool constOffsetOfIdx(const Expr *E, int &C) {
+  if (isBuiltinId(E, BuiltinId::Idx)) {
+    C = 0;
+    return true;
+  }
+  const auto *B = dyn_cast<Binary>(E);
+  if (!B)
+    return false;
+  const Expr *L = B->lhs();
+  const Expr *R = B->rhs();
+  if (B->op() == BinOp::Add) {
+    if (isBuiltinId(L, BuiltinId::Idx) && isa<IntLit>(R)) {
+      C = static_cast<int>(cast<IntLit>(R)->value());
+      return true;
+    }
+    if (isa<IntLit>(L) && isBuiltinId(R, BuiltinId::Idx)) {
+      C = static_cast<int>(cast<IntLit>(L)->value());
+      return true;
+    }
+    return false;
+  }
+  if (B->op() == BinOp::Sub && isBuiltinId(L, BuiltinId::Idx) &&
+      isa<IntLit>(R)) {
+    C = -static_cast<int>(cast<IntLit>(R)->value());
+    return true;
+  }
+  return false;
+}
+
+/// True when \p R addresses exactly its thread's element of a rank-\p Rank
+/// array: [idx] or [idy][idx].
+static bool isElementwiseRef(const ArrayRef *R, size_t Rank) {
+  if (R->numIndices() != Rank)
+    return false;
+  if (Rank == 1)
+    return isBuiltinId(R->index(0), BuiltinId::Idx);
+  if (Rank == 2)
+    return isBuiltinId(R->index(0), BuiltinId::Idy) &&
+           isBuiltinId(R->index(1), BuiltinId::Idx);
+  return false;
+}
+
+/// Collects local names declared in \p B: scalar/shared decls and loop
+/// iterators, in pre-order (deduplicated, first occurrence wins).
+static std::vector<std::string> collectLocalNames(CompoundStmt *B) {
+  std::vector<std::string> Names;
+  std::set<std::string> Seen;
+  forEachStmt(B, [&](Stmt *S) {
+    std::string N;
+    if (auto *D = dyn_cast<DeclStmt>(S))
+      N = D->name();
+    else if (auto *F = dyn_cast<ForStmt>(S))
+      N = F->iterName();
+    if (!N.empty() && Seen.insert(N).second)
+      Names.push_back(N);
+  });
+  return Names;
+}
+
+FusionDecision gpuc::analyzeFusion(const KernelFunction &Producer,
+                                   const KernelFunction &Consumer,
+                                   const DeviceSpec &Dev) {
+  FusionDecision D;
+
+  // -- The intermediate: the producer's single output array must be an
+  // input array of the consumer with the same element type and shape.
+  std::vector<const ParamDecl *> POuts;
+  for (const ParamDecl &P : Producer.params())
+    if (P.IsOutput)
+      POuts.push_back(&P);
+  if (POuts.size() != 1) {
+    D.Reason = "producer must have exactly one output array";
+    return D;
+  }
+  const ParamDecl *T = POuts.front();
+  if (T->Dims.size() > 2) {
+    D.Reason = strFormat("intermediate '%s' has rank > 2", T->Name.c_str());
+    return D;
+  }
+  D.Intermediate = T->Name;
+  const ParamDecl *CT = Consumer.findParam(T->Name);
+  if (!CT || !CT->IsArray) {
+    D.Reason = strFormat("consumer has no array parameter '%s'",
+                         T->Name.c_str());
+    return D;
+  }
+  if (CT->IsOutput) {
+    D.Reason = strFormat("consumer also writes the intermediate '%s'",
+                         T->Name.c_str());
+    return D;
+  }
+  if (!(CT->ElemTy == T->ElemTy) || CT->Dims != T->Dims) {
+    D.Reason = strFormat("intermediate '%s' has mismatched type or shape "
+                         "between the stages",
+                         T->Name.c_str());
+    return D;
+  }
+
+  // -- Same-named parameters are the same buffer; their declarations must
+  // agree, and the consumer must not overwrite anything the producer reads
+  // (fusion interleaves the two bodies per element).
+  for (const ParamDecl &P : Producer.params()) {
+    if (P.Name == T->Name)
+      continue;
+    const ParamDecl *C = Consumer.findParam(P.Name);
+    if (!C)
+      continue;
+    if (C->IsArray != P.IsArray || !(C->ElemTy == P.ElemTy) ||
+        C->Dims != P.Dims) {
+      D.Reason = strFormat("parameter '%s' has mismatched type or shape "
+                           "between the stages",
+                           P.Name.c_str());
+      return D;
+    }
+    if (C->IsArray && C->IsOutput) {
+      D.Reason = strFormat("consumer writes array '%s' that the producer "
+                           "reads",
+                           P.Name.c_str());
+      return D;
+    }
+  }
+  for (const auto &[Name, V] : Producer.scalarBindings()) {
+    auto It = Consumer.scalarBindings().find(Name);
+    if (It != Consumer.scalarBindings().end() && It->second != V) {
+      D.Reason = strFormat("scalar '%s' bound to different values in the "
+                           "stages",
+                           Name.c_str());
+      return D;
+    }
+  }
+
+  // -- Producer structure: a straight-line/loop body whose only effect is
+  // one top-level element-wise store of the intermediate.
+  const char *PReason = nullptr;
+  forEachStmt(Producer.body(), [&](Stmt *S) {
+    if (PReason)
+      return;
+    if (isa<SyncStmt>(S))
+      PReason = "producer contains a barrier";
+    else if (isa<WhileStmt>(S))
+      PReason = "producer contains a while loop";
+    else if (auto *DS = dyn_cast<DeclStmt>(S); DS && DS->isShared())
+      PReason = "producer uses shared memory";
+  });
+  if (PReason) {
+    D.Reason = PReason;
+    return D;
+  }
+  int RefsToT = 0;
+  forEachExpr(Producer.body(), [&](Expr *E) {
+    auto *R = dyn_cast<ArrayRef>(E);
+    if (R && R->base() == T->Name)
+      ++RefsToT;
+  });
+  const AssignStmt *Store = nullptr;
+  int TopStores = 0;
+  for (Stmt *S : Producer.body()->body()) {
+    auto *A = dyn_cast<AssignStmt>(S);
+    if (!A)
+      continue;
+    auto *R = dyn_cast<ArrayRef>(A->lhs());
+    if (R && R->base() == T->Name) {
+      Store = A;
+      ++TopStores;
+    }
+  }
+  if (TopStores != 1 || RefsToT != 1) {
+    D.Reason = strFormat("producer must store '%s' exactly once at top "
+                         "level and never read it",
+                         T->Name.c_str());
+    return D;
+  }
+  const auto *StoreRef = cast<ArrayRef>(Store->lhs());
+  if (Store->op() != AssignOp::Assign || StoreRef->vecWidth() != 1 ||
+      !isElementwiseRef(StoreRef, T->Dims.size())) {
+    D.Reason = strFormat("producer store of '%s' is not a plain "
+                         "element-wise assignment",
+                         T->Name.c_str());
+    return D;
+  }
+  long long TX = T->Dims.back();
+  long long TY = T->Dims.size() == 2 ? T->Dims[0] : 1;
+  if (Producer.workDomainX() != TX || Producer.workDomainY() != TY) {
+    D.Reason = strFormat("producer domain does not cover the intermediate "
+                         "'%s'",
+                         T->Name.c_str());
+    return D;
+  }
+
+  // -- Consumer reads of the intermediate.
+  bool WritesT = false;
+  forEachStmt(Consumer.body(), [&](Stmt *S) {
+    auto *A = dyn_cast<AssignStmt>(S);
+    if (!A)
+      return;
+    auto *R = dyn_cast<ArrayRef>(A->lhs());
+    if (R && R->base() == T->Name)
+      WritesT = true;
+  });
+  if (WritesT) {
+    D.Reason = strFormat("consumer also writes the intermediate '%s'",
+                         T->Name.c_str());
+    return D;
+  }
+  std::vector<const ArrayRef *> Reads;
+  forEachExpr(Consumer.body(), [&](Expr *E) {
+    auto *R = dyn_cast<ArrayRef>(E);
+    if (R && R->base() == T->Name)
+      Reads.push_back(R);
+  });
+  if (Reads.empty()) {
+    D.Reason = strFormat("consumer never reads the intermediate '%s'",
+                         T->Name.c_str());
+    return D;
+  }
+  for (const ArrayRef *R : Reads) {
+    if (R->vecWidth() != 1) {
+      D.Reason = strFormat("consumer reads '%s' with a vector access",
+                           T->Name.c_str());
+      return D;
+    }
+  }
+
+  const bool SameDomain =
+      Consumer.workDomainX() == Producer.workDomainX() &&
+      Consumer.workDomainY() == Producer.workDomainY();
+  bool AllElem = true;
+  for (const ArrayRef *R : Reads)
+    AllElem &= isElementwiseRef(R, T->Dims.size());
+  if (AllElem && SameDomain) {
+    D.Legal = true;
+    D.Placement = FusePlacement::Register;
+    D.Reason = "element-wise dataflow; intermediate held in a register";
+    return D;
+  }
+
+  // -- Overlapping-segment pattern: a 1-D consumer reading idx + c. The
+  // producer's values for the block's segment plus halo are staged into a
+  // shared tile (the DataSharing pass's G2S reuse, applied across the
+  // kernel boundary).
+  if (T->Dims.size() != 1) {
+    D.Reason = strFormat("consumer reads '%s' non-element-wise and the "
+                         "intermediate is not 1-D",
+                         T->Name.c_str());
+    return D;
+  }
+  int MinC = 0, MaxC = 0;
+  for (const ArrayRef *R : Reads) {
+    int C = 0;
+    if (R->numIndices() != 1 || !constOffsetOfIdx(R->index(0), C)) {
+      D.Reason = strFormat("consumer read of '%s' depends on a loop "
+                           "variable or non-affine expression; fusing it "
+                           "would need an inter-block barrier",
+                           T->Name.c_str());
+      return D;
+    }
+    MinC = std::min(MinC, C);
+    MaxC = std::max(MaxC, C);
+  }
+  if (!SameDomain || Consumer.workDomainY() != 1) {
+    D.Reason = "overlapping-segment staging needs matching 1-D domains";
+    return D;
+  }
+  if (Consumer.workDomainX() % TileW != 0) {
+    D.Reason = strFormat("domain %lld is not divisible by the %d-wide "
+                         "staging tile",
+                         Consumer.workDomainX(), TileW);
+    return D;
+  }
+  if (Producer.body()->body().size() != 1) {
+    D.Reason = "staged fusion needs a single-statement element-wise "
+               "producer";
+    return D;
+  }
+  bool BadBuiltin = anyExprIn(Store->rhs(), [](const Expr *E) {
+    const auto *B = dyn_cast<BuiltinRef>(E);
+    return B && B->id() != BuiltinId::Idx;
+  });
+  if (BadBuiltin) {
+    D.Reason = "producer value depends on thread or block indices other "
+               "than idx";
+    return D;
+  }
+  int HaloLo = std::min(0, MinC);
+  int HaloHi = std::max(0, MaxC);
+  if (HaloHi - HaloLo > TileW) {
+    D.Reason = strFormat("halo [%d, %d] is wider than one staging tile",
+                         HaloLo, HaloHi);
+    return D;
+  }
+  long long W = TileW + HaloHi - HaloLo;
+  long long Bytes = W * T->ElemTy.sizeInBytes() + Consumer.sharedBytes();
+  if (Bytes > Dev.SharedBytesPerSM) {
+    D.Reason = strFormat("staging tile needs %lld shared bytes; budget is "
+                         "%d",
+                         Bytes, Dev.SharedBytesPerSM);
+    return D;
+  }
+  D.Legal = true;
+  D.Placement = FusePlacement::SharedStage;
+  D.StagingBytes = Bytes;
+  D.HaloLo = HaloLo;
+  D.HaloHi = HaloHi;
+  D.Reason = strFormat("overlapping-segment consumer; %lld-byte shared "
+                       "tile, halo [%d, %d]",
+                       Bytes, HaloLo, HaloHi);
+  return D;
+}
+
+KernelFunction *gpuc::fuseKernels(Module &M, const KernelFunction &Producer,
+                                  const KernelFunction &Consumer,
+                                  const FusionDecision &Decision,
+                                  const std::string &FusedName) {
+  if (!Decision.Legal)
+    return nullptr;
+  ASTContext &Ctx = M.context();
+  KernelFunction *F = M.createKernel(FusedName, nullptr);
+
+  // Parameters: the producer's inputs, then the consumer's parameters,
+  // minus the intermediate; same-named parameters collapse (the analysis
+  // verified they agree).
+  for (const ParamDecl &P : Producer.params()) {
+    if (P.Name == Decision.Intermediate)
+      continue;
+    ParamDecl NP = P;
+    NP.IsOutput = false;
+    F->params().push_back(std::move(NP));
+  }
+  for (const ParamDecl &C : Consumer.params()) {
+    if (C.Name == Decision.Intermediate || F->findParam(C.Name))
+      continue;
+    F->params().push_back(C);
+  }
+  for (const auto &[Name, V] : Producer.scalarBindings())
+    F->bindScalar(Name, V);
+  for (const auto &[Name, V] : Consumer.scalarBindings())
+    F->bindScalar(Name, V);
+
+  CompoundStmt *PB = cloneCompound(Ctx, Producer.body());
+  CompoundStmt *CB = cloneCompound(Ctx, Consumer.body());
+
+  // Rename locals on both sides so the merged scope has no collisions
+  // (producer locals vs consumer locals, and either vs the other side's
+  // parameters). Seeding Taken with every original local keeps a rename
+  // from capturing an existing name.
+  std::set<std::string> Taken;
+  for (const ParamDecl &P : F->params())
+    Taken.insert(P.Name);
+  Taken.insert(Decision.Intermediate);
+  std::vector<std::string> PLocals = collectLocalNames(PB);
+  std::vector<std::string> CLocals = collectLocalNames(CB);
+  for (const std::string &N : PLocals)
+    Taken.insert(N);
+  for (const std::string &N : CLocals)
+    Taken.insert(N);
+  auto uniqueName = [&Taken](std::string Base) {
+    while (Taken.count(Base))
+      Base += "_";
+    Taken.insert(Base);
+    return Base;
+  };
+  for (const std::string &N : PLocals)
+    renameVar(PB, N, uniqueName(N + "_p"));
+  for (const std::string &N : CLocals)
+    renameVar(CB, N, uniqueName(N + "_c"));
+
+  std::vector<Stmt *> Body;
+  if (Decision.Placement == FusePlacement::Register) {
+    // Replace the producer's store with a local holding the value; the
+    // consumer's reads become references to it.
+    std::string Tmp = uniqueName(Decision.Intermediate + "_val");
+    Type ElemTy = Type::floatTy();
+    for (Stmt *S : PB->body()) {
+      auto *A = dyn_cast<AssignStmt>(S);
+      auto *R = A ? dyn_cast<ArrayRef>(A->lhs()) : nullptr;
+      if (R && R->base() == Decision.Intermediate) {
+        ElemTy = R->type();
+        Body.push_back(Ctx.declScalar(Tmp, ElemTy, A->rhs()));
+      } else {
+        Body.push_back(S);
+      }
+    }
+    rewriteExprs(CB, [&](Expr *E) -> Expr * {
+      auto *R = dyn_cast<ArrayRef>(E);
+      if (R && R->base() == Decision.Intermediate)
+        return Ctx.varRef(Tmp, R->type());
+      return nullptr;
+    });
+  } else {
+    // Shared staging: every thread stages the producer's value for its
+    // tile slot (and the halo tail), then the block synchronizes and the
+    // consumer reads the tile instead of global memory.
+    const ParamDecl *T = Producer.findParam(Decision.Intermediate);
+    const long long N = T->Dims[0];
+    const int W = TileW + Decision.HaloHi - Decision.HaloLo;
+    const std::string Sh = uniqueName(Decision.Intermediate + "_sh");
+    const AssignStmt *Store = cast<AssignStmt>(PB->body().front());
+    Expr *RHS = Store->rhs();
+
+    Body.push_back(Ctx.declShared(Sh, T->ElemTy, {W}));
+    auto stagePos = [&](int Shift) {
+      return Ctx.addConst(
+          Ctx.add(Ctx.mul(Ctx.builtin(BuiltinId::Bidx), Ctx.intLit(TileW)),
+                  Ctx.builtin(BuiltinId::Tidx)),
+          Decision.HaloLo + Shift);
+    };
+    auto stageRound = [&](const std::string &Pos, int SlotBase,
+                          Expr *ExtraCond) {
+      Expr *Guard = Ctx.land(
+          Ctx.ge(Ctx.varRef(Pos, Type::intTy()), Ctx.intLit(0)),
+          Ctx.lt(Ctx.varRef(Pos, Type::intTy()), Ctx.intLit(N)));
+      if (ExtraCond)
+        Guard = Ctx.land(ExtraCond, Guard);
+      Expr *Val = substBuiltinInExpr(Ctx, cloneExpr(Ctx, RHS),
+                                     BuiltinId::Idx,
+                                     Ctx.varRef(Pos, Type::intTy()));
+      Stmt *St = Ctx.assign(
+          Ctx.arrayRef(Sh,
+                       {Ctx.addConst(Ctx.builtin(BuiltinId::Tidx), SlotBase)},
+                       T->ElemTy),
+          Val);
+      Body.push_back(Ctx.ifStmt(Guard, Ctx.compound({St})));
+    };
+    const std::string PosM = uniqueName(Decision.Intermediate + "_pos");
+    Body.push_back(Ctx.declScalar(PosM, Type::intTy(), stagePos(0)));
+    stageRound(PosM, 0, nullptr);
+    if (W > TileW) {
+      const std::string PosT = uniqueName(Decision.Intermediate + "_post");
+      Body.push_back(Ctx.declScalar(PosT, Type::intTy(), stagePos(TileW)));
+      stageRound(PosT, TileW,
+                 Ctx.lt(Ctx.builtin(BuiltinId::Tidx), Ctx.intLit(W - TileW)));
+    }
+    Body.push_back(Ctx.syncThreads());
+    rewriteExprs(CB, [&](Expr *E) -> Expr * {
+      auto *R = dyn_cast<ArrayRef>(E);
+      if (!R || R->base() != Decision.Intermediate)
+        return nullptr;
+      int C = 0;
+      constOffsetOfIdx(R->index(0), C);
+      return Ctx.arrayRef(
+          Sh,
+          {Ctx.addConst(Ctx.builtin(BuiltinId::Tidx), C - Decision.HaloLo)},
+          R->type());
+    });
+  }
+  for (Stmt *S : CB->body())
+    Body.push_back(S);
+  F->setBody(Ctx.compound(std::move(Body)));
+
+  // The consumer's domain and the parser's naive default launch.
+  F->setWorkDomain(Consumer.workDomainX(), Consumer.workDomainY());
+  LaunchConfig &L = F->launch();
+  L.BlockDimX = static_cast<int>(std::min<long long>(16, F->workDomainX()));
+  L.BlockDimY = 1;
+  L.GridDimX = (F->workDomainX() + L.BlockDimX - 1) / L.BlockDimX;
+  L.GridDimY = (F->workDomainY() + L.BlockDimY - 1) / L.BlockDimY;
+  return F;
+}
+
+PipelineFusion gpuc::fusePipeline(
+    Module &M, const std::vector<const KernelFunction *> &Stages,
+    const DeviceSpec &Dev, const std::string &FusedName) {
+  PipelineFusion R;
+  if (Stages.size() < 2) {
+    R.Reason = "a pipeline needs at least two stages";
+    return R;
+  }
+  const KernelFunction *Cur = Stages.front();
+  KernelFunction *Built = nullptr;
+  for (size_t I = 1; I < Stages.size(); ++I) {
+    FusionDecision D = analyzeFusion(*Cur, *Stages[I], Dev);
+    R.Steps.push_back(D);
+    if (!D.Legal) {
+      R.Reason = strFormat("%s -> %s: %s", Cur->name().c_str(),
+                           Stages[I]->name().c_str(), D.Reason.c_str());
+      return R;
+    }
+    std::string Name = I + 1 == Stages.size()
+                           ? FusedName
+                           : FusedName + "_s" + std::to_string(I);
+    Built = fuseKernels(M, *Cur, *Stages[I], D, Name);
+    R.UsedSharedStage |= D.Placement == FusePlacement::SharedStage;
+    Cur = Built;
+  }
+  R.Legal = true;
+  R.Fused = Built;
+  return R;
+}

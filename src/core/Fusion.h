@@ -1,0 +1,108 @@
+//===-- core/Fusion.h - Kernel fusion for pipelines -------------*- C++ -*-===//
+//
+// Part of the gpuc project: a reproduction of "A GPGPU Compiler for Memory
+// Optimization and Parallelism Management" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Producer/consumer kernel fusion for multi-kernel pipelines (Filipovič
+/// et al., "Optimizing CUDA Code By Kernel Fusion"): the producer's body
+/// is inlined into the consumer so the intermediate array never round-trips
+/// through global memory. Two placements:
+///
+///  * Register — the consumer reads the intermediate only at its own
+///    element position, so each thread keeps the producer's value in a
+///    local (a register). Always legal for element-wise dataflow.
+///  * SharedStage — a 1-D consumer reads the intermediate at constant
+///    offsets around its position (the paper's overlapping-segment
+///    pattern), so the producer's values for the block's segment plus halo
+///    are staged into shared memory behind a __syncthreads() barrier,
+///    provided the tile fits the device's shared-memory budget.
+///
+/// Anything else — above all a consumer whose read position depends on a
+/// loop variable (e.g. the mv dot-product reading every element of the
+/// intermediate) — is rejected: fusing it would need an inter-block
+/// barrier the model does not have.
+///
+/// Fused and unfused programs are bit-identical on the final stage's
+/// outputs: the fused kernel evaluates the exact float expression trees of
+/// the unfused stages at the exact same element positions, in the same
+/// order (see DESIGN.md §15).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUC_CORE_FUSION_H
+#define GPUC_CORE_FUSION_H
+
+#include "ast/Kernel.h"
+#include "sim/DeviceSpec.h"
+
+#include <string>
+#include <vector>
+
+namespace gpuc {
+
+/// Where a fused intermediate lives.
+enum class FusePlacement { None, Register, SharedStage };
+
+const char *fusePlacementName(FusePlacement P);
+
+/// Verdict of the fusion legality analysis for one producer/consumer pair.
+struct FusionDecision {
+  bool Legal = false;
+  FusePlacement Placement = FusePlacement::None;
+  /// The intermediate array (producer output = consumer input).
+  std::string Intermediate;
+  /// Why the pair is illegal, or a short note on the placement.
+  std::string Reason;
+  /// SharedStage only: staged tile bytes per block and the halo extent
+  /// (inclusive offsets relative to the element position).
+  long long StagingBytes = 0;
+  int HaloLo = 0;
+  int HaloHi = 0;
+};
+
+/// Decides whether \p Consumer can absorb \p Producer and how the
+/// intermediate would be placed. Pure analysis; mutates nothing.
+FusionDecision analyzeFusion(const KernelFunction &Producer,
+                             const KernelFunction &Consumer,
+                             const DeviceSpec &Dev);
+
+/// Builds the fused kernel in \p M under \p FusedName per a Legal
+/// \p Decision. The inputs are untouched; the result carries the
+/// consumer's work domain, outputs and a naive default launch.
+/// \returns null only if \p Decision is not legal.
+KernelFunction *fuseKernels(Module &M, const KernelFunction &Producer,
+                            const KernelFunction &Consumer,
+                            const FusionDecision &Decision,
+                            const std::string &FusedName);
+
+/// Outcome of fusing a whole pipeline (left fold over the stages).
+struct PipelineFusion {
+  /// True when every adjacent pair fused (all-or-nothing).
+  bool Legal = false;
+  /// First failing step's reason when !Legal.
+  std::string Reason;
+  /// Per-step decisions, in stage order (Steps[i] fuses the accumulated
+  /// prefix with stage i+1); stops at the first illegal step.
+  std::vector<FusionDecision> Steps;
+  /// The fully fused kernel (owned by the Module passed in); null when
+  /// !Legal.
+  KernelFunction *Fused = nullptr;
+  /// True when any step staged its intermediate through shared memory
+  /// (the caller pins merge factors for such kernels).
+  bool UsedSharedStage = false;
+};
+
+/// Fuses \p Stages (pipeline order, ≥ 2) into one kernel in \p M.
+/// All-or-nothing: if any adjacent pair is illegal the pipeline stays
+/// unfused and Reason says why.
+PipelineFusion fusePipeline(Module &M,
+                            const std::vector<const KernelFunction *> &Stages,
+                            const DeviceSpec &Dev,
+                            const std::string &FusedName);
+
+} // namespace gpuc
+
+#endif // GPUC_CORE_FUSION_H

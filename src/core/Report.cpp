@@ -59,8 +59,7 @@ std::string gpuc::designSpaceReport(const CompileOutput &Out) {
   return OS.str();
 }
 
-std::string gpuc::searchStatsReport(const CompileOutput &Out) {
-  const SearchStats &S = Out.Search;
+std::string gpuc::searchStatsReport(const SearchStats &S) {
   std::ostringstream OS;
   OS << "== search stats ==\n";
   OS << strFormat("  jobs=%d  candidates=%d  simulated=%d  probed=%d  "
@@ -72,11 +71,55 @@ std::string gpuc::searchStatsReport(const CompileOutput &Out) {
                   static_cast<unsigned long long>(S.CacheHits),
                   static_cast<unsigned long long>(S.DiskHits),
                   static_cast<unsigned long long>(S.CacheMisses));
+  OS << strFormat("  scalar fallbacks: %llu (vector-engine runs executed "
+                  "on the scalar walk)\n",
+                  static_cast<unsigned long long>(S.ScalarFallbacks));
+  if (S.FusionCandidates > 0)
+    OS << strFormat("  fusion: %d pair(s) analyzed, %d legal, %d rejected, "
+                    "%d win(s)\n",
+                    S.FusionCandidates, S.FusionLegal, S.FusionRejected,
+                    S.FusionWins);
   OS << strFormat("  wall %.3f ms, critical path %.3f ms\n", S.WallMs,
                   S.CritPathMs);
   OS << strFormat("  lane-summed aggregates: compile %.3f ms, simulate "
                   "%.3f ms (exceed wall when lanes overlap)\n",
                   S.CompileMs, S.SimMs);
+  return OS.str();
+}
+
+std::string gpuc::searchStatsReport(const CompileOutput &Out) {
+  return searchStatsReport(Out.Search);
+}
+
+std::string gpuc::fusionReport(const ProgramCompileOutput &Out) {
+  std::ostringstream OS;
+  OS << "== fusion ==\n  pipeline:";
+  for (size_t I = 0; I < Out.StageNames.size(); ++I)
+    OS << strFormat("%s %s", I ? " ->" : "", Out.StageNames[I].c_str());
+  OS << "\n";
+  for (const FusionDecision &D : Out.FusionSteps) {
+    if (D.Legal) {
+      OS << strFormat("  '%s': %s — %s", D.Intermediate.c_str(),
+                      fusePlacementName(D.Placement), D.Reason.c_str());
+      if (D.Placement == FusePlacement::SharedStage)
+        OS << strFormat(" (%lld staged bytes, halo [%d, %d])",
+                        D.StagingBytes, D.HaloLo, D.HaloHi);
+      OS << "\n";
+    } else {
+      OS << strFormat("  '%s': illegal — %s\n", D.Intermediate.c_str(),
+                      D.Reason.c_str());
+    }
+  }
+  if (!Out.FusionLegal && Out.FusionSteps.empty())
+    OS << strFormat("  illegal — %s\n", Out.FusionReason.c_str());
+  if (Out.FusionLegal)
+    OS << strFormat("  decision: %s (fused %.4f ms vs unfused %.4f ms)\n",
+                    Out.UseFused ? "fused" : "unfused", Out.FusedMs,
+                    Out.UnfusedMs);
+  else
+    OS << strFormat("  decision: unfused (fusion illegal; unfused %.4f "
+                    "ms)\n",
+                    Out.UnfusedMs);
   return OS.str();
 }
 

@@ -36,8 +36,15 @@ std::string planReport(const CompileOutput &Out);
 std::string designSpaceReport(const CompileOutput &Out);
 
 /// Search counters: lanes, candidates, simulations vs. probes vs. pruned,
-/// cache traffic and wall-clock (gpucc --search-stats).
+/// cache traffic, scalar-engine fallbacks and wall-clock (gpucc
+/// --search-stats). The SearchStats overload serves program-level
+/// aggregates (compileProgram) with the same format.
 std::string searchStatsReport(const CompileOutput &Out);
+std::string searchStatsReport(const SearchStats &S);
+
+/// The fusion legality verdict, placements and fused-vs-unfused decision
+/// of a pipeline compilation (gpucc --report on multi-kernel inputs).
+std::string fusionReport(const ProgramCompileOutput &Out);
 
 /// Simulated traffic by access expression plus occupancy for \p K on
 /// \p Device (runs the performance simulator with site tracking).

@@ -108,6 +108,24 @@ bool gpuc::checkKernelSource(const std::string &Source,
   return true;
 }
 
+bool gpuc::checkPipelineSource(const std::string &Source,
+                               const OracleOptions &Opt, OracleResult &Result,
+                               std::string &ParseErrors) {
+  Module M;
+  DiagnosticsEngine Diags;
+  Parser P(Source, Diags);
+  std::vector<KernelFunction *> Stages = P.parseProgram(M);
+  if (Stages.size() < 2 || Diags.hasErrors()) {
+    ParseErrors = Diags.str();
+    if (Stages.size() < 2 && ParseErrors.empty())
+      ParseErrors = "expected a multi-kernel pipeline\n";
+    return false;
+  }
+  std::vector<const KernelFunction *> CStages(Stages.begin(), Stages.end());
+  Result = runPipelineOracle(M, CStages, Opt);
+  return true;
+}
+
 namespace {
 
 /// Minimizes a failing case under a predicate pinned to the original
@@ -158,11 +176,22 @@ FuzzSummary gpuc::runFuzz(const FuzzOptions &Opt, std::ostream *Progress) {
     C.Seed = Opt.FirstSeed + static_cast<unsigned>(I);
 
     KernelGen Gen(C.Seed);
-    GeneratedKernel GK = Gen.generate();
-    C.Shape = GK.Shape;
+    std::string Source;
+    uint64_t StructureHash;
+    if (Opt.Pipeline) {
+      GeneratedPipeline GP = Gen.generatePipeline();
+      C.Shape = GP.Shape;
+      Source = std::move(GP.Source);
+      StructureHash = GP.StructureHash;
+    } else {
+      GeneratedKernel GK = Gen.generate();
+      C.Shape = GK.Shape;
+      Source = std::move(GK.Source);
+      StructureHash = GK.StructureHash;
+    }
     {
       std::lock_guard<std::mutex> Lock(Mu);
-      if (!Seen.insert(GK.StructureHash).second) {
+      if (!Seen.insert(StructureHash).second) {
         C.St = FuzzCase::Status::Duplicate;
         return;
       }
@@ -174,17 +203,20 @@ FuzzSummary gpuc::runFuzz(const FuzzOptions &Opt, std::ostream *Progress) {
     OO.InputSeed = Opt.Oracle.InputSeed ^ (C.Seed * 2654435761u + 1u);
 
     // The generator emits printed source; parsing it back is itself the
-    // Printer->Parser round-trip check.
+    // Printer->Parser round-trip check (printNaiveProgram->parseProgram
+    // for pipelines).
     OracleResult R;
     std::string ParseErrs;
-    if (!checkKernelSource(GK.Source, OO, R, ParseErrs)) {
+    bool Parsed = Opt.Pipeline ? checkPipelineSource(Source, OO, R, ParseErrs)
+                               : checkKernelSource(Source, OO, R, ParseErrs);
+    if (!Parsed) {
       C.St = FuzzCase::Status::Failed;
-      C.Source = GK.Source;
+      C.Source = Source;
       C.Failure.FailKind = OracleFailure::Kind::CompileError;
       C.Failure.Variant = "parse";
       C.Failure.Stage = "input";
       C.Failure.Detail = "generated source failed to re-parse:\n" + ParseErrs;
-      C.Reduced = GK.Source;
+      C.Reduced = Source;
       return;
     }
     C.VariantsChecked = R.VariantsChecked;
@@ -199,9 +231,13 @@ FuzzSummary gpuc::runFuzz(const FuzzOptions &Opt, std::ostream *Progress) {
     }
 
     C.St = FuzzCase::Status::Failed;
-    C.Source = GK.Source;
+    C.Source = Source;
     C.Failure = R.Failures.front();
-    C.Reduced = Opt.ReduceFailures ? reduceCase(C, OO, C.Reduce) : C.Source;
+    // The reducer's mutations are single-kernel; pipeline repros are
+    // already small (2-3 short stages) and ship unminimized.
+    C.Reduced = Opt.ReduceFailures && !Opt.Pipeline
+                    ? reduceCase(C, OO, C.Reduce)
+                    : C.Source;
     if (!Opt.OutDir.empty())
       writeArtifacts(Opt.OutDir, C);
     if (Progress) {

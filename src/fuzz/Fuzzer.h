@@ -43,6 +43,11 @@ struct FuzzOptions {
   int Jobs = 0;
   /// Minimize failing cases before reporting them.
   bool ReduceFailures = true;
+  /// Generate multi-kernel pipelines (fuzz/KernelGen chain templates) and
+  /// run the fusion-differential oracle instead of the single-kernel one.
+  /// The reducer only understands single kernels, so pipeline repros are
+  /// reported unminimized.
+  bool Pipeline = false;
   /// Directory for seed<N>.cu / seed<N>.json failure artifacts; empty
   /// disables writing.
   std::string OutDir;
@@ -92,6 +97,13 @@ std::string failureRecordJson(const FuzzCase &C);
 /// gpuc-fuzz --check and by the reducer predicate.
 bool checkKernelSource(const std::string &Source, const OracleOptions &Opt,
                        OracleResult &Result, std::string &ParseErrors);
+
+/// Pipeline analogue of checkKernelSource: parses \p Source as a
+/// multi-kernel translation unit (Parser::parseProgram) and runs the
+/// fusion-differential oracle on the chain. \returns false when the
+/// source does not parse as a pipeline of >= 2 kernels.
+bool checkPipelineSource(const std::string &Source, const OracleOptions &Opt,
+                         OracleResult &Result, std::string &ParseErrors);
 
 /// Runs the fuzzing loop. Per-seed progress lines go to \p Progress when
 /// non-null (failures and a final summary are always the caller's job).

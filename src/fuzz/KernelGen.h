@@ -47,6 +47,26 @@ struct GeneratedKernel {
   uint64_t StructureHash = 0;
 };
 
+/// One generated multi-kernel pipeline in source form: the
+/// `#pragma gpuc pipeline(...)` clause plus every stage, as
+/// Parser::parseProgram accepts it. Used by the fusion-differential
+/// fuzzing mode (gpuc-fuzz --pipeline).
+struct GeneratedPipeline {
+  /// Naive-dialect multi-kernel source (ast/Printer printNaiveProgram).
+  std::string Source;
+  /// Chain template the seed selected ("chain1d", "chain2d", "mv_chain",
+  /// "stencil_chain", "loop_consumer").
+  std::string Shape;
+  int NumKernels = 0;
+  /// Fold of the stages' structural hashes, for structural dedupe.
+  uint64_t StructureHash = 0;
+  /// Whether the template is fusable by construction. loop_consumer is
+  /// the deliberate illegal shape: its consumer indexes the intermediate
+  /// with a loop variable, so the legality analysis must reject it and
+  /// the search must fall back to the unfused chain.
+  bool ExpectFusable = true;
+};
+
 /// Deterministic kernel generator; one instance per seed.
 class KernelGen {
 public:
@@ -55,6 +75,12 @@ public:
   /// Builds the kernel for this seed. Stable: repeated calls return the
   /// same kernel, and two KernelGen instances with equal seeds agree.
   GeneratedKernel generate();
+
+  /// Builds the 2-3 kernel producer/consumer pipeline for this seed,
+  /// under the same determinism contract as generate(). The two entry
+  /// points draw from independently restarted engines, so a seed's
+  /// kernel and its pipeline are each individually stable.
+  GeneratedPipeline generatePipeline();
 
 private:
   unsigned Seed;

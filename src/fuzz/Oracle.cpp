@@ -17,19 +17,38 @@
 
 using namespace gpuc;
 
+namespace {
+
+/// The shared LCG fill: one continuing \p State across every buffer, so
+/// a fixed allocation order fixes every byte.
+void fillParamBuffer(const ParamDecl &P, BufferSet &Buffers,
+                     unsigned &State) {
+  auto &V = Buffers.alloc(P.Name, static_cast<size_t>(P.elemCount()) *
+                                      P.ElemTy.vectorWidth());
+  for (float &X : V) {
+    State = State * 1664525u + 1013904223u;
+    X = static_cast<float>(State >> 20) / 4096.0f - 0.5f;
+  }
+}
+
+} // namespace
+
 void gpuc::fillFuzzInputs(const KernelFunction &K, BufferSet &Buffers,
                           unsigned Seed) {
   unsigned State = Seed ? Seed : 1u;
-  for (const ParamDecl &P : K.params()) {
-    if (!P.IsArray)
-      continue;
-    auto &V = Buffers.alloc(P.Name, static_cast<size_t>(P.elemCount()) *
-                                        P.ElemTy.vectorWidth());
-    for (float &X : V) {
-      State = State * 1664525u + 1013904223u;
-      X = static_cast<float>(State >> 20) / 4096.0f - 0.5f;
-    }
-  }
+  for (const ParamDecl &P : K.params())
+    if (P.IsArray)
+      fillParamBuffer(P, Buffers, State);
+}
+
+void gpuc::fillPipelineFuzzInputs(
+    const std::vector<const KernelFunction *> &Stages, BufferSet &Buffers,
+    unsigned Seed) {
+  unsigned State = Seed ? Seed : 1u;
+  for (const KernelFunction *K : Stages)
+    for (const ParamDecl &P : K->params())
+      if (P.IsArray && !Buffers.has(P.Name))
+        fillParamBuffer(P, Buffers, State);
 }
 
 bool gpuc::kernelHasFloatArith(const KernelFunction &K) {
@@ -203,6 +222,29 @@ bool sameRaceLog(const RaceLog &A, const RaceLog &B) {
   return true;
 }
 
+/// Bit-compares one named buffer between two BufferSets; fills \p Detail
+/// and \returns false at the first diverging element.
+bool bufferBitEqual(const std::string &Name, const BufferSet &BufS,
+                    const BufferSet &BufV, std::string &Detail) {
+  const auto &A = BufS.data(Name);
+  const auto &B = BufV.data(Name);
+  if (A.size() == B.size() &&
+      (A.empty() ||
+       std::memcmp(A.data(), B.data(), A.size() * sizeof(float)) == 0))
+    return true;
+  for (size_t I = 0; I < A.size() && I < B.size(); ++I) {
+    if (std::memcmp(&A[I], &B[I], sizeof(float)) != 0) {
+      Detail = strFormat("buffer '%s' diverges at [%zu]: scalar %.9g, "
+                         "vector %.9g",
+                         Name.c_str(), I, A[I], B[I]);
+      break;
+    }
+  }
+  if (Detail.empty())
+    Detail = strFormat("buffer '%s' sizes diverge", Name.c_str());
+  return false;
+}
+
 /// Runs \p K with both interpreter engines on identical seeded inputs and
 /// demands equal outcomes, bit-identical buffers and a record-identical
 /// race log. \returns false with \p Detail filled on divergence.
@@ -231,23 +273,8 @@ bool crossCheckInterp(const Simulator &Sim, const KernelFunction &K,
   for (const ParamDecl &P : K.params()) {
     if (!P.IsArray)
       continue;
-    const auto &A = BufS.data(P.Name);
-    const auto &B = BufV.data(P.Name);
-    if (A.size() != B.size() ||
-        (!A.empty() &&
-         std::memcmp(A.data(), B.data(), A.size() * sizeof(float)) != 0)) {
-      for (size_t I = 0; I < A.size() && I < B.size(); ++I) {
-        if (std::memcmp(&A[I], &B[I], sizeof(float)) != 0) {
-          Detail = strFormat("buffer '%s' diverges at [%zu]: scalar %.9g, "
-                             "vector %.9g",
-                             P.Name.c_str(), I, A[I], B[I]);
-          break;
-        }
-      }
-      if (Detail.empty())
-        Detail = strFormat("buffer '%s' sizes diverge", P.Name.c_str());
+    if (!bufferBitEqual(P.Name, BufS, BufV, Detail))
       return false;
-    }
   }
   if (!sameRaceLog(RaceS, RaceV)) {
     Detail = "race logs diverge:\nscalar:\n" + describeRaces(RaceS) +
@@ -255,6 +282,45 @@ bool crossCheckInterp(const Simulator &Sim, const KernelFunction &K,
              strFormat("(%zu vs %zu records, %d vs %d phases)",
                        RaceS.Races.size(), RaceV.Races.size(), RaceS.Phases,
                        RaceV.Phases);
+    return false;
+  }
+  return true;
+}
+
+/// Pipeline analogue of crossCheckInterp: both engines run the whole
+/// unfused naive chain on identical seeded inputs and must agree on the
+/// outcome, every stage buffer bit-for-bit, and the chain-wide race log.
+bool crossCheckInterpPipeline(
+    const Simulator &Sim, const std::vector<const KernelFunction *> &Stages,
+    unsigned InputSeed, std::string &Detail) {
+  Simulator Scalar(Sim.device());
+  Scalar.setInterpBackend(InterpBackend::Scalar);
+  Simulator Vector(Sim.device());
+  Vector.setInterpBackend(InterpBackend::Vector);
+
+  BufferSet BufS, BufV;
+  fillPipelineFuzzInputs(Stages, BufS, InputSeed);
+  fillPipelineFuzzInputs(Stages, BufV, InputSeed);
+  DiagnosticsEngine DiagS, DiagV;
+  RaceLog RaceS, RaceV;
+  bool OkS = Scalar.runPipelineFunctional(Stages, BufS, DiagS, &RaceS);
+  bool OkV = Vector.runPipelineFunctional(Stages, BufV, DiagV, &RaceV);
+  if (OkS != OkV) {
+    Detail = strFormat("engines disagree on chain outcome: scalar %s, "
+                       "vector %s\n",
+                       OkS ? "ok" : "error", OkV ? "ok" : "error") +
+             DiagS.str() + DiagV.str();
+    return false;
+  }
+  if (!OkS)
+    return true;
+  for (const KernelFunction *K : Stages)
+    for (const ParamDecl &P : K->params())
+      if (P.IsArray && !bufferBitEqual(P.Name, BufS, BufV, Detail))
+        return false;
+  if (!sameRaceLog(RaceS, RaceV)) {
+    Detail = "chain race logs diverge:\nscalar:\n" + describeRaces(RaceS) +
+             "vector:\n" + describeRaces(RaceV);
     return false;
   }
   return true;
@@ -419,6 +485,186 @@ OracleResult gpuc::runOracle(Module &M, const KernelFunction &Naive,
     }
     Res.Failures.push_back(F);
     Res.Passed = false;
+  }
+  return Res;
+}
+
+OracleResult gpuc::runPipelineOracle(
+    Module &M, const std::vector<const KernelFunction *> &Stages,
+    const OracleOptions &Opt) {
+  OracleResult Res;
+  Simulator Sim(Opt.Compile.Device);
+  Sim.setInterpBackend(Opt.Compile.Interp);
+  const KernelFunction &Final = *Stages.back();
+
+  if (Opt.CheckInterp) {
+    std::string Detail;
+    if (!crossCheckInterpPipeline(Sim, Stages, Opt.InputSeed, Detail)) {
+      OracleFailure F;
+      F.FailKind = OracleFailure::Kind::InterpDivergence;
+      F.Variant = "chain";
+      F.Stage = "interp";
+      F.Detail = Detail;
+      Res.Failures.push_back(F);
+      Res.Passed = false;
+      return Res;
+    }
+  }
+
+  // Reference: the unfused naive chain, stage by stage against one shared
+  // buffer set (the simulator is the paper-semantics oracle the fusion
+  // transform is tested against).
+  BufferSet Ref;
+  {
+    fillPipelineFuzzInputs(Stages, Ref, Opt.InputSeed);
+    DiagnosticsEngine RunDiags;
+    RaceLog Races;
+    bool Ok = Sim.runPipelineFunctional(Stages, Ref, RunDiags,
+                                        Opt.CheckRaces ? &Races : nullptr);
+    bool Raced = Opt.CheckRaces && !Races.clean();
+    if (!Ok || Raced) {
+      OracleFailure F;
+      F.FailKind =
+          !Ok ? OracleFailure::Kind::RunError : OracleFailure::Kind::Race;
+      F.Variant = "chain";
+      F.Stage = "input";
+      F.Detail = !Ok ? RunDiags.str() : describeRaces(Races);
+      Res.Failures.push_back(F);
+      Res.Passed = false;
+      return Res;
+    }
+  }
+
+  bool AnyFloat = false;
+  for (const KernelFunction *K : Stages)
+    AnyFloat |= kernelHasFloatArith(*K);
+  Comparator Cmp{!AnyFloat, Opt.UlpTol, Opt.RelTol};
+  Res.ExactCompare = Cmp.Exact;
+
+  // Fusion legality + both sides of the design-space search.
+  CompileOptions CO = Opt.Compile;
+  CO.Jobs = 1;
+  CO.Hook = Opt.Inject;
+  DiagnosticsEngine CompDiags;
+  GpuCompiler GC(M, CompDiags);
+  ProgramCompileOutput Out = GC.compileProgram(Stages, CO);
+  bool StageBests = true;
+  for (const CompileOutput &SO : Out.StageOuts)
+    StageBests &= SO.Best != nullptr;
+  if (CompDiags.hasErrors() || Out.StageOuts.size() != Stages.size() ||
+      !StageBests) {
+    OracleFailure F;
+    F.FailKind = OracleFailure::Kind::CompileError;
+    F.Variant = "compile";
+    F.Stage = "final";
+    F.Detail = CompDiags.str();
+    Res.Failures.push_back(F);
+    Res.Passed = false;
+    return Res;
+  }
+  if (Out.UseFused && Out.FusedOut.Best) {
+    Res.BestBlockN = Out.FusedOut.BestVariant.BlockMergeN;
+    Res.BestThreadM = Out.FusedOut.BestVariant.ThreadMergeM;
+  }
+
+  // The fused *naive* kernel is held to the strongest claim: bit-exact
+  // agreement with the chain on the final stage's outputs, regardless of
+  // float arithmetic — register/shared-stage placement must preserve the
+  // per-element evaluation order exactly.
+  if (Out.Fused) {
+    ++Res.VariantsChecked;
+    OracleFailure F;
+    F.Variant = Out.Fused->name();
+    F.Stage = "fusion";
+    BufferSet FB;
+    fillPipelineFuzzInputs(Stages, FB, Opt.InputSeed);
+    DiagnosticsEngine RunDiags;
+    RaceLog Races;
+    bool Ok = Sim.runFunctional(*Out.Fused, FB, RunDiags,
+                                Opt.CheckRaces ? &Races : nullptr);
+    bool Raced = Opt.CheckRaces && !Races.clean();
+    Comparator Bit{/*Exact=*/true, 0, 0.0};
+    if (!Ok || Raced || !compareOutputs(Final, Ref, FB, Bit, F)) {
+      F.FailKind = !Ok     ? OracleFailure::Kind::RunError
+                   : Raced ? OracleFailure::Kind::Race
+                           : OracleFailure::Kind::Mismatch;
+      F.Detail = !Ok ? RunDiags.str()
+                 : Raced
+                     ? describeRaces(Races)
+                     : "fused naive kernel diverges bit-wise from the "
+                       "unfused chain";
+      Res.Failures.push_back(F);
+      Res.Passed = false;
+    }
+    // The fused kernel is new code (possibly with a staging barrier);
+    // give it the same engine cross-check the chain got.
+    if (Opt.CheckInterp) {
+      std::string Detail;
+      if (!crossCheckInterp(Sim, *Out.Fused, Opt.InputSeed, Detail)) {
+        OracleFailure FI;
+        FI.FailKind = OracleFailure::Kind::InterpDivergence;
+        FI.Variant = Out.Fused->name();
+        FI.Stage = "interp";
+        FI.Detail = Detail;
+        Res.Failures.push_back(FI);
+        Res.Passed = false;
+      }
+    }
+  }
+
+  // Every compiled fused variant must match the chain within tolerance.
+  if (Out.Fused) {
+    for (const VariantResult &V : Out.FusedOut.Variants) {
+      if (!V.Kernel)
+        continue;
+      ++Res.VariantsChecked;
+      OracleFailure F;
+      F.Variant = V.Kernel->name();
+      F.BlockN = V.BlockMergeN;
+      F.ThreadM = V.ThreadMergeM;
+      F.Stage = "fused-search";
+      BufferSet VB;
+      fillPipelineFuzzInputs(Stages, VB, Opt.InputSeed);
+      DiagnosticsEngine RunDiags;
+      RaceLog Races;
+      bool Ok = Sim.runFunctional(*V.Kernel, VB, RunDiags,
+                                  Opt.CheckRaces ? &Races : nullptr);
+      bool Raced = Opt.CheckRaces && !Races.clean();
+      if (Ok && !Raced && compareOutputs(Final, Ref, VB, Cmp, F))
+        continue;
+      F.FailKind = !Ok     ? OracleFailure::Kind::RunError
+                   : Raced ? OracleFailure::Kind::Race
+                           : OracleFailure::Kind::Mismatch;
+      F.Detail = !Ok ? RunDiags.str() : Raced ? describeRaces(Races) : "";
+      Res.Failures.push_back(F);
+      Res.Passed = false;
+    }
+  }
+
+  // The unfused compiled side: each stage's winner chained in order.
+  {
+    ++Res.VariantsChecked;
+    OracleFailure F;
+    F.Variant = "unfused-best";
+    F.Stage = "stage-search";
+    std::vector<const KernelFunction *> Bests;
+    for (const CompileOutput &SO : Out.StageOuts)
+      Bests.push_back(SO.Best);
+    BufferSet BB;
+    fillPipelineFuzzInputs(Stages, BB, Opt.InputSeed);
+    DiagnosticsEngine RunDiags;
+    RaceLog Races;
+    bool Ok = Sim.runPipelineFunctional(Bests, BB, RunDiags,
+                                        Opt.CheckRaces ? &Races : nullptr);
+    bool Raced = Opt.CheckRaces && !Races.clean();
+    if (!Ok || Raced || !compareOutputs(Final, Ref, BB, Cmp, F)) {
+      F.FailKind = !Ok     ? OracleFailure::Kind::RunError
+                   : Raced ? OracleFailure::Kind::Race
+                           : OracleFailure::Kind::Mismatch;
+      F.Detail = !Ok ? RunDiags.str() : Raced ? describeRaces(Races) : "";
+      Res.Failures.push_back(F);
+      Res.Passed = false;
+    }
   }
   return Res;
 }

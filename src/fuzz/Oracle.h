@@ -123,6 +123,26 @@ long long ulpDistance(float A, float B);
 OracleResult runOracle(Module &M, const KernelFunction &Naive,
                        const OracleOptions &Opt);
 
+/// Pipeline analogue of fillFuzzInputs: fills every array parameter of
+/// every stage, in pipeline order, skipping names an earlier stage
+/// already allocated (so a consumer sees the same bytes its producer's
+/// buffer was seeded with before being overwritten).
+void fillPipelineFuzzInputs(const std::vector<const KernelFunction *> &Stages,
+                            BufferSet &Buffers, unsigned Seed);
+
+/// Runs the fusion-differential check of a multi-kernel pipeline: the
+/// unfused naive chain (sim/Simulator runPipelineFunctional) is the
+/// reference; the fused naive kernel (when legality admits one) must
+/// match it bit-exactly on the final stage's outputs, every compiled
+/// fused variant and the chained per-stage winners must match within the
+/// float tolerance, and both interpreter engines must agree on the
+/// chain. \p Stages must be the parsed pipeline in order (>= 2 kernels,
+/// owned by \p M).
+OracleResult
+runPipelineOracle(Module &M,
+                  const std::vector<const KernelFunction *> &Stages,
+                  const OracleOptions &Opt);
+
 } // namespace gpuc
 
 #endif // GPUC_FUZZ_ORACLE_H

@@ -160,13 +160,16 @@ void Lexer::skipTrivia() {
     }
     if (C == '#') {
       // Collect "#pragma gpuc <payload>" lines; ignore other directives.
+      int PragmaLine = Line;
       std::string LineText;
       while (peek() != '\n' && peek() != '\0')
         LineText.push_back(advance());
       std::string Trimmed = trimString(LineText);
       const std::string Prefix = "#pragma gpuc";
-      if (startsWith(Trimmed, Prefix))
+      if (startsWith(Trimmed, Prefix)) {
         Pragmas.push_back(trimString(Trimmed.substr(Prefix.size())));
+        PragmaRecs.push_back({Pragmas.back(), PragmaLine});
+      }
       continue;
     }
     return;

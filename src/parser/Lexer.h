@@ -22,6 +22,14 @@
 
 namespace gpuc {
 
+/// One `#pragma gpuc` payload together with the line it appeared on.
+/// Multi-kernel translation units use the line to attach each pragma to
+/// the kernel definition that follows it.
+struct PragmaRec {
+  std::string Text;
+  int Line = 0;
+};
+
 class Lexer {
 public:
   Lexer(std::string Source, DiagnosticsEngine &Diags);
@@ -31,6 +39,9 @@ public:
 
   /// The `#pragma gpuc ...` payloads found (text after "gpuc"), in order.
   const std::vector<std::string> &pragmas() const { return Pragmas; }
+
+  /// The same payloads with source lines (for per-kernel attribution).
+  const std::vector<PragmaRec> &pragmaRecords() const { return PragmaRecs; }
 
 private:
   Token next();
@@ -46,6 +57,7 @@ private:
   int Line = 1;
   int Col = 1;
   std::vector<std::string> Pragmas;
+  std::vector<PragmaRec> PragmaRecs;
 };
 
 } // namespace gpuc

@@ -13,6 +13,7 @@ Parser::Parser(std::string Source, DiagnosticsEngine &Diags) : Diags(Diags) {
   Lexer Lex(std::move(Source), Diags);
   Tokens = Lex.lexAll();
   Pragmas = Lex.pragmas();
+  PragmaRecs = Lex.pragmaRecords();
 }
 
 const Token &Parser::peekTok(int Ahead) const {
@@ -73,7 +74,14 @@ static bool lookupBuiltinId(const std::string &Name, BuiltinId &Id) {
 }
 
 KernelFunction *Parser::parseKernel(Module &M) {
+  return parseOneKernel(M, Pragmas);
+}
+
+KernelFunction *Parser::parseOneKernel(
+    Module &M, const std::vector<std::string> &KPragmas) {
   Ctx = &M.context();
+  ScalarTypes.clear();
+  ArrayElemTypes.clear();
   if (!expect(TokKind::KwGlobal, "at start of kernel") ||
       !expect(TokKind::KwVoid, "after __global__"))
     return nullptr;
@@ -94,7 +102,7 @@ KernelFunction *Parser::parseKernel(Module &M) {
   if (!Body || Diags.hasErrors())
     return nullptr;
   K->setBody(Body);
-  applyPragmas(K);
+  applyPragmas(K, KPragmas);
 
   // Infer the output array if no pragma named one: any stored-to array.
   if (K->outputName().empty()) {
@@ -134,6 +142,159 @@ KernelFunction *Parser::parseKernel(Module &M) {
   L.GridDimX = (K->workDomainX() + L.BlockDimX - 1) / L.BlockDimX;
   L.GridDimY = (K->workDomainY() + L.BlockDimY - 1) / L.BlockDimY;
   return Diags.hasErrors() ? nullptr : K;
+}
+
+/// Splits a `pipeline(a -> b -> c)` payload into stage names; `,` is
+/// accepted as a separator too. \returns false on malformed syntax.
+static bool parsePipelineStages(const std::string &Payload,
+                                std::vector<std::string> &Stages) {
+  size_t Open = Payload.find('(');
+  size_t Close = Payload.rfind(')');
+  if (Open == std::string::npos || Close == std::string::npos || Close < Open)
+    return false;
+  std::string Body = Payload.substr(Open + 1, Close - Open - 1);
+  // Normalize "->" to "," and split.
+  std::string Norm;
+  for (size_t I = 0; I < Body.size(); ++I) {
+    if (Body[I] == '-' && I + 1 < Body.size() && Body[I + 1] == '>') {
+      Norm.push_back(',');
+      ++I;
+    } else {
+      Norm.push_back(Body[I]);
+    }
+  }
+  for (const std::string &Piece : splitString(Norm, ',')) {
+    std::string Name = trimString(Piece);
+    if (Name.empty())
+      return false;
+    Stages.push_back(std::move(Name));
+  }
+  return !Stages.empty();
+}
+
+std::vector<KernelFunction *> Parser::parseProgram(Module &M) {
+  // Separate the module-level pipeline clause from per-kernel pragmas.
+  std::vector<std::string> Stages;
+  bool SawPipeline = false;
+  std::vector<PragmaRec> KernelRecs;
+  for (const PragmaRec &R : PragmaRecs) {
+    if (startsWith(R.Text, "pipeline(") || R.Text == "pipeline") {
+      if (SawPipeline) {
+        Diags.error(SourceLocation(R.Line, 1),
+                    "duplicate pipeline clause");
+        return {};
+      }
+      SawPipeline = true;
+      if (!parsePipelineStages(R.Text, Stages)) {
+        Diags.error(SourceLocation(R.Line, 1),
+                    "malformed pipeline clause; expected "
+                    "'pipeline(a -> b -> ...)'");
+        return {};
+      }
+    } else {
+      KernelRecs.push_back(R);
+    }
+  }
+
+  // Lines of each __global__ token, in textual order: a pragma belongs to
+  // the first kernel definition after it (trailing pragmas to the last).
+  std::vector<int> GlobalLines;
+  for (const Token &T : Tokens)
+    if (T.is(TokKind::KwGlobal))
+      GlobalLines.push_back(T.Loc.Line);
+
+  std::vector<KernelFunction *> Parsed;
+  while (cur().is(TokKind::KwGlobal)) {
+    size_t KIdx = Parsed.size();
+    std::vector<std::string> Slice;
+    for (const PragmaRec &R : KernelRecs) {
+      size_t Owner = GlobalLines.size() - 1;
+      for (size_t I = 0; I < GlobalLines.size(); ++I) {
+        if (GlobalLines[I] > R.Line) {
+          Owner = I;
+          break;
+        }
+      }
+      if (Owner == KIdx)
+        Slice.push_back(R.Text);
+    }
+    KernelFunction *K = parseOneKernel(M, Slice);
+    if (!K)
+      return {};
+    for (size_t I = 0; I < Parsed.size(); ++I) {
+      if (Parsed[I]->name() == K->name()) {
+        Diags.error(SourceLocation(),
+                    strFormat("duplicate kernel '%s'", K->name().c_str()));
+        return {};
+      }
+    }
+    Parsed.push_back(K);
+  }
+  if (Parsed.empty()) {
+    Diags.error(cur().Loc, "expected '__global__' kernel definition");
+    return {};
+  }
+  if (!cur().is(TokKind::Eof)) {
+    Diags.error(cur().Loc,
+                strFormat("unexpected '%s' after kernel definitions",
+                          tokKindName(cur().Kind)));
+    return {};
+  }
+
+  if (!SawPipeline) {
+    if (Parsed.size() > 1) {
+      Diags.error(SourceLocation(),
+                  "multiple kernels require a "
+                  "'#pragma gpuc pipeline(a -> b)' clause");
+      return {};
+    }
+    return Parsed;
+  }
+
+  if (Stages.size() < 2) {
+    Diags.error(SourceLocation(),
+                "pipeline clause needs at least two stages");
+    return {};
+  }
+
+  // Order kernels by the pipeline clause; every kernel must be named
+  // exactly once.
+  std::vector<KernelFunction *> Ordered;
+  for (const std::string &S : Stages) {
+    KernelFunction *K = nullptr;
+    for (KernelFunction *P : Parsed)
+      if (P->name() == S)
+        K = P;
+    if (!K) {
+      Diags.error(SourceLocation(),
+                  strFormat("pipeline names unknown kernel '%s'", S.c_str()));
+      return {};
+    }
+    for (KernelFunction *Prev : Ordered) {
+      if (Prev == K) {
+        Diags.error(SourceLocation(),
+                    strFormat("pipeline names kernel '%s' twice", S.c_str()));
+        return {};
+      }
+    }
+    Ordered.push_back(K);
+  }
+  if (Ordered.size() != Parsed.size()) {
+    for (KernelFunction *P : Parsed) {
+      bool Named = false;
+      for (KernelFunction *O : Ordered)
+        Named |= O == P;
+      if (!Named) {
+        Diags.error(SourceLocation(),
+                    strFormat("kernel '%s' is not named in the pipeline "
+                              "clause",
+                              P->name().c_str()));
+        return {};
+      }
+    }
+  }
+  M.setPipeline(Stages);
+  return Ordered;
 }
 
 bool Parser::parseParams(KernelFunction *Fn) {
@@ -631,8 +792,9 @@ Expr *Parser::parsePrimary() {
   }
 }
 
-void Parser::applyPragmas(KernelFunction *Fn) {
-  for (const std::string &P : Pragmas) {
+void Parser::applyPragmas(KernelFunction *Fn,
+                          const std::vector<std::string> &KPragmas) {
+  for (const std::string &P : KPragmas) {
     if (startsWith(P, "output(")) {
       std::string Name = trimString(P.substr(7, P.find(')') - 7));
       if (ParamDecl *Param = Fn->findParam(Name))

@@ -23,6 +23,15 @@
 /// a default naive launch configuration ((16,16) blocks for 2-D domains,
 /// (256,1) for 1-D) that the optimizer later replaces.
 ///
+/// A translation unit may also hold a *pipeline*: several `__global__`
+/// definitions plus one module-level clause naming the dataflow order,
+///
+///   #pragma gpuc pipeline(mv -> addv)
+///
+/// Each stage's output array feeds the same-named array parameter of later
+/// stages. Per-kernel pragmas (output/bind/domain) attach to the next
+/// `__global__` definition that follows them.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GPUC_PARSER_PARSER_H
@@ -42,7 +51,16 @@ public:
   /// Parses one kernel into \p M. \returns null on error (see Diags).
   KernelFunction *parseKernel(Module &M);
 
+  /// Parses a whole translation unit into \p M: one kernel, or several
+  /// kernels plus a `pipeline(a -> b -> ...)` clause. On success the
+  /// returned vector lists the kernels in pipeline (execution) order and
+  /// M.pipeline() names them; a single-kernel unit yields one element and
+  /// an empty M.pipeline(). \returns an empty vector on error.
+  std::vector<KernelFunction *> parseProgram(Module &M);
+
 private:
+  KernelFunction *parseOneKernel(Module &M,
+                                 const std::vector<std::string> &KPragmas);
   // Token helpers.
   const Token &cur() const { return Tokens[Index]; }
   const Token &peekTok(int Ahead = 1) const;
@@ -67,7 +85,8 @@ private:
   Expr *parsePostfix();
   Expr *parsePrimary();
 
-  void applyPragmas(KernelFunction *K);
+  void applyPragmas(KernelFunction *K,
+                    const std::vector<std::string> &KPragmas);
   Type lookupVarType(const std::string &Name, bool &Known) const;
 
   ASTContext *Ctx = nullptr;
@@ -75,6 +94,7 @@ private:
   DiagnosticsEngine &Diags;
   std::vector<Token> Tokens;
   std::vector<std::string> Pragmas;
+  std::vector<PragmaRec> PragmaRecs;
   size_t Index = 0;
   /// Scalar-variable types (params + locals + loop iterators).
   std::map<std::string, Type> ScalarTypes;

@@ -225,6 +225,8 @@ void Interpreter::runBlocks(long long Begin, long long End,
   Opt = &Options;
   BlocksInGroup = 1;
   const bool Vec = vectorEligible(Options);
+  if (!Vec && Options.Backend == InterpBackend::Vector)
+    ScalarFallback = true;
   setupGroup(K.launch().threadsPerBlock(), /*ScalarFrame=*/!Vec);
   SharedData.assign(static_cast<size_t>((SharedBytesPerBlock + 3) / 4), 0.0f);
   if (Vec) {
@@ -254,6 +256,8 @@ void Interpreter::runGrid(const InterpOptions &Options) {
   long long Blocks = L.numBlocks();
   BlocksInGroup = Blocks;
   const bool Vec = vectorEligible(Options);
+  if (!Vec && Options.Backend == InterpBackend::Vector)
+    ScalarFallback = true;
   setupGroup(L.totalThreads(), /*ScalarFrame=*/!Vec);
   SharedData.assign(
       static_cast<size_t>((SharedBytesPerBlock + 3) / 4 * Blocks), 0.0f);

@@ -124,6 +124,13 @@ public:
 
   bool ok() const { return !Failed; }
 
+  /// True once a run requested the vector engine but executed on the
+  /// scalar walk (bytecode lowering failed or a race-order hazard applied
+  /// — see vectorEligible). Purely observational: the outputs are
+  /// bit-identical either way, so this feeds SearchStats::ScalarFallbacks,
+  /// never SimStats or the caches.
+  bool usedScalarFallback() const { return ScalarFallback; }
+
 private:
   friend class BcBuilder;  // Bytecode.cpp: AST -> op stream lowering
   friend class VectorExec; // VectorExec.cpp: plane executor
@@ -221,6 +228,7 @@ private:
   bool Prepared = false;
   bool Failed = false;
   bool ReportedRuntimeError = false;
+  bool ScalarFallback = false;
 
   // Lazily-compiled bytecode (shared by every vector run of this kernel).
   std::unique_ptr<BcProgram> BC;

@@ -34,7 +34,21 @@ bool Simulator::runFunctional(const KernelFunction &K, BufferSet &Buffers,
     Interp.runGrid(Opt);
   else
     Interp.runBlocks(0, K.launch().numBlocks(), Opt);
+  noteFallback(Interp);
   return Interp.ok();
+}
+
+bool Simulator::runPipelineFunctional(
+    const std::vector<const KernelFunction *> &Stages, BufferSet &Buffers,
+    DiagnosticsEngine &Diags, RaceLog *Races) const {
+  // Sequential launches against one buffer set: arrays are bound by
+  // parameter name, so a producer's output is simply there when the next
+  // stage binds the same name. Kernel-launch boundaries are the grid-wide
+  // barrier the unfused pipeline relies on.
+  for (const KernelFunction *S : Stages)
+    if (!runFunctional(*S, Buffers, Diags, Races))
+      return false;
+  return true;
 }
 
 PerfResult Simulator::runPerformance(const KernelFunction &K,
@@ -115,6 +129,7 @@ PerfResult Simulator::runPerformance(const KernelFunction &K,
     if (End >= NumBlocks)
       break;
   }
+  noteFallback(Interp);
   if (!Interp.ok() || SampledBlocks == 0)
     return R;
 

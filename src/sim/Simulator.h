@@ -22,6 +22,9 @@
 #include "sim/Occupancy.h"
 #include "sim/Timing.h"
 
+#include <atomic>
+#include <vector>
+
 namespace gpuc {
 
 /// Sampling parameters for performance runs.
@@ -116,6 +119,16 @@ public:
   bool runFunctional(const KernelFunction &K, BufferSet &Buffers,
                      DiagnosticsEngine &Diags, RaceLog *Races = nullptr) const;
 
+  /// Executes an unfused multi-kernel pipeline: each stage runs to
+  /// completion (a grid-wide barrier between launches) against the one
+  /// shared \p Buffers, so a producer's output array is the next stage's
+  /// input by name. This is the oracle the fusion transform is tested
+  /// against: a fused kernel must reproduce these final outputs bit for
+  /// bit. \returns false on the first failing stage.
+  bool runPipelineFunctional(const std::vector<const KernelFunction *> &Stages,
+                             BufferSet &Buffers, DiagnosticsEngine &Diags,
+                             RaceLog *Races = nullptr) const;
+
   /// Samples block clusters, extrapolates statistics to the whole grid and
   /// estimates the kernel time. Buffer contents after the call are not
   /// meaningful. With a cache attached, a structurally identical (kernel,
@@ -124,10 +137,23 @@ public:
                             DiagnosticsEngine &Diags,
                             const PerfOptions &Options = PerfOptions()) const;
 
+  /// Interpreter executions through this Simulator that requested the
+  /// vector engine but fell back to the scalar walk. Cache hits skip the
+  /// engine entirely and do not count. Thread-safe like the run methods.
+  uint64_t scalarFallbacks() const {
+    return Fallbacks.load(std::memory_order_relaxed);
+  }
+
 private:
+  void noteFallback(const Interpreter &Interp) const {
+    if (Interp.usedScalarFallback())
+      Fallbacks.fetch_add(1, std::memory_order_relaxed);
+  }
+
   DeviceSpec Dev;
   SimCache *Cache = nullptr;
   InterpBackend Backend = InterpBackend::Vector;
+  mutable std::atomic<uint64_t> Fallbacks{0};
 };
 
 } // namespace gpuc

@@ -35,6 +35,16 @@ KernelFunction *parseOk(Module &M, const std::string &Source) {
   return K;
 }
 
+std::vector<KernelFunction *> parseProgramOk(Module &M,
+                                             const std::string &Source) {
+  DiagnosticsEngine Diags;
+  Parser P(Source, Diags);
+  std::vector<KernelFunction *> Stages = P.parseProgram(M);
+  EXPECT_FALSE(Stages.empty()) << Diags.str();
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return Stages;
+}
+
 /// Fault injection for attribution tests: after the named stage runs,
 /// every plain store into an array becomes an accumulating store, which
 /// adds the (nonzero) preexisting buffer contents into the result.
@@ -116,6 +126,128 @@ TEST(KernelGenTest, PrinterParserRoundTripSweep) {
     // hashes identically to what the generator built.
     EXPECT_EQ(printNaiveKernel(*K), GK.Source) << "seed " << Seed;
     EXPECT_EQ(hashKernel(*K), GK.StructureHash) << "seed " << Seed;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline (chain-template) generation
+//===----------------------------------------------------------------------===//
+
+TEST(PipelineGenTest, GoldenReplaySeed3) {
+  // Pinned bytes for the must-reject shape: the consumer folds the
+  // intermediate through a loop-variable index.
+  const char *Want =
+      "#pragma gpuc pipeline(k3a -> k3b)\n"
+      "#pragma gpuc output(t0)\n"
+      "#pragma gpuc domain(112,1)\n"
+      "__global__ void k3a(float a[112], float t0[112]) {\n"
+      "  t0[idx] = fmaxf((a[idx]+a[idx]), fminf(a[idx], a[idx]));\n"
+      "}\n"
+      "\n"
+      "#pragma gpuc output(c)\n"
+      "#pragma gpuc domain(112,1)\n"
+      "__global__ void k3b(float t0[112], float c[112]) {\n"
+      "  float acc = 0.0f;\n"
+      "  for (int k = 0; k < 9; k = k + 1) {\n"
+      "    acc += t0[k];\n"
+      "  }\n"
+      "  c[idx] = (acc+acc);\n"
+      "}\n";
+  KernelGen Gen(3);
+  GeneratedPipeline GP = Gen.generatePipeline();
+  EXPECT_EQ(GP.Source, Want);
+  EXPECT_EQ(GP.Shape, "loop_consumer");
+  EXPECT_EQ(GP.NumKernels, 2);
+  EXPECT_FALSE(GP.ExpectFusable);
+}
+
+TEST(PipelineGenTest, GoldenReplaySeed17) {
+  // Pinned bytes for the BLAS-2 shape (register-fusable mv chain).
+  const char *Want =
+      "#pragma gpuc pipeline(k17a -> k17b)\n"
+      "#pragma gpuc output(t0)\n"
+      "#pragma gpuc bind(n=64)\n"
+      "#pragma gpuc domain(64,1)\n"
+      "__global__ void k17a(float a[64][64], float x[64], float t0[64],"
+      " int n) {\n"
+      "  float sum = 0.0f;\n"
+      "  for (int i = 0; i < n; i = i + 1) {\n"
+      "    sum += (a[idx][i]*x[i]);\n"
+      "  }\n"
+      "  t0[idx] = (sum+sum);\n"
+      "}\n"
+      "\n"
+      "#pragma gpuc output(c)\n"
+      "#pragma gpuc domain(64,1)\n"
+      "__global__ void k17b(float t0[64], float b[64], float c[64]) {\n"
+      "  c[idx] = t0[idx];\n"
+      "}\n";
+  KernelGen Gen(17);
+  GeneratedPipeline GP = Gen.generatePipeline();
+  EXPECT_EQ(GP.Source, Want);
+  EXPECT_EQ(GP.Shape, "mv_chain");
+  EXPECT_TRUE(GP.ExpectFusable);
+}
+
+TEST(PipelineGenTest, GenerateIsIdempotentAndInstanceIndependent) {
+  for (unsigned Seed : {0u, 3u, 9u, 17u, 23u}) {
+    KernelGen A(Seed);
+    GeneratedPipeline First = A.generatePipeline();
+    GeneratedPipeline Again = A.generatePipeline();
+    KernelGen B(Seed);
+    GeneratedPipeline Fresh = B.generatePipeline();
+    EXPECT_EQ(First.Source, Again.Source) << "seed " << Seed;
+    EXPECT_EQ(First.Source, Fresh.Source) << "seed " << Seed;
+    EXPECT_EQ(First.StructureHash, Fresh.StructureHash) << "seed " << Seed;
+    // generate() and generatePipeline() restart the engine, so calling
+    // one must not perturb the other.
+    GeneratedKernel Single = B.generate();
+    EXPECT_EQ(B.generatePipeline().Source, First.Source) << "seed " << Seed;
+    EXPECT_EQ(B.generate().Source, Single.Source) << "seed " << Seed;
+  }
+}
+
+TEST(PipelineGenTest, PrinterParserRoundTripSweep) {
+  for (unsigned Seed = 0; Seed < 40; ++Seed) {
+    KernelGen Gen(Seed);
+    GeneratedPipeline GP = Gen.generatePipeline();
+    Module M;
+    std::vector<KernelFunction *> Stages = parseProgramOk(M, GP.Source);
+    ASSERT_EQ(static_cast<int>(Stages.size()), GP.NumKernels)
+        << "seed " << Seed << "\n" << GP.Source;
+    // Re-printing the parsed program is a fixed point, and the parsed
+    // stages hash-fold to the generator's StructureHash (the generator
+    // canonicalizes its launches to the parser's defaults first).
+    std::vector<const KernelFunction *> CStages(Stages.begin(),
+                                                Stages.end());
+    EXPECT_EQ(printNaiveProgram(CStages), GP.Source) << "seed " << Seed;
+    uint64_t H = hashCombine(0x70697065, Stages.size());
+    for (const KernelFunction *K : Stages)
+      H = hashCombine(H, hashKernel(*K));
+    EXPECT_EQ(H, GP.StructureHash) << "seed " << Seed;
+  }
+}
+
+TEST(PipelineGenTest, LegalityMatchesTemplateExpectation) {
+  // Every chain template is fusable (or not) by construction; the
+  // legality analysis must agree on each one the generator emits.
+  for (unsigned Seed = 0; Seed < 30; ++Seed) {
+    KernelGen Gen(Seed);
+    GeneratedPipeline GP = Gen.generatePipeline();
+    Module M;
+    std::vector<KernelFunction *> Stages = parseProgramOk(M, GP.Source);
+    std::vector<const KernelFunction *> CStages(Stages.begin(),
+                                                Stages.end());
+    DiagnosticsEngine Diags;
+    GpuCompiler GC(M, Diags);
+    ProgramCompileOutput Out = GC.compileProgram(CStages);
+    EXPECT_FALSE(Diags.hasErrors()) << "seed " << Seed << ": " << Diags.str();
+    EXPECT_EQ(Out.FusionLegal, GP.ExpectFusable)
+        << "seed " << Seed << " (" << GP.Shape
+        << "): " << Out.FusionReason << "\n"
+        << GP.Source;
+    if (!GP.ExpectFusable)
+      EXPECT_FALSE(Out.UseFused) << "seed " << Seed;
   }
 }
 
@@ -212,6 +344,54 @@ TEST(OracleTest, AnnouncedStagesFollowPipelineOrder) {
   EXPECT_EQ(Announced.back(), "final");
 }
 
+TEST(OracleTest, PipelinePassesOnGeneratedChains) {
+  // One seed per chain template (see the shape map the sweep pins):
+  // 0 chain2d, 1 mv_chain, 3 loop_consumer, 5 chain1d, 9 stencil_chain.
+  for (unsigned Seed : {0u, 1u, 3u, 5u, 9u}) {
+    KernelGen Gen(Seed);
+    GeneratedPipeline GP = Gen.generatePipeline();
+    OracleOptions Opt;
+    OracleResult R;
+    std::string Errs;
+    ASSERT_TRUE(checkPipelineSource(GP.Source, Opt, R, Errs))
+        << "seed " << Seed << "\n" << Errs;
+    EXPECT_TRUE(R.Passed) << "seed " << Seed << " (" << GP.Shape << "): "
+                          << (R.Failures.empty()
+                                  ? ""
+                                  : R.Failures.front().Detail);
+    EXPECT_GE(R.VariantsChecked, 1) << "seed " << Seed;
+  }
+}
+
+TEST(OracleTest, PipelineCatchesABrokenFusedKernel) {
+  // Corrupt only the fused kernel (its name carries the "_fused" suffix)
+  // right at pipeline input: the bit-exact fused-vs-chain comparison must
+  // report a mismatch while the unfused chain stays the trusted side.
+  KernelGen Gen(17); // mv_chain, register-fusable
+  GeneratedPipeline GP = Gen.generatePipeline();
+  OracleOptions Opt;
+  Opt.Inject = [](const char *Stage, KernelFunction &K, bool) {
+    if (std::string(Stage) != "input" ||
+        K.name().find("_fused") == std::string::npos)
+      return;
+    forEachStmt(K.body(), [](Stmt *S) {
+      if (auto *A = dyn_cast<AssignStmt>(S))
+        if (A->op() == AssignOp::Assign && isa<ArrayRef>(A->lhs()))
+          A->setOp(AssignOp::AddAssign);
+    });
+  };
+  OracleResult R;
+  std::string Errs;
+  ASSERT_TRUE(checkPipelineSource(GP.Source, Opt, R, Errs)) << Errs;
+  ASSERT_FALSE(R.Passed) << "corrupted fused kernel was not detected";
+  bool SawFusedFailure = false;
+  for (const OracleFailure &F : R.Failures)
+    SawFusedFailure |= F.Variant.find("_fused") != std::string::npos;
+  EXPECT_TRUE(SawFusedFailure)
+      << "failure not attributed to a fused variant: "
+      << R.Failures.front().Variant;
+}
+
 //===----------------------------------------------------------------------===//
 // Per-stage failure attribution
 //===----------------------------------------------------------------------===//
@@ -299,6 +479,27 @@ TEST(FuzzLoopTest, SmokeRunIsCleanAndJobsInvariant) {
   Opt.Jobs = 2;
   FuzzSummary Par = runFuzz(Opt);
   EXPECT_EQ(Par.Cases, 12);
+  EXPECT_EQ(Par.Failed, 0) << (Par.Failures.empty()
+                                   ? ""
+                                   : Par.Failures.front().Failure.Detail);
+  EXPECT_GT(Par.VariantsChecked, 0);
+
+  Opt.Jobs = 1;
+  FuzzSummary Ser = runFuzz(Opt);
+  EXPECT_EQ(Par.Passed, Ser.Passed);
+  EXPECT_EQ(Par.Duplicates, Ser.Duplicates);
+  EXPECT_EQ(Par.VariantsChecked, Ser.VariantsChecked);
+  EXPECT_EQ(Par.ShapeCounts, Ser.ShapeCounts);
+}
+
+TEST(FuzzLoopTest, PipelineSmokeRunIsCleanAndJobsInvariant) {
+  FuzzOptions Opt;
+  Opt.Pipeline = true;
+  Opt.FirstSeed = 0;
+  Opt.NumSeeds = 10;
+  Opt.Jobs = 2;
+  FuzzSummary Par = runFuzz(Opt);
+  EXPECT_EQ(Par.Cases, 10);
   EXPECT_EQ(Par.Failed, 0) << (Par.Failures.empty()
                                    ? ""
                                    : Par.Failures.front().Failure.Detail);

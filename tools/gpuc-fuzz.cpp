@@ -41,6 +41,10 @@ void usage() {
       "  --out=DIR                 failure artifact directory (default\n"
       "                            fuzz-out; seedN.cu + seedN.json)\n"
       "  --no-reduce               keep failing kernels unminimized\n"
+      "  --pipeline                generate 2-3 kernel producer/consumer\n"
+      "                            chains and run the fusion-differential\n"
+      "                            oracle (fused vs unfused) on each;\n"
+      "                            applies to --print/--repro/--check too\n"
       "  --device=gtx280|gtx8800|hd5870  target machine description\n"
       "  --print                   print the kernel --seed generates\n"
       "  --repro=FILE              write that kernel to FILE and exit\n"
@@ -57,7 +61,7 @@ void usage() {
       "  --quiet                   suppress per-seed progress lines\n");
 }
 
-int checkFile(const char *Path, const OracleOptions &Opt) {
+int checkFile(const char *Path, const OracleOptions &Opt, bool Pipeline) {
   std::ifstream In(Path);
   if (!In) {
     std::fprintf(stderr, "gpuc-fuzz: error: cannot open '%s'\n", Path);
@@ -68,7 +72,9 @@ int checkFile(const char *Path, const OracleOptions &Opt) {
 
   OracleResult R;
   std::string ParseErrs;
-  if (!checkKernelSource(SS.str(), Opt, R, ParseErrs)) {
+  bool Parsed = Pipeline ? checkPipelineSource(SS.str(), Opt, R, ParseErrs)
+                         : checkKernelSource(SS.str(), Opt, R, ParseErrs);
+  if (!Parsed) {
     std::fprintf(stderr, "gpuc-fuzz: parse failed:\n%s", ParseErrs.c_str());
     return 1;
   }
@@ -115,6 +121,8 @@ int main(int argc, char **argv) {
       Opt.OutDir = Arg + 6;
     else if (std::strcmp(Arg, "--no-reduce") == 0)
       Opt.ReduceFailures = false;
+    else if (std::strcmp(Arg, "--pipeline") == 0)
+      Opt.Pipeline = true;
     else if (std::strcmp(Arg, "--device=gtx8800") == 0)
       Opt.Oracle.Compile.Device = DeviceSpec::gtx8800();
     else if (std::strcmp(Arg, "--device=gtx280") == 0)
@@ -148,15 +156,24 @@ int main(int argc, char **argv) {
   }
 
   if (CheckPath)
-    return checkFile(CheckPath, Opt.Oracle);
+    return checkFile(CheckPath, Opt.Oracle, Opt.Pipeline);
 
   if (Print || ReproPath) {
     // Deterministic replay: the same --seed regenerates the same bytes.
     KernelGen Gen(Opt.FirstSeed);
-    GeneratedKernel GK = Gen.generate();
+    std::string Source, Shape;
+    if (Opt.Pipeline) {
+      GeneratedPipeline GP = Gen.generatePipeline();
+      Source = std::move(GP.Source);
+      Shape = GP.Shape;
+    } else {
+      GeneratedKernel GK = Gen.generate();
+      Source = std::move(GK.Source);
+      Shape = GK.Shape;
+    }
     if (Print)
-      std::printf("// seed %u, shape %s\n%s", Opt.FirstSeed,
-                  GK.Shape.c_str(), GK.Source.c_str());
+      std::printf("// seed %u, shape %s\n%s", Opt.FirstSeed, Shape.c_str(),
+                  Source.c_str());
     if (ReproPath) {
       std::ofstream Out(ReproPath);
       if (!Out) {
@@ -164,7 +181,7 @@ int main(int argc, char **argv) {
                      ReproPath);
         return 1;
       }
-      Out << GK.Source;
+      Out << Source;
     }
     return 0;
   }

@@ -33,6 +33,7 @@
 #include "support/StringUtils.h"
 #include "support/Timer.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cmath>
@@ -50,6 +51,11 @@ void usage() {
       stderr,
       "usage: gpucc [options] <kernel.cu | ->\n"
       "       gpucc --batch [options] <kernel.cu>...\n"
+      "  An input with several __global__ kernels and a\n"
+      "  '#pragma gpuc pipeline(a -> b)' clause compiles as a pipeline:\n"
+      "  kernel fusion is attempted, fused and unfused versions compete in\n"
+      "  the search, and the winner program is emitted (--report shows the\n"
+      "  legality verdict and the decision).\n"
       "  --device=gtx280|gtx8800|hd5870  target machine description\n"
       "  --opencl                  emit OpenCL C instead of CUDA\n"
       "  --block=N --thread=M      fixed merge factors (skips the search)\n"
@@ -119,6 +125,27 @@ void fillRandomInputs(const KernelFunction &K, BufferSet &B) {
     for (float &X : V) {
       State = State * 1664525u + 1013904223u;
       X = static_cast<float>(State >> 20) / 4096.0f - 0.5f;
+    }
+  }
+}
+
+/// Pipeline variant of fillRandomInputs: arrays are bound by name across
+/// stages, so each unique name is allocated and filled once (first
+/// occurrence wins; later stages then see the producer's values, or the
+/// initial fill for true inputs).
+void fillPipelineInputs(const std::vector<KernelFunction *> &Stages,
+                        BufferSet &B) {
+  unsigned State = 99;
+  for (const KernelFunction *K : Stages) {
+    for (const ParamDecl &P : K->params()) {
+      if (!P.IsArray || B.has(P.Name))
+        continue;
+      auto &V = B.alloc(P.Name, static_cast<size_t>(P.elemCount()) *
+                                    P.ElemTy.vectorWidth());
+      for (float &X : V) {
+        State = State * 1664525u + 1013904223u;
+        X = static_cast<float>(State >> 20) / 4096.0f - 0.5f;
+      }
     }
   }
 }
@@ -197,6 +224,134 @@ void emitCacheStats(const DriverOptions &D, const DiskCache *Disk,
       (unsigned long long)Mem.hits(), (unsigned long long)Mem.misses());
 }
 
+/// Multi-kernel pipeline compilation (the input carried a
+/// '#pragma gpuc pipeline(...)' clause): the fusion legality analysis
+/// runs, fused and unfused sides are searched, and the winner program is
+/// emitted. --validate compares the chosen compiled program against the
+/// unfused naive chain, the differential oracle.
+int runSinglePipeline(DriverOptions &D, DiskCache *Disk, SimCache &Mem,
+                      Module &M, DiagnosticsEngine &Diags,
+                      std::vector<KernelFunction *> &Stages) {
+  CompileOptions &Opt = D.Opt;
+  if (D.BlockN > 0 || D.ThreadM > 0 || D.Dialect != PrintDialect::Cuda) {
+    std::fprintf(stderr,
+                 "gpucc: error: --block/--thread/--opencl are not "
+                 "supported for multi-kernel pipelines\n");
+    return 1;
+  }
+  std::vector<const KernelFunction *> CStages(Stages.begin(), Stages.end());
+  if (D.PrintNaive)
+    std::printf("// ---- naive input ----\n%s\n",
+                printNaiveProgram(CStages).c_str());
+
+  // Warm fast path, program level: replay the stored decision + text.
+  if (Disk && D.fastPathEligible()) {
+    CachedCompile Cached;
+    if (Disk->loadText(programCacheKey(CStages, Opt), Cached)) {
+      std::printf("%s", Cached.KernelText.c_str());
+      return 0;
+    }
+  }
+
+  SanitizeSummary SanSummary;
+  if (D.Sanitize || D.Lint) {
+    SanitizeOptions SanOpt;
+    SanOpt.Races = D.Sanitize;
+    SanOpt.Lint = D.Lint;
+    SanOpt.LintOpts.Strict = D.LintStrict;
+    attachStageSanitizer(Opt, Diags, SanOpt, &SanSummary);
+  }
+  Opt.Cache = &Mem;
+  Opt.Disk = Disk;
+
+  GpuCompiler GC(M, Diags);
+  ProgramCompileOutput Out = GC.compileProgram(CStages, Opt);
+  const bool ChosenOk =
+      Out.UseFused
+          ? Out.FusedOut.Best != nullptr
+          : !Out.StageOuts.empty() &&
+                std::all_of(Out.StageOuts.begin(), Out.StageOuts.end(),
+                            [](const CompileOutput &C) { return C.Best; });
+  if (!ChosenOk || Diags.hasErrors()) {
+    std::fprintf(stderr, "%s%s", Diags.str().c_str(),
+                 Diags.summary().c_str());
+    return 1;
+  }
+  if (Diags.hasWarnings())
+    std::fprintf(stderr, "%s%s\n", Diags.str().c_str(),
+                 Diags.summary().c_str());
+  if (D.Sanitize || D.Lint)
+    std::fprintf(stderr,
+                 "sanitizer: %d kernels checked, %d races, %d lint "
+                 "warnings, %d not statically analyzable\n",
+                 SanSummary.KernelsChecked, SanSummary.RaceErrors,
+                 SanSummary.LintWarnings, SanSummary.Unanalyzable);
+
+  std::printf("%s", Out.ProgramText.c_str());
+
+  if (D.Report)
+    std::fprintf(stderr, "%s", fusionReport(Out).c_str());
+  if (D.SearchStats)
+    std::fprintf(stderr, "%s", searchStatsReport(Out.Search).c_str());
+
+  if (D.Validate) {
+    Simulator Sim(Opt.Device);
+    Sim.setInterpBackend(Opt.Interp);
+    BufferSet RefBufs, OptBufs;
+    fillPipelineInputs(Stages, RefBufs);
+    fillPipelineInputs(Stages, OptBufs);
+    DiagnosticsEngine RunDiags;
+    RaceLog RefRaces, OptRaces;
+    bool RefOk = Sim.runPipelineFunctional(CStages, RefBufs, RunDiags,
+                                           D.Sanitize ? &RefRaces : nullptr);
+    bool OptOk = true;
+    if (Out.UseFused) {
+      OptOk = Sim.runFunctional(*Out.FusedOut.Best, OptBufs, RunDiags,
+                                D.Sanitize ? &OptRaces : nullptr);
+    } else {
+      for (const CompileOutput &C : Out.StageOuts)
+        OptOk = OptOk &&
+                Sim.runFunctional(*C.Best, OptBufs, RunDiags,
+                                  D.Sanitize ? &OptRaces : nullptr);
+    }
+    if (!RefOk || !OptOk) {
+      std::fprintf(stderr, "validation run failed:\n%s",
+                   RunDiags.str().c_str());
+      return 1;
+    }
+    if (D.Sanitize) {
+      for (const RaceLog *Log : {&RefRaces, &OptRaces})
+        for (const RaceRecord &R : Log->Races)
+          std::fprintf(stderr,
+                       "dynamic race: %s on '%s' word %lld, phase %d, "
+                       "block %lld, threads %lld and %lld\n",
+                       R.WriteWrite ? "write-write" : "write-read",
+                       R.Array.c_str(), R.Word, R.Phase, R.Block, R.T1,
+                       R.T2);
+      if (!RefRaces.clean() || !OptRaces.clean())
+        return 1;
+    }
+    // A pipeline's observable outputs are the final stage's output
+    // arrays; intermediates are scratch (a fused program never writes
+    // them).
+    long long Bad = 0;
+    for (const ParamDecl &Param : Stages.back()->params()) {
+      if (!Param.IsArray || !Param.IsOutput)
+        continue;
+      const auto &A = RefBufs.data(Param.Name);
+      const auto &B = OptBufs.data(Param.Name);
+      for (size_t I = 0; I < A.size(); ++I) {
+        double Denom = std::max(1.0, static_cast<double>(std::fabs(A[I])));
+        if (std::fabs(A[I] - B[I]) / Denom > 1e-3)
+          ++Bad;
+      }
+    }
+    std::fprintf(stderr, "validation: %lld mismatches\n", Bad);
+    return Bad == 0 ? 0 : 2;
+  }
+  return 0;
+}
+
 /// One-file compilation, the original interactive flow.
 int runSingle(DriverOptions &D, DiskCache *Disk, SimCache &Mem) {
   const std::string &Path = D.Inputs.front();
@@ -220,12 +375,15 @@ int runSingle(DriverOptions &D, DiskCache *Disk, SimCache &Mem) {
     Diags.setWarningsAsErrors(true);
   WallTimer ParseTimer;
   Parser P(Source, Diags);
-  KernelFunction *Naive = P.parseKernel(M);
+  std::vector<KernelFunction *> Stages = P.parseProgram(M);
   Times.add("parse", ParseTimer.elapsedMs());
-  if (!Naive) {
+  if (Stages.empty()) {
     std::fprintf(stderr, "%s", Diags.str().c_str());
     return 1;
   }
+  if (Stages.size() > 1)
+    return runSinglePipeline(D, Disk, Mem, M, Diags, Stages);
+  KernelFunction *Naive = Stages.front();
   if (D.PrintNaive)
     std::printf("// ---- naive input ----\n%s\n",
                 printKernel(*Naive, D.Dialect).c_str());
@@ -390,12 +548,45 @@ int runBatch(DriverOptions &D, DiskCache *Disk, SimCache &Mem) {
     if (D.Werror)
       Diags.setWarningsAsErrors(true);
     Parser P(Source, Diags);
-    KernelFunction *Naive = P.parseKernel(M);
-    if (!Naive) {
+    std::vector<KernelFunction *> Stages = P.parseProgram(M);
+    if (Stages.empty()) {
       FR.Code = 1;
       FR.Err = Diags.str();
       return;
     }
+    if (Stages.size() > 1) {
+      // Pipeline input: program-level fast path, then compileProgram.
+      std::vector<const KernelFunction *> CStages(Stages.begin(),
+                                                  Stages.end());
+      if (Disk && D.fastPathEligible()) {
+        CachedCompile Cached;
+        if (Disk->loadText(programCacheKey(CStages, Inner), Cached)) {
+          FR.Text = Cached.KernelText;
+          return;
+        }
+      }
+      GpuCompiler GC(M, Diags);
+      ProgramCompileOutput Out = GC.compileProgram(CStages, Inner);
+      const bool ChosenOk =
+          Out.UseFused
+              ? Out.FusedOut.Best != nullptr
+              : !Out.StageOuts.empty() &&
+                    std::all_of(
+                        Out.StageOuts.begin(), Out.StageOuts.end(),
+                        [](const CompileOutput &C) { return C.Best; });
+      if (!ChosenOk || Diags.hasErrors()) {
+        FR.Code = 1;
+        FR.Err = Diags.str() + Diags.summary();
+        return;
+      }
+      if (Diags.hasWarnings())
+        FR.Err = Diags.str() + Diags.summary() + "\n";
+      FR.Text = Out.ProgramText;
+      if (D.SearchStats)
+        FR.Err += searchStatsReport(Out.Search);
+      return;
+    }
+    KernelFunction *Naive = Stages.front();
     if (Disk && D.fastPathEligible()) {
       CachedCompile Cached;
       if (Disk->loadText(compileCacheKey(*Naive, Inner), Cached)) {
