@@ -230,7 +230,15 @@ uint64_t gpuc::hashKernel(const KernelFunction &K) {
   HS.raw(static_cast<uint64_t>(L.BlockDimY));
   HS.raw(static_cast<uint64_t>(L.GridDimX));
   HS.raw(static_cast<uint64_t>(L.GridDimY));
-  HS.raw(L.DiagonalRemap ? 1 : 0);
+  // The block-id permutation participates: two kernels that differ only
+  // in their affine remap execute different memory schedules, so they
+  // must never share a performance-cache entry.
+  HS.raw(static_cast<uint64_t>(L.Remap.A00));
+  HS.raw(static_cast<uint64_t>(L.Remap.A01));
+  HS.raw(static_cast<uint64_t>(L.Remap.A10));
+  HS.raw(static_cast<uint64_t>(L.Remap.A11));
+  HS.raw(static_cast<uint64_t>(L.Remap.C0));
+  HS.raw(static_cast<uint64_t>(L.Remap.C1));
 
   // Scalar bindings (std::map iterates name-sorted: deterministic).
   HS.raw(K.scalarBindings().size());

@@ -47,14 +47,60 @@ struct ParamDecl {
   long long sizeInBytes() const { return elemCount() * ElemTy.sizeInBytes(); }
 };
 
-/// Thread grid and block dimensions plus the partition-camping block-id
-/// remap flag (Section 3.7's diagonal block reordering).
+/// An affine permutation of the block-id space, applied before any block
+/// id is consumed (interpreter and emitted code alike):
+///
+///   ebidx = (A00*bidx + A01*bidy + C0) mod GridDimX
+///   ebidy = (A10*bidx + A11*bidy + C1) mod GridDimY
+///
+/// The identity is A = I, C = 0. Section 3.7's diagonal block reordering
+/// (newbidx = (bidx+bidy) mod gridDim.x, newbidy = bidx) is the point
+/// A = [[1,1],[1,0]], C = 0 — the composition of a row/column swap with a
+/// diagonal skew. Legality (bijectivity over the grid) is checked by
+/// core/AffineLayout's remapLegal; an illegal remap must never be
+/// installed on a kernel.
+struct BlockRemap {
+  int A00 = 1, A01 = 0;
+  int A10 = 0, A11 = 1;
+  long long C0 = 0, C1 = 0;
+
+  bool identity() const {
+    return A00 == 1 && A01 == 0 && A10 == 0 && A11 == 1 && C0 == 0 &&
+           C1 == 0;
+  }
+  /// The legacy diagonal block reordering point.
+  bool isDiagonal() const {
+    return A00 == 1 && A01 == 1 && A10 == 1 && A11 == 0 && C0 == 0 &&
+           C1 == 0;
+  }
+  static BlockRemap diagonal() { return {1, 1, 1, 0, 0, 0}; }
+
+  /// Applies the remap to one raw block id pair.
+  void apply(long long Bx, long long By, long long GX, long long GY,
+             long long &EX, long long &EY) const {
+    auto Mod = [](long long V, long long M) {
+      return M <= 1 ? 0 : ((V % M) + M) % M;
+    };
+    EX = Mod(A00 * Bx + A01 * By + C0, GX);
+    EY = Mod(A10 * Bx + A11 * By + C1, GY);
+  }
+
+  bool operator==(const BlockRemap &O) const {
+    return A00 == O.A00 && A01 == O.A01 && A10 == O.A10 && A11 == O.A11 &&
+           C0 == O.C0 && C1 == O.C1;
+  }
+  bool operator!=(const BlockRemap &O) const { return !(*this == O); }
+};
+
+/// Thread grid and block dimensions plus the affine block-id permutation
+/// (identity by default; Section 3.7's diagonal block reordering and its
+/// generalizations — see core/AffineLayout).
 struct LaunchConfig {
   int BlockDimX = 1;
   int BlockDimY = 1;
   long long GridDimX = 1;
   long long GridDimY = 1;
-  bool DiagonalRemap = false;
+  BlockRemap Remap;
 
   long long threadsPerBlock() const {
     return static_cast<long long>(BlockDimX) * BlockDimY;

@@ -282,6 +282,42 @@ std::string gpuc::printNaiveProgram(
   return OS.str();
 }
 
+namespace {
+
+/// One axis of the affine block remap as source text, e.g.
+/// "(blockIdx.x + blockIdx.y) % gridDim.x" or the bare "blockIdx.x" when
+/// no wrap can occur (single unit-coefficient term; cross-axis only on
+/// square grids, where legality guarantees the range fits).
+std::string remapAxisText(const LaunchConfig &L, int CoeffX, int CoeffY,
+                          long long C, bool AxisX, bool CL) {
+  const char *BX = CL ? "get_group_id(0)" : "blockIdx.x";
+  const char *BY = CL ? "get_group_id(1)" : "blockIdx.y";
+  const char *Mod = AxisX ? (CL ? "get_num_groups(0)" : "gridDim.x")
+                          : (CL ? "get_num_groups(1)" : "gridDim.y");
+  if (C == 0 && ((CoeffX == 1 && CoeffY == 0) ||
+                 (CoeffX == 0 && CoeffY == 1))) {
+    const bool Own = AxisX ? CoeffX == 1 : CoeffY == 1;
+    if (Own || L.GridDimX == L.GridDimY)
+      return CoeffX == 1 ? BX : BY;
+  }
+  std::string E;
+  if (CoeffX != 0)
+    E += CoeffX == 1 ? BX : strFormat("%d*%s", CoeffX, BX);
+  if (CoeffY != 0) {
+    if (!E.empty())
+      E += " + ";
+    E += CoeffY == 1 ? BY : strFormat("%d*%s", CoeffY, BY);
+  }
+  if (C != 0 || E.empty()) {
+    if (!E.empty())
+      E += " + ";
+    E += strFormat("%lld", C);
+  }
+  return strFormat("(%s) %% %s", E.c_str(), Mod);
+}
+
+} // namespace
+
 std::string gpuc::printKernel(const KernelFunction &K,
                               PrintDialect Dialect) {
   std::ostringstream OS;
@@ -289,7 +325,9 @@ std::string gpuc::printKernel(const KernelFunction &K,
   const bool CL = Dialect == PrintDialect::OpenCL;
   OS << strFormat("// launch: grid(%lld, %lld), block(%d, %d)%s\n",
                   L.GridDimX, L.GridDimY, L.BlockDimX, L.BlockDimY,
-                  L.DiagonalRemap ? ", diagonal block reordering" : "");
+                  L.Remap.isDiagonal()  ? ", diagonal block reordering"
+                  : !L.Remap.identity() ? ", affine block remap"
+                                        : "");
   OS << (CL ? "__kernel void " : "__global__ void ") << K.name() << "(";
   bool First = true;
   for (const ParamDecl &P : K.params()) {
@@ -321,27 +359,29 @@ std::string gpuc::printKernel(const KernelFunction &K,
   if (CL) {
     OS << "  const int tidx = get_local_id(0);\n";
     OS << "  const int tidy = get_local_id(1);\n";
-    if (L.DiagonalRemap) {
-      OS << "  const int bidx = (get_group_id(0) + get_group_id(1)) % "
-            "get_num_groups(0);\n";
-      OS << "  const int bidy = get_group_id(0);\n";
-    } else {
-      OS << "  const int bidx = get_group_id(0);\n";
-      OS << "  const int bidy = get_group_id(1);\n";
-    }
+    OS << "  const int bidx = "
+       << remapAxisText(L, L.Remap.A00, L.Remap.A01, L.Remap.C0,
+                        /*AxisX=*/true, /*CL=*/true)
+       << ";\n";
+    OS << "  const int bidy = "
+       << remapAxisText(L, L.Remap.A10, L.Remap.A11, L.Remap.C1,
+                        /*AxisX=*/false, /*CL=*/true)
+       << ";\n";
     OS << "  const int idx = bidx * get_local_size(0) + tidx;\n";
     OS << "  const int idy = bidy * get_local_size(1) + tidy;\n";
   } else {
     OS << "  const int tidx = threadIdx.x;\n";
     OS << "  const int tidy = threadIdx.y;\n";
-    if (L.DiagonalRemap) {
-      // Section 3.7: newbidy = bidx, newbidx = (bidx + bidy) % gridDim.x.
-      OS << "  const int bidx = (blockIdx.x + blockIdx.y) % gridDim.x;\n";
-      OS << "  const int bidy = blockIdx.x;\n";
-    } else {
-      OS << "  const int bidx = blockIdx.x;\n";
-      OS << "  const int bidy = blockIdx.y;\n";
-    }
+    // For the diagonal point this prints exactly Section 3.7's remap:
+    // bidx = (blockIdx.x + blockIdx.y) % gridDim.x; bidy = blockIdx.x.
+    OS << "  const int bidx = "
+       << remapAxisText(L, L.Remap.A00, L.Remap.A01, L.Remap.C0,
+                        /*AxisX=*/true, /*CL=*/false)
+       << ";\n";
+    OS << "  const int bidy = "
+       << remapAxisText(L, L.Remap.A10, L.Remap.A11, L.Remap.C1,
+                        /*AxisX=*/false, /*CL=*/false)
+       << ";\n";
     OS << "  const int idx = bidx * blockDim.x + tidx;\n";
     OS << "  const int idy = bidy * blockDim.y + tidy;\n";
   }

@@ -75,7 +75,7 @@ KernelFunction *gpuc::sdkTransposeNew(Module &M, long long N) {
   Expr *Col = B.add(B.mul(B.bidy(), B.i(16)), B.tidx());
   B.assign(B.at("out", {Row, Col}), B.at("tile", {B.tidx(), B.tidy()}));
   KernelFunction *K = B.finish(16, 16, N, N);
-  K->launch().DiagonalRemap = true; // [Ruetsch & Micikevicius]
+  K->launch().Remap = BlockRemap::diagonal(); // [Ruetsch & Micikevicius]
   return K;
 }
 

@@ -80,7 +80,9 @@ public:
   /// Bump on any change to the entry format, the payload encodings, the
   /// key derivation, or the compiler pipeline's observable output; old
   /// entries then quarantine on first touch instead of aliasing.
-  static constexpr uint32_t SchemaVersion = 1;
+  // v2: kernel hashes cover the affine block remap and searches carry the
+  // layout dimension (compileCacheKey bit 8).
+  static constexpr uint32_t SchemaVersion = 2;
 
   enum class Kind : uint32_t { Perf = 1, Text = 2 };
 

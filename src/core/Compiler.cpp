@@ -39,7 +39,7 @@ bool setHalfWarpLaunch(KernelFunction &K) {
   L.BlockDimY = 1;
   L.GridDimX = K.workDomainX() / 16;
   L.GridDimY = K.workDomainY();
-  L.DiagonalRemap = false;
+  L.Remap = BlockRemap();
   return true;
 }
 
@@ -87,6 +87,10 @@ uint64_t gpuc::compileCacheKey(const KernelFunction &Naive,
   // Pruning provably never changes the winner (test-enforced), but keying
   // on it is free and keeps the entry's provenance unambiguous.
   Flags |= Opt.ExhaustiveSearch ? 1u << 7 : 0;
+  // The layout dimension changes which variants compete, so the winner
+  // of a layout search must never be served to a legacy-heuristic caller
+  // (or vice versa).
+  Flags |= Opt.LayoutSearch ? 1u << 8 : 0;
   return hashCombine(H, Flags);
 }
 
@@ -101,7 +105,9 @@ KernelFunction *GpuCompiler::compileVariant(const KernelFunction &Naive,
                                             const CompileOptions &Opt,
                                             int BlockN, int ThreadM,
                                             MergePlan *PlanOut,
-                                            PartitionCampResult *CampOut) {
+                                            PartitionCampResult *CampOut,
+                                            const LayoutPoint *Layout,
+                                            CampingAnalysis *ScanOut) {
   std::string Name =
       strFormat("%s_opt_b%d_t%d", Naive.name().c_str(), BlockN, ThreadM);
   KernelFunction *V = cloneKernel(M, &Naive, Name);
@@ -174,10 +180,15 @@ KernelFunction *GpuCompiler::compileVariant(const KernelFunction &Naive,
     Stage("merge");
   }
 
-  // Camping rotation must precede prefetch (see header note).
+  // Camping rotation must precede prefetch (see header note). The scan
+  // runs before any layout is applied: it sees the variant exactly as the
+  // legacy heuristic would, plus the scaled strides merging could create.
   PartitionCampResult Camp;
   if (Opt.PartitionElim) {
-    Camp = eliminatePartitionCamping(*V, Ctx, Opt.Device);
+    if (ScanOut)
+      *ScanOut = analyzeCamping(*V, Opt.Device, {8, 16, 32});
+    Camp = Layout ? applyLayout(*V, Ctx, Opt.Device, *Layout)
+                  : eliminatePartitionCamping(*V, Ctx, Opt.Device);
     Stage("partition-camping");
   }
   if (CampOut)
@@ -214,10 +225,17 @@ CompileOutput GpuCompiler::compile(const KernelFunction &Naive,
 
   // Probe the merge plan with a unit variant (built in the caller's
   // module, as always — single-variant compilations are unaffected by the
-  // search machinery below).
+  // search machinery below). In layout mode the probe is compiled with the
+  // explicit identity point — same output as the legacy heuristic when no
+  // camping is detected — and additionally scans for camping at the
+  // candidate block-merge strides, which gates the family enumeration.
+  const bool LayoutMode = Opt.LayoutSearch && Opt.PartitionElim;
+  const LayoutPoint Identity = LayoutPoint::identityPoint();
+  CampingAnalysis Scan;
   KernelFunction *Probe =
       compileVariant(Naive, Opt, /*BlockN=*/1, /*ThreadM=*/1, &Out.Plan,
-                     &Out.Camping);
+                     &Out.Camping, LayoutMode ? &Identity : nullptr,
+                     LayoutMode ? &Scan : nullptr);
   if (!Probe || Diags.hasErrors()) {
     Out.Log += "probe compilation failed\n";
     return Out;
@@ -232,13 +250,24 @@ CompileOutput GpuCompiler::compile(const KernelFunction &Naive,
   if (Opt.Merge && Out.Plan.anyThreadMerge())
     ThreadMs = {1, 4, 8, 16, 32};
 
-  // One slot per candidate in canonical (N outer, M inner) order. Every
-  // search result is keyed by slot, every decision reads deterministic
-  // per-slot values, and the final reduction walks slots in order — the
-  // outcome is therefore independent of task completion order and of the
-  // lane count.
+  // The affine layout dimension (outermost). Camping-free kernels get the
+  // identity alone, so their candidate set — and their search cost — is
+  // unchanged by layout mode.
+  std::vector<LayoutPoint> Layouts{LayoutPoint::identityPoint()};
+  if (LayoutMode)
+    Layouts = enumerateLayouts(*Probe, Opt.Device, Scan);
+
+  // One slot per candidate in canonical (layout outer, then N, then M)
+  // order. Every search result is keyed by slot, every decision reads
+  // deterministic per-slot values, and the final reduction walks slots in
+  // order — the outcome is therefore independent of task completion order
+  // and of the lane count. Identity is layout slot 0, so the strict-<
+  // reduction keeps the untransformed variant whenever a permutation buys
+  // nothing.
   struct Candidate {
     int N = 1, Mm = 1;
+    LayoutPoint Layout;
+    PartitionCampResult Camp;
     /// Owning module for non-probe variants. ASTContext is not
     /// thread-safe and nodes carry interpreter scratch, so a variant is
     /// only ever touched by the task that owns its slot.
@@ -257,15 +286,18 @@ CompileOutput GpuCompiler::compile(const KernelFunction &Naive,
     double CompileWallMs = 0;
     double SimWallMs = 0;
   };
-  std::vector<Candidate> Cands(BlockNs.size() * ThreadMs.size());
+  std::vector<Candidate> Cands(Layouts.size() * BlockNs.size() *
+                               ThreadMs.size());
   {
     size_t I = 0;
-    for (int N : BlockNs)
-      for (int Mm : ThreadMs) {
-        Cands[I].N = N;
-        Cands[I].Mm = Mm;
-        ++I;
-      }
+    for (const LayoutPoint &L : Layouts)
+      for (int N : BlockNs)
+        for (int Mm : ThreadMs) {
+          Cands[I].Layout = L;
+          Cands[I].N = N;
+          Cands[I].Mm = Mm;
+          ++I;
+        }
   }
 
   // The stage hook (the sanitizer layer) observes every intermediate
@@ -303,12 +335,16 @@ CompileOutput GpuCompiler::compile(const KernelFunction &Naive,
   Pool.parallelFor(Cands.size(), [&](size_t I) {
     Candidate &C = Cands[I];
     WallTimer CompileTimer;
-    if (C.N == 1 && C.Mm == 1) {
+    if (C.N == 1 && C.Mm == 1 && C.Layout.identity()) {
       C.Kernel = Probe; // already built for the plan probe
+      C.Camp = Out.Camping;
     } else {
       C.Owner = std::make_shared<Module>();
       GpuCompiler TaskCompiler(*C.Owner, C.TaskDiags);
-      C.Kernel = TaskCompiler.compileVariant(Naive, Opt, C.N, C.Mm);
+      C.Kernel =
+          TaskCompiler.compileVariant(Naive, Opt, C.N, C.Mm, nullptr,
+                                      &C.Camp,
+                                      LayoutMode ? &C.Layout : nullptr);
     }
     C.CompileWallMs = CompileTimer.elapsedMs();
     if (!C.Kernel)
@@ -405,31 +441,39 @@ CompileOutput GpuCompiler::compile(const KernelFunction &Naive,
 
   // Phase C: deterministic reduction in canonical order; strict < keeps
   // the earliest candidate on ties, exactly like the serial loop did.
+  PartitionCampResult BestCamp;
   for (Candidate &C : Cands) {
     if (!C.Kernel)
       continue;
+    // Keep the legacy log format for legacy-shaped searches; tag the
+    // layout only when the family was actually enumerated.
+    const std::string Tag =
+        Layouts.size() > 1
+            ? strFormat("%s b%d t%d", C.Layout.name(), C.N, C.Mm)
+            : strFormat("b%d t%d", C.N, C.Mm);
     VariantResult VR;
     VR.Kernel = C.Kernel;
     VR.BlockMergeN = C.N;
     VR.ThreadMergeM = C.Mm;
+    VR.Layout = C.Layout.name();
     VR.LowerBoundMs = C.LowerBoundMs;
     VR.CompileWallMs = C.CompileWallMs;
     VR.SimWallMs = C.SimWallMs;
     if (C.OccInfeasible) {
       VR.LimitedBy = C.Occ.LimitedBy;
       VR.Perf.Occ = C.Occ;
-      Out.Log += strFormat("b%d t%d: infeasible (%s)\n", C.N, C.Mm,
+      Out.Log += strFormat("%s: infeasible (%s)\n", Tag.c_str(),
                            C.Occ.LimitedBy);
     } else if (C.StaticallyPruned) {
       VR.StaticallyPruned = true;
-      Out.Log += strFormat("b%d t%d: statically pruned (proven "
+      Out.Log += strFormat("%s: statically pruned (proven "
                            "out-of-bounds access or invalid barrier)\n",
-                           C.N, C.Mm);
+                           Tag.c_str());
     } else if (C.Pruned) {
       VR.Pruned = true;
       Out.Log += strFormat(
-          "b%d t%d: pruned (lower bound %.4f ms > best %.4f ms)\n", C.N,
-          C.Mm, C.LowerBoundMs, Threshold);
+          "%s: pruned (lower bound %.4f ms > best %.4f ms)\n", Tag.c_str(),
+          C.LowerBoundMs, Threshold);
     } else {
       VR.Perf = C.Perf;
       VR.Feasible = C.Perf.Valid;
@@ -441,6 +485,7 @@ CompileOutput GpuCompiler::compile(const KernelFunction &Naive,
         (!Out.Best || VR.Perf.TimeMs < Out.BestVariant.Perf.TimeMs)) {
       Out.Best = VR.Kernel;
       Out.BestVariant = VR;
+      BestCamp = C.Camp;
     }
     if (C.Owner)
       Out.OwnedModules.push_back(std::move(C.Owner));
@@ -449,9 +494,23 @@ CompileOutput GpuCompiler::compile(const KernelFunction &Naive,
     Out.Best = Probe;
     Out.BestVariant.Kernel = Probe;
   }
+  // The probe's camping result only reflects the identity point; fold in
+  // what the winning candidate actually detected and applied (merging can
+  // create camping the probe never saw).
+  if (LayoutMode && Out.BestVariant.Feasible) {
+    Out.Camping.Detected |= BestCamp.Detected;
+    Out.Camping.AppliedOffset |= BestCamp.AppliedOffset;
+    Out.Camping.AppliedDiagonal |= BestCamp.AppliedDiagonal;
+    Out.Camping.CampingAccesses =
+        std::max(Out.Camping.CampingAccesses, BestCamp.CampingAccesses);
+  }
 
   Out.Search.Jobs = static_cast<int>(Pool.concurrency());
   Out.Search.Candidates = static_cast<int>(Cands.size());
+  Out.Search.LayoutPoints = static_cast<int>(Layouts.size());
+  if (Out.BestVariant.Feasible &&
+      std::string(Out.BestVariant.Layout) != "identity")
+    Out.Search.LayoutWins = 1;
   for (const Candidate &C : Cands) {
     Out.Search.Simulated += C.Simulated ? 1 : 0;
     Out.Search.Probed += C.Probed ? 1 : 0;
@@ -534,6 +593,8 @@ void addSearchStats(SearchStats &A, const SearchStats &B) {
   A.SimMs += B.SimMs;
   A.CritPathMs += B.CritPathMs;
   A.ScalarFallbacks += B.ScalarFallbacks;
+  A.LayoutPoints += B.LayoutPoints;
+  A.LayoutWins += B.LayoutWins;
 }
 
 } // namespace

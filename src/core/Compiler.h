@@ -22,6 +22,7 @@
 #ifndef GPUC_CORE_COMPILER_H
 #define GPUC_CORE_COMPILER_H
 
+#include "core/AffineLayout.h"
 #include "core/DataSharing.h"
 #include "core/Fusion.h"
 #include "core/PartitionCamp.h"
@@ -69,6 +70,16 @@ struct CompileOptions {
   bool Merge = true;
   bool Prefetch = true;
   bool PartitionElim = true;
+  /// Search the bounded affine layout family (core/AffineLayout) as an
+  /// extra — outermost — dimension of the design space, scoring every
+  /// enumerated index-space permutation with the full analytical model
+  /// instead of applying the legacy partition-camping heuristic. Off:
+  /// candidates run the legacy eliminatePartitionCamping arm (kept for
+  /// the bench baseline and Figure 12 dissection). Ignored when
+  /// PartitionElim is off. The family is only enumerated when camping is
+  /// detected or possible under block merging, so camping-free kernels
+  /// search the identity alone and pay nothing.
+  bool LayoutSearch = true;
   /// Algebraic cleanup of the emitted code (understandability).
   bool Fold = true;
   /// Re-verify structural invariants after the pipeline (violations are
@@ -122,6 +133,9 @@ struct VariantResult {
   KernelFunction *Kernel = nullptr;
   int BlockMergeN = 1;
   int ThreadMergeM = 1;
+  /// Affine layout point this variant was compiled with
+  /// (LayoutPoint::name(): "identity", "offset", "diagonal", ...).
+  const char *Layout = "identity";
   /// Simulated successfully; false for infeasible, pruned and failed runs
   /// (distinguish via LimitedBy / Pruned).
   bool Feasible = false;
@@ -188,6 +202,11 @@ struct SearchStats {
   int FusionLegal = 0;
   int FusionRejected = 0;
   int FusionWins = 0;
+  /// Affine-layout counters (CompileOptions::LayoutSearch): how many
+  /// family points this search enumerated (1 = identity only: no camping
+  /// anywhere in the candidate set) and whether a non-identity point won.
+  int LayoutPoints = 0;
+  int LayoutWins = 0;
 };
 
 /// Result of a full compilation.
@@ -264,12 +283,18 @@ public:
   GpuCompiler(Module &M, DiagnosticsEngine &Diags) : M(M), Diags(Diags) {}
 
   /// Builds one optimized variant with fixed merge factors. \p BlockN and
-  /// \p ThreadM of 1 disable the respective merge. \returns null on
-  /// failure.
+  /// \p ThreadM of 1 disable the respective merge. When \p Layout is set
+  /// the partition-camping stage applies that affine family point
+  /// (core/AffineLayout) instead of the legacy heuristic; \p ScanOut, when
+  /// set, receives the camping analysis taken at that stage (with the
+  /// block-merge scale factors probed), which is what gates the layout
+  /// enumeration. \returns null on failure.
   KernelFunction *compileVariant(const KernelFunction &Naive,
                                  const CompileOptions &Opt, int BlockN,
                                  int ThreadM, MergePlan *PlanOut = nullptr,
-                                 PartitionCampResult *CampOut = nullptr);
+                                 PartitionCampResult *CampOut = nullptr,
+                                 const LayoutPoint *Layout = nullptr,
+                                 CampingAnalysis *ScanOut = nullptr);
 
   /// Full compilation: enumerates merge-factor candidates, test-runs each
   /// version on the simulator (the paper's empirical search) and returns

@@ -2,143 +2,30 @@
 
 #include "core/PartitionCamp.h"
 
-#include "ast/Clone.h"
-#include "ast/Walk.h"
-#include "core/Accesses.h"
-
-#include <numeric>
-#include <set>
+#include "core/AffineLayout.h"
 
 using namespace gpuc;
 
+// The legacy Section 3.7 pass is now a delegator over the affine layout
+// family (core/AffineLayout): the diagonal block reordering and the
+// Figure 9b address-offset rotation are two enumerated points of that
+// family, applied here with the legacy heuristic (2-D square grid ->
+// diagonal, 1-D grid -> rotation) instead of a model-driven search.
 PartitionCampResult
 gpuc::eliminatePartitionCamping(KernelFunction &K, ASTContext &Ctx,
                                 const DeviceSpec &Device) {
-  PartitionCampResult R;
-  const long long Window =
-      static_cast<long long>(Device.PartitionBytes) * Device.NumPartitions;
-
-  std::vector<AccessInfo> Accesses = collectGlobalAccesses(K);
-  struct CampingAccess {
-    AccessInfo Access;
-    std::string LoopName; // reduction loop usable for offset rotation
-    long long RowElems = 0;
-  };
-  std::vector<CampingAccess> Camping;
-
-  for (const AccessInfo &A : Accesses) {
-    if (!A.Resolved)
-      continue;
-    long long Stride = A.Addr.CBidx;
-    // Accesses not involving bidx hit the same partition only at
-    // different times (the paper's bidy argument); skip them.
-    if (Stride == 0)
-      continue;
-    // The paper's rule flags strides that are multiples of
-    // (partition width * number of partitions): all neighboring blocks
-    // land in ONE partition. We generalize to partial camping: when the
-    // per-block partition step shares a factor with the partition count,
-    // the blocks cover only a strict subset of the partitions (e.g. a
-    // 16 KB stride on 6 partitions steps 4 positions and reaches only
-    // 3 of 6).
-    if (Stride % Device.PartitionBytes != 0)
-      continue; // blocks start mid-partition: coverage is full
-    long long Step = (Stride / Device.PartitionBytes) % Device.NumPartitions;
-    long long G = std::gcd(Step, static_cast<long long>(Device.NumPartitions));
-    bool Camped = Stride % Window == 0 || G > 1;
-    if (!Camped)
-      continue;
-    R.Detected = true;
-    ++R.CampingAccesses;
-    CampingAccess CA;
-    CA.Access = A;
-    // Offset rotation requires a full-row sweep by some loop iterator in
-    // the contiguous dimension.
-    const AffineExpr &Last = A.DimAffine.back();
-    for (const auto &[Name, Coeff] : Last.LoopCoeffs) {
-      if (Coeff != 1)
-        continue;
-      const LoopInfo *L = A.loopNamed(Name);
-      if (!L || !L->Resolved || L->Init != 0)
-        continue;
-      long long RowElems = A.Param->Dims.back();
-      if (L->Bound == RowElems) {
-        CA.LoopName = Name;
-        CA.RowElems = RowElems;
-        break;
-      }
+  CampingAnalysis CA = analyzeCamping(K, Device);
+  LayoutPoint P = LayoutPoint::identityPoint();
+  if (CA.Detected) {
+    if (K.launch().GridDimY > 1) {
+      // Diagonal reordering needs a square-ish grid so the remap is a
+      // bijection; otherwise the camping is reported but left in place.
+      if (K.launch().GridDimX == K.launch().GridDimY)
+        P = LayoutPoint::makeRemap(LayoutPoint::Kind::Diagonal,
+                                   BlockRemap::diagonal());
+    } else {
+      P = LayoutPoint::offsetRotation();
     }
-    Camping.push_back(std::move(CA));
   }
-
-  if (!R.Detected)
-    return R;
-
-  if (K.launch().GridDimY > 1) {
-    // 2-D grid: diagonal block reordering (newbidy = bidx,
-    // newbidx = (bidx+bidy) % gridDim.x); requires a square-ish grid so
-    // the remap is a bijection.
-    if (K.launch().GridDimX == K.launch().GridDimY) {
-      K.launch().DiagonalRemap = true;
-      R.AppliedDiagonal = true;
-    }
-    return R;
-  }
-
-  // 1-D grid: rotate the reduction index by (partition width * bidx) so
-  // neighboring blocks start in different partitions (Figure 9b). Legal
-  // because the loop is a full-row reduction sweep: every element is still
-  // touched exactly once, in a rotated order. The rotation must be applied
-  // to EVERY access driven by the rotated loop — staging pairs (a-tile and
-  // b-vector in mv) must stay aligned — so if any such access cannot be
-  // rotated safely, the whole rewrite is abandoned.
-  const long long OffsetElems = Device.PartitionBytes / 4;
-  std::set<std::string> RotateLoops;
-  for (const CampingAccess &CA : Camping)
-    if (!CA.LoopName.empty())
-      RotateLoops.insert(CA.LoopName);
-  if (RotateLoops.empty())
-    return R;
-
-  struct Rotation {
-    ArrayRef *Ref;
-    std::string LoopName;
-    long long RowElems;
-  };
-  std::vector<Rotation> Rotations;
-  for (const AccessInfo &A : Accesses) {
-    if (!A.Resolved)
-      continue;
-    const AffineExpr &Last = A.DimAffine.back();
-    std::string Used;
-    for (const std::string &LN : RotateLoops)
-      if (Last.loopCoeff(LN) != 0)
-        Used = LN;
-    if (Used.empty())
-      continue;
-    const LoopInfo *L = A.loopNamed(Used);
-    long long RowElems = A.Param->Dims.back();
-    if (Last.loopCoeff(Used) != 1 || !L || !L->Resolved || L->Init != 0 ||
-        L->Bound != RowElems || RowElems % 16 != 0)
-      return R; // unsafe to rotate consistently: keep the camping
-    Rotations.push_back({A.Ref, Used, RowElems});
-  }
-  for (const Rotation &Rot : Rotations) {
-    unsigned LastDim = Rot.Ref->numIndices() - 1;
-    Expr *Rotated =
-        rewriteExpr(Rot.Ref->index(LastDim), [&](Expr *E) -> Expr * {
-          auto *V = dyn_cast<VarRef>(E);
-          if (!V || V->name() != Rot.LoopName)
-            return nullptr;
-          // i -> (i + PW*bidx) % RowElems
-          Expr *Shift = Ctx.mul(Ctx.intLit(OffsetElems),
-                                Ctx.builtin(BuiltinId::Bidx));
-          return Ctx.rem(
-              Ctx.add(Ctx.varRef(Rot.LoopName, Type::intTy()), Shift),
-              Ctx.intLit(Rot.RowElems));
-        });
-    Rot.Ref->setIndex(LastDim, Rotated);
-    R.AppliedOffset = true;
-  }
-  return R;
+  return applyLayout(K, Ctx, Device, P);
 }

@@ -30,12 +30,24 @@ std::string gpuc::planReport(const CompileOutput &Out) {
                   Out.Plan.ThreadMergeX, Out.Plan.ThreadMergeY,
                   Out.Plan.BlockMergeForThreads ? "  (for thread count)"
                                                 : "");
-  if (Out.Camping.Detected)
-    OS << strFormat("  partition camping: detected, %s\n",
-                    Out.Camping.AppliedDiagonal
-                        ? "diagonal block reordering"
-                    : Out.Camping.AppliedOffset ? "address offset inserted"
-                                                : "not eliminable");
+  if (Out.Camping.Detected) {
+    std::string Outcome = Out.Camping.AppliedDiagonal
+                              ? "diagonal block reordering"
+                          : Out.Camping.AppliedOffset
+                              ? "address offset inserted"
+                              : "not eliminable";
+    // A layout-search winner can decorrelate with a family point the
+    // legacy pass never tried (swap, skew, shift).
+    if (Outcome == "not eliminable" && Out.BestVariant.Layout &&
+        std::string(Out.BestVariant.Layout) != "identity")
+      Outcome = strFormat("%s block remap applied", Out.BestVariant.Layout);
+    OS << strFormat("  partition camping: detected, %s\n", Outcome.c_str());
+  }
+  if (Out.Search.LayoutPoints > 1)
+    OS << strFormat("  affine layout: %d point(s) searched, winner %s\n",
+                    Out.Search.LayoutPoints,
+                    Out.BestVariant.Layout ? Out.BestVariant.Layout
+                                           : "identity");
   return OS.str();
 }
 
@@ -52,8 +64,12 @@ std::string gpuc::designSpaceReport(const CompileOutput &Out) {
       Status = strFormat("pruned (lower bound %.4f ms)", V.LowerBoundMs);
     else
       Status = "failed";
-    OS << strFormat("  blocks=%-3d threads=%-3d %s%s\n", V.BlockMergeN,
-                    V.ThreadMergeM, Status.c_str(),
+    std::string LayoutCol =
+        Out.Search.LayoutPoints > 1
+            ? strFormat("layout=%-9s ", V.Layout ? V.Layout : "identity")
+            : std::string();
+    OS << strFormat("  %sblocks=%-3d threads=%-3d %s%s\n", LayoutCol.c_str(),
+                    V.BlockMergeN, V.ThreadMergeM, Status.c_str(),
                     V.Kernel && V.Kernel == Out.Best ? "  <= selected" : "");
   }
   return OS.str();
@@ -79,6 +95,9 @@ std::string gpuc::searchStatsReport(const SearchStats &S) {
                     "%d win(s)\n",
                     S.FusionCandidates, S.FusionLegal, S.FusionRejected,
                     S.FusionWins);
+  if (S.LayoutPoints > 1)
+    OS << strFormat("  affine layout: %d point(s) searched, %d win(s)\n",
+                    S.LayoutPoints, S.LayoutWins);
   OS << strFormat("  wall %.3f ms, critical path %.3f ms\n", S.WallMs,
                   S.CritPathMs);
   OS << strFormat("  lane-summed aggregates: compile %.3f ms, simulate "

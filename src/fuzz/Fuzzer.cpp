@@ -108,6 +108,21 @@ bool gpuc::checkKernelSource(const std::string &Source,
   return true;
 }
 
+bool gpuc::checkLayoutSource(const std::string &Source,
+                             const OracleOptions &Opt, OracleResult &Result,
+                             std::string &ParseErrors) {
+  Module M;
+  DiagnosticsEngine Diags;
+  Parser P(Source, Diags);
+  KernelFunction *K = P.parseKernel(M);
+  if (!K || Diags.hasErrors()) {
+    ParseErrors = Diags.str();
+    return false;
+  }
+  Result = runLayoutOracle(M, *K, Opt);
+  return true;
+}
+
 bool gpuc::checkPipelineSource(const std::string &Source,
                                const OracleOptions &Opt, OracleResult &Result,
                                std::string &ParseErrors) {
@@ -132,13 +147,15 @@ namespace {
 /// failure signature (kind + blamed stage), so the reducer cannot wander
 /// onto an unrelated bug while shrinking.
 std::string reduceCase(const FuzzCase &C, const OracleOptions &Opt,
-                       ReduceStats &Stats) {
+                       bool Layout, ReduceStats &Stats) {
   OracleFailure::Kind Kind = C.Failure.FailKind;
   std::string Stage = C.Failure.Stage;
   FailurePredicate Pinned = [&](const std::string &Cand) {
     OracleResult R;
     std::string Errs;
-    if (!checkKernelSource(Cand, Opt, R, Errs))
+    bool Parsed = Layout ? checkLayoutSource(Cand, Opt, R, Errs)
+                         : checkKernelSource(Cand, Opt, R, Errs);
+    if (!Parsed)
       return false;
     for (const OracleFailure &F : R.Failures)
       if (F.FailKind == Kind && F.Stage == Stage)
@@ -208,6 +225,7 @@ FuzzSummary gpuc::runFuzz(const FuzzOptions &Opt, std::ostream *Progress) {
     OracleResult R;
     std::string ParseErrs;
     bool Parsed = Opt.Pipeline ? checkPipelineSource(Source, OO, R, ParseErrs)
+                  : Opt.Layout ? checkLayoutSource(Source, OO, R, ParseErrs)
                                : checkKernelSource(Source, OO, R, ParseErrs);
     if (!Parsed) {
       C.St = FuzzCase::Status::Failed;
@@ -236,7 +254,7 @@ FuzzSummary gpuc::runFuzz(const FuzzOptions &Opt, std::ostream *Progress) {
     // The reducer's mutations are single-kernel; pipeline repros are
     // already small (2-3 short stages) and ship unminimized.
     C.Reduced = Opt.ReduceFailures && !Opt.Pipeline
-                    ? reduceCase(C, OO, C.Reduce)
+                    ? reduceCase(C, OO, Opt.Layout, C.Reduce)
                     : C.Source;
     if (!Opt.OutDir.empty())
       writeArtifacts(Opt.OutDir, C);

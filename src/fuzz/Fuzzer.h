@@ -48,6 +48,12 @@ struct FuzzOptions {
   /// The reducer only understands single kernels, so pipeline repros are
   /// reported unminimized.
   bool Pipeline = false;
+  /// Run the layout-differential oracle (fuzz/Oracle runLayoutOracle)
+  /// instead of the full design-space one: every affine layout family
+  /// point is exercised against the naive kernel — pure block-id remaps
+  /// bit-for-bit, compiled family points within tolerance, all
+  /// scalar-vs-vector cross-checked. Mutually exclusive with Pipeline.
+  bool Layout = false;
   /// Directory for seed<N>.cu / seed<N>.json failure artifacts; empty
   /// disables writing.
   std::string OutDir;
@@ -104,6 +110,11 @@ bool checkKernelSource(const std::string &Source, const OracleOptions &Opt,
 /// source does not parse as a pipeline of >= 2 kernels.
 bool checkPipelineSource(const std::string &Source, const OracleOptions &Opt,
                          OracleResult &Result, std::string &ParseErrors);
+
+/// Layout analogue of checkKernelSource: parses \p Source and runs the
+/// layout-differential oracle (runLayoutOracle) on it.
+bool checkLayoutSource(const std::string &Source, const OracleOptions &Opt,
+                       OracleResult &Result, std::string &ParseErrors);
 
 /// Runs the fuzzing loop. Per-seed progress lines go to \p Progress when
 /// non-null (failures and a final summary are always the caller's job).

@@ -489,6 +489,175 @@ OracleResult gpuc::runOracle(Module &M, const KernelFunction &Naive,
   return Res;
 }
 
+OracleResult gpuc::runLayoutOracle(Module &M, const KernelFunction &Naive,
+                                   const OracleOptions &Opt) {
+  OracleResult Res;
+  Simulator Sim(Opt.Compile.Device);
+  Sim.setInterpBackend(Opt.Compile.Interp);
+
+  if (Opt.CheckInterp) {
+    std::string Detail;
+    if (!crossCheckInterp(Sim, Naive, Opt.InputSeed, Detail)) {
+      OracleFailure F;
+      F.FailKind = OracleFailure::Kind::InterpDivergence;
+      F.Variant = "naive";
+      F.Stage = "interp";
+      F.Detail = Detail;
+      Res.Failures.push_back(F);
+      Res.Passed = false;
+      return Res;
+    }
+  }
+
+  // Reference: the naive kernel's own outputs on the seeded inputs.
+  BufferSet Ref;
+  {
+    fillFuzzInputs(Naive, Ref, Opt.InputSeed);
+    DiagnosticsEngine RunDiags;
+    if (!Sim.runFunctional(Naive, Ref, RunDiags, nullptr)) {
+      OracleFailure F;
+      F.FailKind = OracleFailure::Kind::RunError;
+      F.Variant = "naive";
+      F.Stage = "input";
+      F.Detail = RunDiags.str();
+      Res.Failures.push_back(F);
+      Res.Passed = false;
+      return Res;
+    }
+  }
+
+  // Tier one: pure block-id remaps installed directly on the naive
+  // kernel. A legal remap is a bijection on block ids — it only relabels
+  // which physical block runs which logical tile — so the outputs must be
+  // bit-identical to naive even for float-arithmetic kernels. This is the
+  // strongest claim of the battery and holds with no tolerance at all.
+  {
+    const LaunchConfig &L = Naive.launch();
+    const std::pair<const char *, BlockRemap> Pure[] = {
+        {"shift", {1, 0, 0, 1, 1, 0}},
+        {"swap", {0, 1, 1, 0, 0, 0}},
+        {"skew-x", {1, 1, 0, 1, 0, 0}},
+        {"skew-y", {1, 0, 1, 1, 0, 0}},
+        {"diagonal", BlockRemap::diagonal()},
+    };
+    Comparator Bit{/*Exact=*/true, 0, 0.0};
+    for (const auto &[Name, Remap] : Pure) {
+      if (!remapLegal(Remap, L.GridDimX, L.GridDimY))
+        continue;
+      KernelFunction *Clone =
+          cloneKernel(M, &Naive, Naive.name() + "_remap_" + Name);
+      Clone->launch().Remap = Remap;
+      ++Res.VariantsChecked;
+      OracleFailure F;
+      F.Variant = Clone->name();
+      F.Stage = std::string("layout:") + Name;
+      if (Opt.CheckInterp) {
+        std::string Detail;
+        if (!crossCheckInterp(Sim, *Clone, Opt.InputSeed, Detail)) {
+          F.FailKind = OracleFailure::Kind::InterpDivergence;
+          F.Detail = Detail;
+          Res.Failures.push_back(F);
+          Res.Passed = false;
+          continue;
+        }
+      }
+      BufferSet Buffers;
+      std::string Detail;
+      bool Raced = false;
+      bool Ok = runVariant(Sim, *Clone, Opt.InputSeed, Opt.CheckRaces,
+                           Buffers, Detail, Raced);
+      if (Ok && !Raced && compareOutputs(Naive, Ref, Buffers, Bit, F))
+        continue;
+      F.FailKind = !Ok     ? OracleFailure::Kind::RunError
+                   : Raced ? OracleFailure::Kind::Race
+                           : OracleFailure::Kind::Mismatch;
+      F.Detail = Detail;
+      Res.Failures.push_back(F);
+      Res.Passed = false;
+    }
+  }
+
+  Comparator Cmp{!kernelHasFloatArith(Naive), Opt.UlpTol, Opt.RelTol};
+  Res.ExactCompare = Cmp.Exact;
+
+  CompileOptions CO = Opt.Compile;
+  CO.Jobs = 1;
+  CO.Hook = Opt.Inject;
+
+  // Identity probe at unit merge factors: yields the post-pipeline launch
+  // and the camping scan that seed the family enumeration.
+  Module ProbeM;
+  DiagnosticsEngine ProbeDiags;
+  GpuCompiler ProbeGC(ProbeM, ProbeDiags);
+  LayoutPoint Identity = LayoutPoint::identityPoint();
+  CampingAnalysis Scan;
+  KernelFunction *Probe = ProbeGC.compileVariant(Naive, CO, 1, 1, nullptr,
+                                                 nullptr, &Identity, &Scan);
+  if (!Probe || ProbeDiags.hasErrors()) {
+    OracleFailure F;
+    F.FailKind = OracleFailure::Kind::CompileError;
+    F.Variant = "compile";
+    F.Stage = "layout:identity";
+    F.Detail = ProbeDiags.str();
+    Res.Failures.push_back(F);
+    Res.Passed = false;
+    return Res;
+  }
+
+  // Tier two: every point of the full family — enumerated
+  // unconditionally, not just when camping is detected — compiled through
+  // the whole pipeline and compared against naive under the usual
+  // comparator. Illegal points degrade to the identity inside applyLayout
+  // and still must agree (the degradation itself is under test).
+  std::vector<LayoutPoint> Points =
+      enumerateLayouts(*Probe, CO.Device, Scan, /*FullFamily=*/true);
+  for (const LayoutPoint &P : Points) {
+    Module VarM;
+    DiagnosticsEngine Diags;
+    GpuCompiler GC(VarM, Diags);
+    KernelFunction *V = P.identity()
+                            ? Probe
+                            : GC.compileVariant(Naive, CO, 1, 1, nullptr,
+                                                nullptr, &P, nullptr);
+    OracleFailure F;
+    F.Stage = std::string("layout:") + P.name();
+    if (!V || (!P.identity() && Diags.hasErrors())) {
+      F.FailKind = OracleFailure::Kind::CompileError;
+      F.Variant = "compile";
+      F.Detail = Diags.str();
+      Res.Failures.push_back(F);
+      Res.Passed = false;
+      continue;
+    }
+    ++Res.VariantsChecked;
+    F.Variant = V->name();
+    if (Opt.CheckInterp) {
+      std::string Detail;
+      if (!crossCheckInterp(Sim, *V, Opt.InputSeed, Detail)) {
+        F.FailKind = OracleFailure::Kind::InterpDivergence;
+        F.Detail = Detail;
+        Res.Failures.push_back(F);
+        Res.Passed = false;
+        continue;
+      }
+    }
+    BufferSet Buffers;
+    std::string Detail;
+    bool Raced = false;
+    bool Ok = runVariant(Sim, *V, Opt.InputSeed, Opt.CheckRaces, Buffers,
+                         Detail, Raced);
+    if (Ok && !Raced && compareOutputs(Naive, Ref, Buffers, Cmp, F))
+      continue;
+    F.FailKind = !Ok     ? OracleFailure::Kind::RunError
+                 : Raced ? OracleFailure::Kind::Race
+                         : OracleFailure::Kind::Mismatch;
+    F.Detail = Detail;
+    Res.Failures.push_back(F);
+    Res.Passed = false;
+  }
+  return Res;
+}
+
 OracleResult gpuc::runPipelineOracle(
     Module &M, const std::vector<const KernelFunction *> &Stages,
     const OracleOptions &Opt) {

@@ -123,6 +123,22 @@ long long ulpDistance(float A, float B);
 OracleResult runOracle(Module &M, const KernelFunction &Naive,
                        const OracleOptions &Opt);
 
+/// Layout-differential analogue of runOracle (gpuc-fuzz --layout): the
+/// affine layout family (core/AffineLayout) is exercised against the
+/// naive semantics in two tiers. First, every pure block-id remap that is
+/// legal on the naive kernel's own grid is installed directly on a clone
+/// of the naive kernel and must reproduce its outputs bit-for-bit
+/// regardless of float arithmetic — a bijective relabeling of blocks may
+/// not change a single bit. Second, the full family (FullFamily
+/// enumeration, not just camping-gated points) is compiled through the
+/// whole pipeline at unit merge factors and each variant must match naive
+/// under the usual comparator (exact for data movement, ULP where
+/// transforms may reassociate floats). Every checked kernel is also
+/// cross-checked scalar-vs-vector. Failures carry Stage =
+/// "layout:<name>".
+OracleResult runLayoutOracle(Module &M, const KernelFunction &Naive,
+                             const OracleOptions &Opt);
+
 /// Pipeline analogue of fillFuzzInputs: fills every array parameter of
 /// every stage, in pipeline order, skipping names an earlier stage
 /// already allocated (so a consumer sees the same bytes its producer's

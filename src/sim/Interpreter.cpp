@@ -202,12 +202,11 @@ void Interpreter::bindBlock(long long BlockId, long long ThreadBase) {
   const LaunchConfig &L = K.launch();
   long long RawBidX = BlockId % L.GridDimX;
   long long RawBidY = BlockId / L.GridDimX;
+  // Affine block-id permutation (identity by default; Section 3.7's
+  // diagonal reordering and the generalized family of core/AffineLayout).
   long long EBidX = RawBidX, EBidY = RawBidY;
-  if (L.DiagonalRemap) {
-    // Section 3.7: newbidy = bidx; newbidx = (bidx + bidy) % gridDim.x.
-    EBidY = RawBidX;
-    EBidX = (RawBidX + RawBidY) % L.GridDimX;
-  }
+  if (!L.Remap.identity())
+    L.Remap.apply(RawBidX, RawBidY, L.GridDimX, L.GridDimY, EBidX, EBidY);
   for (long long T = 0; T < L.threadsPerBlock(); ++T) {
     long long G = ThreadBase + T;
     TidX[G] = static_cast<int>(T % L.BlockDimX);

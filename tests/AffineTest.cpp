@@ -180,3 +180,198 @@ TEST(Accesses, UnresolvedSubscriptFlagged) {
   ASSERT_EQ(Accesses.size(), 2u);
   EXPECT_FALSE(Accesses[1].Resolved);
 }
+
+//===----------------------------------------------------------------------===//
+// Affine block-remap properties (core/AffineLayout): legality, closure
+// under composition, inversion, and verdict preservation through the
+// dataflow engine.
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dataflow.h"
+#include "core/AffineLayout.h"
+#include "parser/Parser.h"
+
+#include <set>
+#include <utility>
+
+namespace {
+
+/// True when R is a bijection of the GX x GY block-id space, by direct
+/// exhaustive application.
+bool bijectiveByApplication(const BlockRemap &R, long long GX, long long GY) {
+  std::set<std::pair<long long, long long>> Seen;
+  for (long long By = 0; By < GY; ++By)
+    for (long long Bx = 0; Bx < GX; ++Bx) {
+      long long EX, EY;
+      R.apply(Bx, By, GX, GY, EX, EY);
+      if (EX < 0 || EX >= GX || EY < 0 || EY >= GY)
+        return false; // bounds preservation is part of the contract
+      if (!Seen.insert({EX, EY}).second)
+        return false;
+    }
+  return Seen.size() == static_cast<size_t>(GX * GY);
+}
+
+std::vector<BlockRemap> smallRemaps() {
+  std::vector<BlockRemap> Rs;
+  for (int A00 : {-2, -1, 0, 1, 2})
+    for (int A01 : {-1, 0, 1, 2})
+      for (int A10 : {-1, 0, 1})
+        for (int A11 : {-1, 0, 1, 2})
+          for (long long C0 : {0, 1})
+            for (long long C1 : {0, 3})
+              Rs.push_back(BlockRemap{A00, A01, A10, A11, C0, C1});
+  return Rs;
+}
+
+} // namespace
+
+TEST(BlockRemap, LegalImpliesBijectiveOnEveryGrid) {
+  // Soundness everywhere: remapLegal may be conservative, but whatever it
+  // accepts must relabel the grid bijectively and stay in bounds.
+  const std::pair<long long, long long> Grids[] = {
+      {1, 1}, {2, 2}, {4, 4}, {5, 5}, {6, 6},
+      {8, 1}, {1, 8}, {4, 8}, {6, 4}, {3, 9}};
+  for (const BlockRemap &R : smallRemaps())
+    for (auto [GX, GY] : Grids)
+      if (remapLegal(R, GX, GY))
+        EXPECT_TRUE(bijectiveByApplication(R, GX, GY))
+            << R.A00 << " " << R.A01 << " / " << R.A10 << " " << R.A11
+            << " + (" << R.C0 << "," << R.C1 << ") on " << GX << "x" << GY;
+}
+
+TEST(BlockRemap, LegalIffBijectiveOnSquareGrids) {
+  // Exactness on square grids: the unit-determinant test accepts exactly
+  // the bijections, so the layout family never degrades a legal point.
+  for (const BlockRemap &R : smallRemaps())
+    for (long long N : {1, 2, 3, 4, 6, 8})
+      EXPECT_EQ(remapLegal(R, N, N), bijectiveByApplication(R, N, N))
+          << R.A00 << " " << R.A01 << " / " << R.A10 << " " << R.A11
+          << " + (" << R.C0 << "," << R.C1 << ") on " << N << "x" << N;
+}
+
+TEST(BlockRemap, ComposeMatchesSequentialApplication) {
+  for (long long N : {4, 6, 8})
+    for (const BlockRemap &Outer : smallRemaps())
+      for (const BlockRemap &Inner :
+           {BlockRemap::diagonal(), BlockRemap{0, 1, 1, 0, 0, 0},
+            BlockRemap{1, 1, 0, 1, 1, 0}, BlockRemap{1, 0, 1, 1, 0, 2}}) {
+        BlockRemap C = composeRemap(Outer, Inner, N);
+        for (long long By = 0; By < N; ++By)
+          for (long long Bx = 0; Bx < N; ++Bx) {
+            long long MX, MY, SX, SY, CX, CY;
+            Inner.apply(Bx, By, N, N, MX, MY);
+            Outer.apply(MX, MY, N, N, SX, SY);
+            C.apply(Bx, By, N, N, CX, CY);
+            ASSERT_EQ(SX, CX) << "N=" << N;
+            ASSERT_EQ(SY, CY) << "N=" << N;
+          }
+      }
+}
+
+TEST(BlockRemap, LegacyDiagonalIsSkewComposedWithSwap) {
+  // Section 3.7's diagonal reordering factors through the family: it is
+  // the x-skew applied after the row/column swap.
+  const BlockRemap Swap{0, 1, 1, 0, 0, 0};
+  const BlockRemap SkewX{1, 1, 0, 1, 0, 0};
+  for (long long N : {2, 4, 8}) {
+    BlockRemap C = composeRemap(SkewX, Swap, N);
+    for (long long By = 0; By < N; ++By)
+      for (long long Bx = 0; Bx < N; ++Bx) {
+        long long CX, CY, DX, DY;
+        C.apply(Bx, By, N, N, CX, CY);
+        BlockRemap::diagonal().apply(Bx, By, N, N, DX, DY);
+        ASSERT_EQ(CX, DX);
+        ASSERT_EQ(CY, DY);
+      }
+  }
+}
+
+TEST(BlockRemap, InverseRoundTripsEveryLegalRemap) {
+  for (long long N : {1, 2, 3, 4, 6, 8})
+    for (const BlockRemap &R : smallRemaps()) {
+      BlockRemap Inv;
+      bool Invertible = invertRemap(R, N, Inv);
+      // On a square grid legality and invertibility coincide.
+      EXPECT_EQ(Invertible, remapLegal(R, N, N)) << "N=" << N;
+      if (!Invertible)
+        continue;
+      for (long long By = 0; By < N; ++By)
+        for (long long Bx = 0; Bx < N; ++Bx) {
+          long long EX, EY, RX, RY;
+          R.apply(Bx, By, N, N, EX, EY);
+          Inv.apply(EX, EY, N, N, RX, RY);
+          ASSERT_EQ(RX, Bx) << "N=" << N;
+          ASSERT_EQ(RY, By) << "N=" << N;
+        }
+    }
+}
+
+TEST(BlockRemap, DataflowVerdictsUnchangedByRemap) {
+  // A block remap relabels which physical block runs which tile; the
+  // dataflow engine's block-id ranges are unchanged, so its bounds
+  // verdicts must be too — a clean kernel stays clean, and a proven
+  // violation survives every relabeling.
+  DiagnosticsEngine D;
+  Module M;
+  Parser P("#pragma gpuc output(out)\n"
+           "#pragma gpuc domain(64,1)\n"
+           "__global__ void oob(float out[64]) {\n"
+           "  out[idx + 64] = 1.0f;\n"
+           "}\n",
+           D);
+  KernelFunction *Bad = P.parseKernel(M);
+  ASSERT_NE(Bad, nullptr) << D.str();
+  ASSERT_TRUE(runDataflow(*Bad).anyViolation());
+  Bad->launch().Remap = BlockRemap{1, 0, 0, 1, 1, 0}; // shift
+  EXPECT_TRUE(runDataflow(*Bad).anyViolation());
+
+  Module M2;
+  Parser P2("#pragma gpuc output(out)\n"
+            "#pragma gpuc domain(64,64)\n"
+            "__global__ void ok(float a[64][64], float out[64][64]) {\n"
+            "  out[idy][idx] = a[idy][idx];\n"
+            "}\n",
+            D);
+  KernelFunction *Good = P2.parseKernel(M2);
+  ASSERT_NE(Good, nullptr) << D.str();
+  ASSERT_FALSE(runDataflow(*Good).anyViolation());
+  Good->launch().Remap = BlockRemap::diagonal();
+  EXPECT_FALSE(runDataflow(*Good).anyViolation());
+}
+
+TEST(LayoutEnumeration, CampingFreeKernelsSearchIdentityOnly) {
+  Module M;
+  KernelBuilder B(M, "k");
+  B.arrayParam("c", Type::floatTy(), {64, 64}, true);
+  B.assign(B.at("c", {B.idy(), B.idx()}), B.f(0));
+  KernelFunction *K = B.finish(16, 1, 64, 64);
+  CampingAnalysis CA; // no camping anywhere
+  std::vector<LayoutPoint> Pts =
+      enumerateLayouts(*K, DeviceSpec::gtx280(), CA);
+  ASSERT_EQ(Pts.size(), 1u);
+  EXPECT_TRUE(Pts.front().identity());
+}
+
+TEST(LayoutEnumeration, NonSquareGridsSkipSwapAndDiagonal) {
+  Module M;
+  KernelBuilder B(M, "k");
+  B.arrayParam("c", Type::floatTy(), {64, 64}, true);
+  B.assign(B.at("c", {B.idy(), B.idx()}), B.f(0));
+  KernelFunction *K = B.finish(16, 1, 64, 64); // grid 4x64: not square
+  CampingAnalysis CA;
+  CA.Detected = true;
+  std::vector<LayoutPoint> Pts =
+      enumerateLayouts(*K, DeviceSpec::gtx280(), CA);
+  ASSERT_FALSE(Pts.empty());
+  EXPECT_TRUE(Pts.front().identity());
+  for (const LayoutPoint &Pt : Pts) {
+    EXPECT_NE(Pt.K, LayoutPoint::Kind::Swap);
+    EXPECT_NE(Pt.K, LayoutPoint::Kind::Diagonal);
+    // Whatever is enumerated must be legal on the kernel's own grid.
+    if (Pt.pureRemap())
+      EXPECT_TRUE(remapLegal(Pt.Remap, K->launch().GridDimX,
+                             K->launch().GridDimY))
+          << Pt.name();
+  }
+}

@@ -276,7 +276,7 @@ TEST(OpenClPrinter, DiagonalRemapUsesGroupIds) {
   KernelFunction *Naive = parseNaive(M, Algo::TP, 2048, D);
   GpuCompiler GC(M, D);
   KernelFunction *V = GC.compileVariant(*Naive, CompileOptions(), 1, 1);
-  ASSERT_TRUE(V->launch().DiagonalRemap);
+  ASSERT_TRUE(V->launch().Remap.isDiagonal());
   std::string T = printKernel(*V, PrintDialect::OpenCL);
   EXPECT_NE(T.find("get_num_groups(0)"), std::string::npos) << T;
 }

@@ -513,6 +513,64 @@ TEST(FuzzLoopTest, PipelineSmokeRunIsCleanAndJobsInvariant) {
   EXPECT_EQ(Par.ShapeCounts, Ser.ShapeCounts);
 }
 
+TEST(FuzzLoopTest, LayoutSmokeRunIsCleanAndJobsInvariant) {
+  FuzzOptions Opt;
+  Opt.Layout = true;
+  Opt.FirstSeed = 0;
+  Opt.NumSeeds = 10;
+  Opt.Jobs = 2;
+  FuzzSummary Par = runFuzz(Opt);
+  EXPECT_EQ(Par.Cases, 10);
+  EXPECT_EQ(Par.Failed, 0) << (Par.Failures.empty()
+                                   ? ""
+                                   : Par.Failures.front().Failure.Detail);
+  EXPECT_GT(Par.VariantsChecked, 0);
+
+  Opt.Jobs = 1;
+  FuzzSummary Ser = runFuzz(Opt);
+  EXPECT_EQ(Par.Passed, Ser.Passed);
+  EXPECT_EQ(Par.Duplicates, Ser.Duplicates);
+  EXPECT_EQ(Par.VariantsChecked, Ser.VariantsChecked);
+  EXPECT_EQ(Par.ShapeCounts, Ser.ShapeCounts);
+}
+
+TEST(LayoutOracleTest, PassesOnMmShapedKernelWithFullFamily) {
+  Module M;
+  KernelFunction *K = parseOk(M, MmSource);
+  ASSERT_NE(K, nullptr);
+  OracleOptions Opt;
+  OracleResult R = runLayoutOracle(M, *K, Opt);
+  EXPECT_TRUE(R.Passed) << (R.Failures.empty()
+                                ? ""
+                                : R.Failures.front().Stage + ": " +
+                                      R.Failures.front().Detail);
+  // The 48x48 domain launches 16x1 blocks on a 3x48 grid — 2-D but not
+  // square, so swap and diagonal are illegal (fully mixed matrices are
+  // bijective only on square grids). Tier one checks the three remaining
+  // pure remaps (shift, skew-x, skew-y) and tier two compiles the
+  // four-point family (identity, skew-x, skew-y, shift).
+  EXPECT_EQ(R.VariantsChecked, 7);
+}
+
+TEST(LayoutOracleTest, BlamesTheCampingStageForAnInjectedLayoutBug) {
+  // Corrupt kernels right after the partition-camping stage: every
+  // compiled family point diverges from naive and the failures must all
+  // carry a layout:<name> stage tag. The naive-side tier (pure remaps on
+  // the uncompiled kernel) never enters the pipeline, so it stays green.
+  Module M;
+  KernelFunction *K = parseOk(M, MmSource);
+  ASSERT_NE(K, nullptr);
+  OracleOptions Opt;
+  Opt.Inject = breakAfter("partition-camping");
+  OracleResult R = runLayoutOracle(M, *K, Opt);
+  EXPECT_FALSE(R.Passed);
+  ASSERT_FALSE(R.Failures.empty());
+  for (const OracleFailure &F : R.Failures) {
+    EXPECT_EQ(F.FailKind, OracleFailure::Kind::Mismatch) << F.Detail;
+    EXPECT_EQ(F.Stage.rfind("layout:", 0), 0u) << F.Stage;
+  }
+}
+
 TEST(FuzzLoopTest, FailureRecordJsonIsWellFormed) {
   FuzzCase C;
   C.Seed = 41;

@@ -240,7 +240,7 @@ TEST(PartitionCamping, TransposeGetsDiagonalRemap) {
   P.run(Algo::TP, 2048, 1, 1);
   EXPECT_TRUE(P.Camp.Detected);
   EXPECT_TRUE(P.Camp.AppliedDiagonal);
-  EXPECT_TRUE(P.Opt->launch().DiagonalRemap);
+  EXPECT_TRUE(P.Opt->launch().Remap.isDiagonal());
   std::string T = P.text();
   EXPECT_NE(T.find("diagonal block reordering"), std::string::npos);
 }

@@ -45,6 +45,14 @@ void usage() {
       "                            chains and run the fusion-differential\n"
       "                            oracle (fused vs unfused) on each;\n"
       "                            applies to --print/--repro/--check too\n"
+      "  --layout                  run the layout-differential oracle:\n"
+      "                            every affine layout family point\n"
+      "                            (core/AffineLayout) is exercised on\n"
+      "                            each kernel — pure block remaps must\n"
+      "                            match naive bit-for-bit, compiled\n"
+      "                            family points within tolerance, all\n"
+      "                            cross-checked scalar-vs-vector;\n"
+      "                            applies to --check too\n"
       "  --device=gtx280|gtx8800|hd5870  target machine description\n"
       "  --print                   print the kernel --seed generates\n"
       "  --repro=FILE              write that kernel to FILE and exit\n"
@@ -61,7 +69,8 @@ void usage() {
       "  --quiet                   suppress per-seed progress lines\n");
 }
 
-int checkFile(const char *Path, const OracleOptions &Opt, bool Pipeline) {
+int checkFile(const char *Path, const OracleOptions &Opt, bool Pipeline,
+              bool Layout) {
   std::ifstream In(Path);
   if (!In) {
     std::fprintf(stderr, "gpuc-fuzz: error: cannot open '%s'\n", Path);
@@ -73,6 +82,7 @@ int checkFile(const char *Path, const OracleOptions &Opt, bool Pipeline) {
   OracleResult R;
   std::string ParseErrs;
   bool Parsed = Pipeline ? checkPipelineSource(SS.str(), Opt, R, ParseErrs)
+                : Layout ? checkLayoutSource(SS.str(), Opt, R, ParseErrs)
                          : checkKernelSource(SS.str(), Opt, R, ParseErrs);
   if (!Parsed) {
     std::fprintf(stderr, "gpuc-fuzz: parse failed:\n%s", ParseErrs.c_str());
@@ -123,6 +133,8 @@ int main(int argc, char **argv) {
       Opt.ReduceFailures = false;
     else if (std::strcmp(Arg, "--pipeline") == 0)
       Opt.Pipeline = true;
+    else if (std::strcmp(Arg, "--layout") == 0)
+      Opt.Layout = true;
     else if (std::strcmp(Arg, "--device=gtx8800") == 0)
       Opt.Oracle.Compile.Device = DeviceSpec::gtx8800();
     else if (std::strcmp(Arg, "--device=gtx280") == 0)
@@ -155,8 +167,15 @@ int main(int argc, char **argv) {
     }
   }
 
+  if (Opt.Pipeline && Opt.Layout) {
+    std::fprintf(stderr,
+                 "gpuc-fuzz: error: --pipeline and --layout are mutually "
+                 "exclusive\n");
+    return 1;
+  }
+
   if (CheckPath)
-    return checkFile(CheckPath, Opt.Oracle, Opt.Pipeline);
+    return checkFile(CheckPath, Opt.Oracle, Opt.Pipeline, Opt.Layout);
 
   if (Print || ReproPath) {
     // Deterministic replay: the same --seed regenerates the same bytes.

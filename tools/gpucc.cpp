@@ -61,6 +61,10 @@ void usage() {
       "  --block=N --thread=M      fixed merge factors (skips the search)\n"
       "  --no-vectorize --no-coalesce --no-merge --no-prefetch\n"
       "  --no-partition --no-fold  disable pipeline stages\n"
+      "  --no-layout-search        apply the legacy partition-camping\n"
+      "                            heuristic instead of searching the\n"
+      "                            affine layout family (--report shows\n"
+      "                            the searched points and the winner)\n"
       "  --report                  print the analysis report to stderr\n"
       "  --validate                run naive and optimized kernels on the\n"
       "                            simulator and compare outputs\n"
@@ -651,6 +655,8 @@ int main(int argc, char **argv) {
       D.Opt.Prefetch = false;
     else if (std::strcmp(Arg, "--no-partition") == 0)
       D.Opt.PartitionElim = false;
+    else if (std::strcmp(Arg, "--no-layout-search") == 0)
+      D.Opt.LayoutSearch = false;
     else if (std::strcmp(Arg, "--no-fold") == 0)
       D.Opt.Fold = false;
     else if (std::strcmp(Arg, "--report") == 0)
