@@ -38,13 +38,18 @@ bool readFile(const std::string &Path, std::string &Out) {
   return true;
 }
 
+std::atomic<uint64_t> OpenCounter{0};
+
 } // namespace
 
 DiskCache::DiskCache(std::string Directory) : Dir(std::move(Directory)) {
+  OpenCounter.fetch_add(1);
   std::error_code EC;
   fs::create_directories(fs::path(Dir) / "tmp", EC);
   Valid = !EC && fs::is_directory(Dir, EC) && !EC;
 }
+
+uint64_t DiskCache::openCount() { return OpenCounter.load(); }
 
 std::string DiskCache::entryPath(uint64_t Key, Kind K) const {
   // Content address: the semantic key folded with the schema version, so

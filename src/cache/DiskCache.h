@@ -111,6 +111,11 @@ public:
   /// temp directory (tests and benches).
   static std::string makeTempDir(const std::string &Prefix);
 
+  /// Process-wide count of DiskCache instances ever constructed. The
+  /// compile daemon's contract is one open per daemon lifetime no matter
+  /// how many clients or batch rounds it serves (tests pin the delta).
+  static uint64_t openCount();
+
 private:
   bool loadEntry(uint64_t Key, Kind K, std::string &Payload);
   void storeEntry(uint64_t Key, Kind K, const std::string &Payload);

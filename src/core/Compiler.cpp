@@ -223,6 +223,11 @@ CompileOutput GpuCompiler::compile(const KernelFunction &Naive,
   WallTimer SearchWall;
   CompileOutput Out;
 
+  if (compileCancelled(Opt)) {
+    Out.Log += "search cancelled\n";
+    return Out;
+  }
+
   // Probe the merge plan with a unit variant (built in the caller's
   // module, as always — single-variant compilations are unaffected by the
   // search machinery below). In layout mode the probe is compiled with the
@@ -334,6 +339,8 @@ CompileOutput GpuCompiler::compile(const KernelFunction &Naive,
   // search is exhaustive) estimate a lower bound with a cheap probe run.
   Pool.parallelFor(Cands.size(), [&](size_t I) {
     Candidate &C = Cands[I];
+    if (compileCancelled(Opt))
+      return; // cancelled: leave the slot unbuilt, discarded below
     WallTimer CompileTimer;
     if (C.N == 1 && C.Mm == 1 && C.Layout.identity()) {
       C.Kernel = Probe; // already built for the plan probe
@@ -392,6 +399,8 @@ CompileOutput GpuCompiler::compile(const KernelFunction &Naive,
 
   auto FullSim = [&](size_t I) {
     Candidate &C = Cands[I];
+    if (compileCancelled(Opt))
+      return; // cancelled: skip the run; the result is discarded below
     WallTimer SimTimer;
     BufferSet Buffers;
     DiagnosticsEngine RunDiags;
@@ -527,6 +536,15 @@ CompileOutput GpuCompiler::compile(const KernelFunction &Naive,
   Out.Search.DiskHits = Cache->diskHits() - DiskHits0;
   Out.Search.ScalarFallbacks = Sim.scalarFallbacks();
   Out.Search.WallMs = SearchWall.elapsedMs();
+
+  // A cancelled search ran over a partial candidate set; its champion is
+  // not the true winner, so the result is withdrawn — nothing is returned
+  // and (via the Out.Best guard below) nothing is published to disk.
+  if (compileCancelled(Opt)) {
+    Out.Best = nullptr;
+    Out.BestVariant = VariantResult();
+    Out.Log += "search cancelled\n";
+  }
 
   // Persist the search's winner (text + factors) so a later process can
   // reuse it without re-searching. Only diagnostics-clean compilations are

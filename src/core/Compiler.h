@@ -29,6 +29,7 @@
 #include "sim/Simulator.h"
 #include "support/Diagnostics.h"
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -126,7 +127,20 @@ struct CompileOptions {
   /// Vector are bit-identical (test-enforced), so this is excluded from
   /// compileCacheKey; Scalar is the differential oracle / debug path.
   InterpBackend Interp = InterpBackend::Vector;
+  /// Cooperative cancellation (the compile daemon's per-request timeout,
+  /// serve/Server). When the pointee becomes true the search stops
+  /// launching candidate work at the next per-candidate check, the
+  /// partial result is discarded (Best stays null, nothing is published
+  /// to the disk cache) and compile() returns with "search cancelled" in
+  /// the log. Null disables the checks; excluded from compileCacheKey
+  /// like the other wiring-only fields.
+  const std::atomic<bool> *CancelFlag = nullptr;
 };
+
+/// True when \p Opt carries a cancellation flag that is already set.
+inline bool compileCancelled(const CompileOptions &Opt) {
+  return Opt.CancelFlag && Opt.CancelFlag->load(std::memory_order_relaxed);
+}
 
 /// One explored design point (Section 4 / Figure 10).
 struct VariantResult {

@@ -1,0 +1,139 @@
+//===-- serve/Client.cpp - Thin client for the compile daemon -------------===//
+
+#include "serve/Client.h"
+
+#include "serve/Socket.h"
+#include "support/StringUtils.h"
+
+using namespace gpuc;
+using namespace gpuc::serve;
+
+const char *gpuc::serve::clientStatusName(ClientStatus S) {
+  switch (S) {
+  case ClientStatus::Ok:
+    return "ok";
+  case ClientStatus::Unreachable:
+    return "unreachable";
+  case ClientStatus::Disconnected:
+    return "disconnected";
+  case ClientStatus::Busy:
+    return "busy";
+  case ClientStatus::ShuttingDown:
+    return "shutting-down";
+  case ClientStatus::Timeout:
+    return "timeout";
+  case ClientStatus::Rejected:
+    return "rejected";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Maps a daemon error response onto the client contract.
+ClientStatus statusForError(const ErrorBody &E) {
+  switch (static_cast<ErrCode>(E.Code)) {
+  case ErrCode::Busy:
+    return ClientStatus::Busy;
+  case ErrCode::ShuttingDown:
+    return ClientStatus::ShuttingDown;
+  case ErrCode::Timeout:
+    return ClientStatus::Timeout;
+  case ErrCode::Malformed:
+  case ErrCode::Unsupported:
+  case ErrCode::Internal:
+    return ClientStatus::Rejected;
+  }
+  return ClientStatus::Rejected;
+}
+
+/// One request/response round trip on a fresh connection. \p Expect is
+/// the success response type; an ErrorResp is decoded into \p Status.
+ClientStatus roundTrip(const std::string &SocketPath, MsgType ReqType,
+                       const std::string &ReqPayload, MsgType Expect,
+                       std::string &RespPayload, std::string &Err) {
+  Fd Sock = connectUnix(SocketPath, Err);
+  if (!Sock.valid())
+    return ClientStatus::Unreachable;
+  if (!sendFrame(Sock, ReqType, ReqPayload)) {
+    Err = "daemon connection broke while sending the request";
+    return ClientStatus::Disconnected;
+  }
+  MsgType Type;
+  const char *Why = nullptr;
+  IoStatus S = recvFrame(Sock, Type, RespPayload, /*TimeoutMs=*/0, &Why);
+  if (S != IoStatus::Ok) {
+    // EOF before (or mid-) response: the daemon died or was stopped out
+    // from under us. Both are fallback-eligible.
+    Err = strFormat("daemon connection %s before a response arrived",
+                    ioStatusName(S));
+    return ClientStatus::Disconnected;
+  }
+  if (Type == MsgType::ErrorResp) {
+    ErrorBody E;
+    ByteReader R(RespPayload);
+    if (!decodeError(R, E)) {
+      Err = "daemon sent an undecodable error response";
+      return ClientStatus::Rejected;
+    }
+    Err = E.Message;
+    return statusForError(E);
+  }
+  if (Type != Expect) {
+    Err = "daemon sent an unexpected response type";
+    return ClientStatus::Rejected;
+  }
+  return ClientStatus::Ok;
+}
+
+} // namespace
+
+ClientStatus gpuc::serve::compileViaDaemon(const std::string &SocketPath,
+                                           const CompileJob &J,
+                                           CompileResult &Out,
+                                           std::string &Err) {
+  ByteWriter W;
+  encodeCompileJob(W, J);
+  std::string Resp;
+  ClientStatus S = roundTrip(SocketPath, MsgType::CompileReq, W.buffer(),
+                             MsgType::ResultResp, Resp, Err);
+  if (S != ClientStatus::Ok)
+    return S;
+  ByteReader R(Resp);
+  if (!decodeCompileResult(R, Out)) {
+    Err = "daemon sent an undecodable compile result";
+    return ClientStatus::Rejected;
+  }
+  return ClientStatus::Ok;
+}
+
+ClientStatus gpuc::serve::pingDaemon(const std::string &SocketPath,
+                                     std::string &Err) {
+  std::string Resp;
+  return roundTrip(SocketPath, MsgType::PingReq, std::string(),
+                   MsgType::PongResp, Resp, Err);
+}
+
+ClientStatus gpuc::serve::fetchDaemonStats(const std::string &SocketPath,
+                                           std::string &JsonOut,
+                                           std::string &Err) {
+  std::string Resp;
+  ClientStatus S = roundTrip(SocketPath, MsgType::StatsReq, std::string(),
+                             MsgType::StatsResp, Resp, Err);
+  if (S != ClientStatus::Ok)
+    return S;
+  ByteReader R(Resp);
+  JsonOut = R.str();
+  if (!R.atCleanEnd()) {
+    Err = "daemon sent an undecodable stats response";
+    return ClientStatus::Rejected;
+  }
+  return ClientStatus::Ok;
+}
+
+ClientStatus gpuc::serve::requestDaemonShutdown(const std::string &SocketPath,
+                                                std::string &Err) {
+  std::string Resp;
+  return roundTrip(SocketPath, MsgType::ShutdownReq, std::string(),
+                   MsgType::OkResp, Resp, Err);
+}

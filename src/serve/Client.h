@@ -1,0 +1,73 @@
+//===-- serve/Client.h - Thin client for the compile daemon -----*- C++ -*-===//
+//
+// Part of the gpuc project: a reproduction of "A GPGPU Compiler for Memory
+// Optimization and Parallelism Management" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The gpucc side of the wire: one connection per request (Unix-domain
+/// sockets make that cheap, and it maps 1:1 onto the daemon's
+/// thread-per-connection model). Every helper reports a ClientStatus;
+/// fallbackEligible() encodes the driver contract:
+///
+///   - Unreachable / Disconnected / Busy / ShuttingDown → the client may
+///     compile in-process instead (--connect does, --daemon refuses).
+///   - Timeout → hard failure: the daemon cancelled the search at the
+///     deadline; silently redoing it locally would hide the deadline.
+///   - Rejected → hard failure: the daemon understood us and said no
+///     (malformed request, unknown device, internal error).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUC_SERVE_CLIENT_H
+#define GPUC_SERVE_CLIENT_H
+
+#include "serve/Protocol.h"
+
+#include <string>
+
+namespace gpuc {
+namespace serve {
+
+enum class ClientStatus {
+  Ok,           ///< response in hand
+  Unreachable,  ///< connect failed (no daemon on that socket)
+  Disconnected, ///< daemon vanished mid-request (killed / shut down hard)
+  Busy,         ///< admission queue full
+  ShuttingDown, ///< daemon is draining
+  Timeout,      ///< daemon cancelled the request at its deadline
+  Rejected,     ///< malformed / unsupported / internal — do not retry
+};
+
+const char *clientStatusName(ClientStatus S);
+
+/// True for the statuses where compiling in-process instead is the
+/// sanctioned next move.
+inline bool fallbackEligible(ClientStatus S) {
+  return S == ClientStatus::Unreachable || S == ClientStatus::Disconnected ||
+         S == ClientStatus::Busy || S == ClientStatus::ShuttingDown;
+}
+
+/// Sends \p J and waits for the result (no client-side deadline: a cold
+/// search legitimately takes a while; daemon death surfaces as EOF).
+/// On Ok, \p Out holds the compile result. Otherwise \p Err explains.
+ClientStatus compileViaDaemon(const std::string &SocketPath,
+                              const CompileJob &J, CompileResult &Out,
+                              std::string &Err);
+
+/// Round-trips a ping. Ok means a live, protocol-compatible daemon.
+ClientStatus pingDaemon(const std::string &SocketPath, std::string &Err);
+
+/// Fetches the daemon's --stats JSON snapshot into \p JsonOut.
+ClientStatus fetchDaemonStats(const std::string &SocketPath,
+                              std::string &JsonOut, std::string &Err);
+
+/// Asks the daemon to shut down. Ok means it acknowledged.
+ClientStatus requestDaemonShutdown(const std::string &SocketPath,
+                                   std::string &Err);
+
+} // namespace serve
+} // namespace gpuc
+
+#endif // GPUC_SERVE_CLIENT_H

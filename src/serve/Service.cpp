@@ -1,0 +1,241 @@
+//===-- serve/Service.cpp - One compile request, start to finish ----------===//
+
+#include "serve/Service.h"
+
+#include "analysis/Sanitizer.h"
+#include "ast/Printer.h"
+#include "cache/DiskCache.h"
+#include "core/Report.h"
+#include "parser/Parser.h"
+#include "sim/SimCache.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+
+using namespace gpuc;
+using namespace gpuc::serve;
+
+bool gpuc::serve::deviceFromName(const std::string &Name, DeviceSpec &Out) {
+  if (Name == "gtx280") {
+    Out = DeviceSpec::gtx280();
+    return true;
+  }
+  if (Name == "gtx8800") {
+    Out = DeviceSpec::gtx8800();
+    return true;
+  }
+  if (Name == "hd5870") {
+    Out = DeviceSpec::hd5870();
+    return true;
+  }
+  return false;
+}
+
+bool gpuc::serve::optionsFromJob(const CompileJob &J,
+                                 const ServiceContext &Ctx,
+                                 CompileOptions &Out) {
+  if (!deviceFromName(J.DeviceName, Out.Device))
+    return false;
+  Out.Vectorize = (J.Flags & JF_Vectorize) != 0;
+  Out.Coalesce = (J.Flags & JF_Coalesce) != 0;
+  Out.Merge = (J.Flags & JF_Merge) != 0;
+  Out.Prefetch = (J.Flags & JF_Prefetch) != 0;
+  Out.PartitionElim = (J.Flags & JF_PartitionElim) != 0;
+  Out.LayoutSearch = (J.Flags & JF_LayoutSearch) != 0;
+  Out.Fold = (J.Flags & JF_Fold) != 0;
+  Out.StaticPrune = (J.Flags & JF_StaticPrune) != 0;
+  Out.ExhaustiveSearch = (J.Flags & JF_Exhaustive) != 0;
+  Out.Interp = J.Interp == 1 ? InterpBackend::Scalar : InterpBackend::Vector;
+  Out.Jobs = Ctx.Jobs <= 0 ? 1 : Ctx.Jobs;
+  Out.Cache = Ctx.Mem;
+  Out.Disk = Ctx.Disk;
+  Out.CancelFlag = Ctx.Cancel;
+  return true;
+}
+
+namespace {
+
+/// Modes derived from the job's flag word.
+struct JobModes {
+  bool Sanitize, Lint, LintStrict, Werror, Report, SearchStats, PrintNaive;
+  PrintDialect Dialect;
+
+  explicit JobModes(const CompileJob &J)
+      : Sanitize(J.Flags & JF_Sanitize), Lint(J.Flags & JF_Lint),
+        LintStrict(J.Flags & JF_LintStrict), Werror(J.Flags & JF_Werror),
+        Report(J.Flags & JF_Report), SearchStats(J.Flags & JF_SearchStats),
+        PrintNaive(J.Flags & JF_PrintNaive),
+        Dialect(J.Dialect == 1 ? PrintDialect::OpenCL
+                               : PrintDialect::Cuda) {}
+
+  /// Mirror of gpucc's fastPathEligible(): the warm winner-replay may
+  /// only answer invocations whose output is exactly the cold run's
+  /// plain CUDA text (stored entries are diagnostics-clean).
+  bool fastPathEligible(const CompileJob &J) const {
+    return !Report && !Sanitize && !Lint && !PrintNaive && !SearchStats &&
+           J.BlockN == 0 && J.ThreadM == 0 && Dialect == PrintDialect::Cuda;
+  }
+};
+
+std::string sanitizeSummaryLine(const SanitizeSummary &S) {
+  return strFormat("sanitizer: %d kernels checked, %d races, %d lint "
+                   "warnings, %d not statically analyzable\n",
+                   S.KernelsChecked, S.RaceErrors, S.LintWarnings,
+                   S.Unanalyzable);
+}
+
+/// Multi-kernel pipeline path (the input carried a
+/// '#pragma gpuc pipeline(...)' clause). Mirrors gpucc's
+/// runSinglePipeline minus --validate, which never rides the daemon.
+CompileResult runPipelineJob(const CompileJob &J, const ServiceContext &Ctx,
+                             CompileOptions &Opt, const JobModes &Modes,
+                             Module &M, DiagnosticsEngine &Diags,
+                             std::vector<KernelFunction *> &Stages) {
+  CompileResult R;
+  if (J.BlockN > 0 || J.ThreadM > 0 ||
+      Modes.Dialect != PrintDialect::Cuda) {
+    R.Code = 1;
+    R.Err = "gpucc: error: --block/--thread/--opencl are not "
+            "supported for multi-kernel pipelines\n";
+    return R;
+  }
+  std::vector<const KernelFunction *> CStages(Stages.begin(), Stages.end());
+  if (Modes.PrintNaive)
+    R.Out += strFormat("// ---- naive input ----\n%s\n",
+                       printNaiveProgram(CStages).c_str());
+
+  // Warm fast path, program level: replay the stored decision + text.
+  if (Ctx.Disk && Modes.fastPathEligible(J)) {
+    CachedCompile Cached;
+    if (Ctx.Disk->loadText(programCacheKey(CStages, Opt), Cached)) {
+      R.Out += Cached.KernelText;
+      R.WarmFastPath = 1;
+      return R;
+    }
+  }
+
+  SanitizeSummary SanSummary;
+  if (Modes.Sanitize || Modes.Lint) {
+    SanitizeOptions SanOpt;
+    SanOpt.Races = Modes.Sanitize;
+    SanOpt.Lint = Modes.Lint;
+    SanOpt.LintOpts.Strict = Modes.LintStrict;
+    attachStageSanitizer(Opt, Diags, SanOpt, &SanSummary);
+  }
+
+  GpuCompiler GC(M, Diags);
+  ProgramCompileOutput Out = GC.compileProgram(CStages, Opt);
+  R.CritPathMs = Out.Search.CritPathMs;
+  const bool ChosenOk =
+      Out.UseFused
+          ? Out.FusedOut.Best != nullptr
+          : !Out.StageOuts.empty() &&
+                std::all_of(Out.StageOuts.begin(), Out.StageOuts.end(),
+                            [](const CompileOutput &C) { return C.Best; });
+  if (!ChosenOk || Diags.hasErrors()) {
+    R.Code = 1;
+    R.Err += Diags.str() + Diags.summary();
+    return R;
+  }
+  if (Diags.hasWarnings())
+    R.Err += Diags.str() + Diags.summary() + "\n";
+  if (Modes.Sanitize || Modes.Lint)
+    R.Err += sanitizeSummaryLine(SanSummary);
+
+  R.Out += Out.ProgramText;
+
+  if (Modes.Report)
+    R.Err += fusionReport(Out);
+  if (Modes.SearchStats)
+    R.Err += searchStatsReport(Out.Search);
+  return R;
+}
+
+} // namespace
+
+CompileResult gpuc::serve::runCompileJob(const CompileJob &J,
+                                         const ServiceContext &Ctx) {
+  CompileResult R;
+  CompileOptions Opt;
+  if (!optionsFromJob(J, Ctx, Opt)) {
+    R.Code = 1;
+    R.Err = strFormat("gpucc: error: unknown device '%s'\n",
+                      J.DeviceName.c_str());
+    return R;
+  }
+  JobModes Modes(J);
+
+  // Per-request isolation: the Module (AST arena) and DiagnosticsEngine
+  // live and die with this job; only the caches are shared.
+  Module M;
+  DiagnosticsEngine Diags;
+  if (Modes.Werror)
+    Diags.setWarningsAsErrors(true);
+  Parser P(J.Source, Diags);
+  std::vector<KernelFunction *> Stages = P.parseProgram(M);
+  if (Stages.empty()) {
+    R.Code = 1;
+    R.Err = Diags.str();
+    return R;
+  }
+  if (Stages.size() > 1)
+    return runPipelineJob(J, Ctx, Opt, Modes, M, Diags, Stages);
+
+  KernelFunction *Naive = Stages.front();
+  if (Modes.PrintNaive)
+    R.Out += strFormat("// ---- naive input ----\n%s\n",
+                       printKernel(*Naive, Modes.Dialect).c_str());
+
+  // Warm fast path: a clean prior search of this exact (kernel, device,
+  // options) already published its winner; replay it byte-for-byte.
+  if (Ctx.Disk && Modes.fastPathEligible(J)) {
+    CachedCompile Cached;
+    if (Ctx.Disk->loadText(compileCacheKey(*Naive, Opt), Cached)) {
+      R.Out += Cached.KernelText;
+      R.WarmFastPath = 1;
+      return R;
+    }
+  }
+
+  SanitizeSummary SanSummary;
+  if (Modes.Sanitize || Modes.Lint) {
+    SanitizeOptions SanOpt;
+    SanOpt.Races = Modes.Sanitize;
+    SanOpt.Lint = Modes.Lint;
+    SanOpt.LintOpts.Strict = Modes.LintStrict;
+    attachStageSanitizer(Opt, Diags, SanOpt, &SanSummary);
+  }
+
+  GpuCompiler GC(M, Diags);
+  CompileOutput Out;
+  if (J.BlockN > 0 || J.ThreadM > 0) {
+    Out.Best = GC.compileVariant(*Naive, Opt, std::max(1, J.BlockN),
+                                 std::max(1, J.ThreadM), &Out.Plan,
+                                 &Out.Camping);
+    VariantResult VR;
+    VR.Kernel = Out.Best;
+    VR.BlockMergeN = std::max(1, J.BlockN);
+    VR.ThreadMergeM = std::max(1, J.ThreadM);
+    Out.Variants.push_back(VR);
+  } else {
+    Out = GC.compile(*Naive, Opt);
+  }
+  R.CritPathMs = Out.Search.CritPathMs;
+  if (!Out.Best || Diags.hasErrors()) {
+    R.Code = 1;
+    R.Err += Diags.str() + Diags.summary() + Out.Log;
+    return R;
+  }
+  if (Diags.hasWarnings())
+    R.Err += Diags.str() + Diags.summary() + "\n";
+  if (Modes.Sanitize || Modes.Lint)
+    R.Err += sanitizeSummaryLine(SanSummary);
+
+  R.Out += printKernel(*Out.Best, Modes.Dialect);
+
+  if (Modes.Report)
+    R.Err += fullReport(*Naive, Out, Opt.Device);
+  if (Modes.SearchStats)
+    R.Err += searchStatsReport(Out);
+  return R;
+}

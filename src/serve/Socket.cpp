@@ -1,0 +1,223 @@
+//===-- serve/Socket.cpp - Unix-domain socket plumbing --------------------===//
+
+#include "serve/Socket.h"
+
+#include "support/StringUtils.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace gpuc;
+using namespace gpuc::serve;
+
+Fd &Fd::operator=(Fd &&O) noexcept {
+  if (this != &O) {
+    reset();
+    Raw = O.Raw;
+    O.Raw = -1;
+  }
+  return *this;
+}
+
+void Fd::reset() {
+  if (Raw >= 0) {
+    ::close(Raw);
+    Raw = -1;
+  }
+}
+
+void Fd::shutdownBoth() {
+  if (Raw >= 0)
+    ::shutdown(Raw, SHUT_RDWR);
+}
+
+namespace {
+
+/// Fills \p Addr from \p Path; AF_UNIX paths are length-capped.
+bool fillAddr(const std::string &Path, sockaddr_un &Addr, std::string &Err) {
+  if (Path.empty() || Path.size() >= sizeof(Addr.sun_path)) {
+    Err = strFormat("socket path invalid or too long (%zu bytes, max %zu)",
+                    Path.size(), sizeof(Addr.sun_path) - 1);
+    return false;
+  }
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  return true;
+}
+
+/// Milliseconds since an arbitrary epoch (deadline arithmetic).
+long long nowMs() {
+  using namespace std::chrono;
+  return duration_cast<milliseconds>(steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Receives exactly \p Len bytes into \p Out, honoring the deadline.
+IoStatus recvExact(int Sock, char *Out, size_t Len, long long DeadlineMs) {
+  size_t Got = 0;
+  while (Got < Len) {
+    if (DeadlineMs > 0) {
+      long long Left = DeadlineMs - nowMs();
+      if (Left <= 0)
+        return IoStatus::Timeout;
+      pollfd P{Sock, POLLIN, 0};
+      int PR = ::poll(&P, 1, static_cast<int>(Left > 1000000 ? 1000000
+                                                             : Left));
+      if (PR < 0) {
+        if (errno == EINTR)
+          continue;
+        return IoStatus::Error;
+      }
+      if (PR == 0)
+        continue; // re-check deadline
+    }
+    ssize_t N = ::recv(Sock, Out + Got, Len - Got, 0);
+    if (N == 0)
+      return Got == 0 ? IoStatus::Closed : IoStatus::Truncated;
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        continue;
+      return IoStatus::Error;
+    }
+    Got += static_cast<size_t>(N);
+  }
+  return IoStatus::Ok;
+}
+
+} // namespace
+
+Fd gpuc::serve::listenUnix(const std::string &Path, std::string &Err) {
+  sockaddr_un Addr;
+  if (!fillAddr(Path, Addr, Err))
+    return Fd();
+  Fd Sock(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!Sock.valid()) {
+    Err = strFormat("socket: %s", std::strerror(errno));
+    return Fd();
+  }
+  // A stale socket file from a dead daemon would fail the bind; replace
+  // it. A *live* daemon keeps serving its already-accepted fd — two
+  // daemons on one path is an operator error the CLI warns about.
+  ::unlink(Path.c_str());
+  if (::bind(Sock.get(), reinterpret_cast<sockaddr *>(&Addr),
+             sizeof(Addr)) != 0) {
+    Err = strFormat("bind %s: %s", Path.c_str(), std::strerror(errno));
+    return Fd();
+  }
+  if (::listen(Sock.get(), 64) != 0) {
+    Err = strFormat("listen %s: %s", Path.c_str(), std::strerror(errno));
+    return Fd();
+  }
+  return Sock;
+}
+
+Fd gpuc::serve::connectUnix(const std::string &Path, std::string &Err) {
+  sockaddr_un Addr;
+  if (!fillAddr(Path, Addr, Err))
+    return Fd();
+  Fd Sock(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!Sock.valid()) {
+    Err = strFormat("socket: %s", std::strerror(errno));
+    return Fd();
+  }
+  if (::connect(Sock.get(), reinterpret_cast<sockaddr *>(&Addr),
+                sizeof(Addr)) != 0) {
+    Err = strFormat("connect %s: %s", Path.c_str(), std::strerror(errno));
+    return Fd();
+  }
+  return Sock;
+}
+
+Fd gpuc::serve::acceptUnix(const Fd &Listen) {
+  for (;;) {
+    int Raw = ::accept(Listen.get(), nullptr, nullptr);
+    if (Raw >= 0)
+      return Fd(Raw);
+    if (errno == EINTR)
+      continue;
+    return Fd();
+  }
+}
+
+const char *gpuc::serve::ioStatusName(IoStatus S) {
+  switch (S) {
+  case IoStatus::Ok:
+    return "ok";
+  case IoStatus::Closed:
+    return "closed";
+  case IoStatus::Truncated:
+    return "truncated";
+  case IoStatus::Timeout:
+    return "timeout";
+  case IoStatus::Malformed:
+    return "malformed";
+  case IoStatus::Error:
+    return "error";
+  }
+  return "?";
+}
+
+bool gpuc::serve::sendAll(const Fd &Sock, const std::string &Data) {
+  size_t Sent = 0;
+  while (Sent < Data.size()) {
+    // MSG_NOSIGNAL: a peer that disconnected mid-response must surface as
+    // EPIPE, not kill the daemon with SIGPIPE.
+    ssize_t N = ::send(Sock.get(), Data.data() + Sent, Data.size() - Sent,
+                       MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Sent += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+bool gpuc::serve::sendFrame(const Fd &Sock, MsgType Type,
+                            const std::string &Payload) {
+  return sendAll(Sock, encodeFrame(Type, Payload));
+}
+
+IoStatus gpuc::serve::recvFrame(const Fd &Sock, MsgType &Type,
+                                std::string &Payload, unsigned TimeoutMs,
+                                const char **Why) {
+  if (Why)
+    *Why = nullptr;
+  long long Deadline = TimeoutMs ? nowMs() + TimeoutMs : 0;
+  char Header[FrameHeaderBytes];
+  IoStatus S = recvExact(Sock.get(), Header, sizeof(Header), Deadline);
+  if (S != IoStatus::Ok)
+    return S;
+  FrameHeader H;
+  if (!decodeFrameHeader(Header, sizeof(Header), H))
+    return IoStatus::Malformed;
+  const char *Reason = nullptr;
+  if (!frameHeaderValid(H, &Reason)) {
+    if (Why)
+      *Why = Reason;
+    return IoStatus::Malformed;
+  }
+  Payload.assign(H.Length, '\0');
+  if (H.Length > 0) {
+    S = recvExact(Sock.get(), Payload.data(), H.Length, Deadline);
+    if (S != IoStatus::Ok)
+      return S == IoStatus::Closed ? IoStatus::Truncated : S;
+  }
+  if (framePayloadChecksum(Payload) != H.Checksum) {
+    if (Why)
+      *Why = "payload checksum mismatch";
+    return IoStatus::Malformed;
+  }
+  Type = static_cast<MsgType>(H.Type);
+  return IoStatus::Ok;
+}

@@ -1,0 +1,90 @@
+//===-- serve/Socket.h - Unix-domain socket plumbing ------------*- C++ -*-===//
+//
+// Part of the gpuc project: a reproduction of "A GPGPU Compiler for Memory
+// Optimization and Parallelism Management" (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thin POSIX AF_UNIX/SOCK_STREAM wrappers for the compile daemon: bind/
+/// listen, connect, and loss-free frame send/receive on top of
+/// serve/Protocol.h. All receive paths are deadline-aware so a half-open
+/// peer or a mid-message disconnect degrades to a clean Timeout/Closed
+/// status, never a hang (the fault battery in tests/ServeTest.cpp leans
+/// on this).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GPUC_SERVE_SOCKET_H
+#define GPUC_SERVE_SOCKET_H
+
+#include "serve/Protocol.h"
+
+#include <string>
+
+namespace gpuc {
+namespace serve {
+
+/// Owning file descriptor (move-only RAII).
+class Fd {
+public:
+  Fd() = default;
+  explicit Fd(int RawFd) : Raw(RawFd) {}
+  Fd(Fd &&O) noexcept : Raw(O.Raw) { O.Raw = -1; }
+  Fd &operator=(Fd &&O) noexcept;
+  ~Fd() { reset(); }
+
+  Fd(const Fd &) = delete;
+  Fd &operator=(const Fd &) = delete;
+
+  int get() const { return Raw; }
+  bool valid() const { return Raw >= 0; }
+  /// Closes the held descriptor (idempotent).
+  void reset();
+  /// shutdown(2) both directions — unblocks a peer thread parked in
+  /// recv/send on this descriptor without racing the close.
+  void shutdownBoth();
+
+private:
+  int Raw = -1;
+};
+
+/// Binds and listens on \p Path (an existing socket file is replaced).
+/// \returns an invalid Fd with \p Err set on failure.
+Fd listenUnix(const std::string &Path, std::string &Err);
+
+/// Connects to the daemon at \p Path.
+Fd connectUnix(const std::string &Path, std::string &Err);
+
+/// Accepts one connection; blocks. \returns invalid on error/shutdown.
+Fd acceptUnix(const Fd &Listen);
+
+/// Outcome of a frame receive.
+enum class IoStatus {
+  Ok,
+  Closed,    ///< orderly EOF between frames
+  Truncated, ///< EOF mid-frame (the peer vanished mid-message)
+  Timeout,   ///< deadline passed with the frame incomplete
+  Malformed, ///< header failed validation or checksum mismatch
+  Error,     ///< socket error
+};
+
+/// Human-readable status name (diagnostics, tests).
+const char *ioStatusName(IoStatus S);
+
+/// Writes all of \p Data (retrying partial writes, ignoring SIGPIPE).
+bool sendAll(const Fd &Sock, const std::string &Data);
+
+/// Sends one complete frame.
+bool sendFrame(const Fd &Sock, MsgType Type, const std::string &Payload);
+
+/// Receives one complete frame: header, validation, payload, checksum.
+/// \p TimeoutMs bounds the whole receive; 0 waits forever. On Malformed
+/// the connection is desynchronized and must be closed by the caller.
+IoStatus recvFrame(const Fd &Sock, MsgType &Type, std::string &Payload,
+                   unsigned TimeoutMs, const char **Why = nullptr);
+
+} // namespace serve
+} // namespace gpuc
+
+#endif // GPUC_SERVE_SOCKET_H

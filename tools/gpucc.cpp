@@ -30,6 +30,8 @@
 #include "core/Compiler.h"
 #include "exec/ThreadPool.h"
 #include "parser/Parser.h"
+#include "serve/Client.h"
+#include "serve/Service.h"
 #include "support/StringUtils.h"
 #include "support/Timer.h"
 
@@ -40,6 +42,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 
 using namespace gpuc;
@@ -100,7 +103,20 @@ void usage() {
       "                            (default: $GPUC_CACHE_DIR if set)\n"
       "  --no-disk-cache           ignore --cache-dir and $GPUC_CACHE_DIR\n"
       "  --cache-stats[=FILE]      print disk-cache traffic to stderr and\n"
-      "                            optionally write it as JSON to FILE\n");
+      "                            optionally write it as JSON to FILE\n"
+      "  --connect[=SOCK]          compile via a gpucd daemon (default\n"
+      "                            socket: $GPUC_DAEMON_SOCKET), sharing\n"
+      "                            its warm cache; when the daemon is\n"
+      "                            unreachable, busy or shutting down,\n"
+      "                            fall back to in-process compilation\n"
+      "                            with a note. --validate/--time-report\n"
+      "                            never ride the daemon and compile\n"
+      "                            in-process directly\n"
+      "  --daemon[=SOCK]           like --connect, but a missing daemon\n"
+      "                            is an error instead of a fallback\n"
+      "  --daemon-timeout-ms=N     per-request deadline on the daemon; at\n"
+      "                            the deadline the search is cancelled\n"
+      "                            and the request fails (no fallback)\n");
 }
 
 bool readInputFile(const std::string &Path, std::string &Out) {
@@ -173,6 +189,16 @@ struct DriverOptions {
   std::string CacheStatsFile;
   std::string CacheDir;
   PrintDialect Dialect = PrintDialect::Cuda;
+  /// Wire name of --device (the daemon resolves it to a DeviceSpec).
+  std::string DeviceName = "gtx280";
+
+  /// Thin-client mode: Optional (--connect) falls back to in-process
+  /// compilation when the daemon is unreachable, busy or shutting down;
+  /// Required (--daemon) makes those hard errors instead.
+  enum class DaemonUse { Off, Optional, Required };
+  DaemonUse Daemon = DaemonUse::Off;
+  std::string DaemonSocket;
+  unsigned DaemonTimeoutMs = 0;
 
   /// The warm fast path replays a stored search winner verbatim. It is
   /// only taken when this invocation would print exactly what the cold
@@ -626,6 +652,185 @@ int runBatch(DriverOptions &D, DiskCache *Disk, SimCache &Mem) {
   return Code;
 }
 
+/// Translates the parsed driver state into a wire CompileJob. The flag
+/// word mirrors CompileOptions bit for bit — serve::optionsFromJob is the
+/// inverse — so a daemon compile and an in-process fallback of the same
+/// invocation are the same computation.
+serve::CompileJob jobFromDriver(const DriverOptions &D,
+                                const std::string &Name,
+                                std::string Source) {
+  serve::CompileJob J;
+  J.Name = Name;
+  J.Source = std::move(Source);
+  J.DeviceName = D.DeviceName;
+  uint32_t F = 0;
+  auto Set = [&F](bool On, uint32_t Bit) {
+    if (On)
+      F |= Bit;
+  };
+  Set(D.Opt.Vectorize, serve::JF_Vectorize);
+  Set(D.Opt.Coalesce, serve::JF_Coalesce);
+  Set(D.Opt.Merge, serve::JF_Merge);
+  Set(D.Opt.Prefetch, serve::JF_Prefetch);
+  Set(D.Opt.PartitionElim, serve::JF_PartitionElim);
+  Set(D.Opt.LayoutSearch, serve::JF_LayoutSearch);
+  Set(D.Opt.Fold, serve::JF_Fold);
+  Set(D.Opt.StaticPrune, serve::JF_StaticPrune);
+  Set(D.Opt.ExhaustiveSearch, serve::JF_Exhaustive);
+  Set(D.Sanitize, serve::JF_Sanitize);
+  Set(D.Lint, serve::JF_Lint);
+  Set(D.LintStrict, serve::JF_LintStrict);
+  Set(D.Werror, serve::JF_Werror);
+  Set(D.Report, serve::JF_Report);
+  Set(D.SearchStats, serve::JF_SearchStats);
+  Set(D.PrintNaive, serve::JF_PrintNaive);
+  J.Flags = F;
+  J.BlockN = D.BlockN;
+  J.ThreadM = D.ThreadM;
+  J.TimeoutMs = D.DaemonTimeoutMs;
+  J.Dialect = D.Dialect == PrintDialect::OpenCL ? 1 : 0;
+  J.Interp = D.Opt.Interp == InterpBackend::Scalar ? 1 : 0;
+  return J;
+}
+
+/// Client-mode fallback cache. Opened lazily, at most once per process,
+/// and only if some request actually falls back in-process — a client
+/// whose every request the daemon serves never opens the disk cache at
+/// all (the one-open-per-daemon regression test pins this).
+struct LazyLocalCache {
+  std::once_flag Once;
+  std::unique_ptr<DiskCache> Disk;
+  SimCache Mem;
+
+  void ensure(const DriverOptions &D) {
+    std::call_once(Once, [&] {
+      if (!D.NoDiskCache) {
+        std::string Dir = D.CacheDir.empty() ? envOr("GPUC_CACHE_DIR", "")
+                                             : D.CacheDir;
+        if (!Dir.empty()) {
+          Disk = std::make_unique<DiskCache>(Dir);
+          if (!Disk->valid()) {
+            std::fprintf(stderr,
+                         "gpucc: warning: cannot use cache directory "
+                         "'%s'; continuing without a disk cache\n",
+                         Dir.c_str());
+            Disk.reset();
+          }
+        }
+      }
+      Mem.setBackend(Disk.get());
+    });
+  }
+};
+
+/// Single-file thin-client flow: ship the job to the daemon; print its
+/// stdout/stderr verbatim. On a fallback-eligible failure under
+/// --connect, compile in-process through the very same serve::Service
+/// path (so the output bytes match a daemon run).
+int runClient(DriverOptions &D) {
+  const std::string &Path = D.Inputs.front();
+  std::string Source;
+  if (!readInputFile(Path, Source)) {
+    std::fprintf(stderr, "gpucc: error: cannot open '%s'\n", Path.c_str());
+    return 1;
+  }
+  serve::CompileJob J = jobFromDriver(D, /*Name=*/"", std::move(Source));
+  serve::CompileResult R;
+  std::string Err;
+  serve::ClientStatus S =
+      serve::compileViaDaemon(D.DaemonSocket, J, R, Err);
+  LazyLocalCache Local;
+  if (S != serve::ClientStatus::Ok) {
+    if (D.Daemon == DriverOptions::DaemonUse::Required ||
+        !serve::fallbackEligible(S)) {
+      std::fprintf(stderr, "gpucc: error: daemon %s: %s\n",
+                   serve::clientStatusName(S), Err.c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "gpucc: note: daemon %s (%s); compiling in-process\n",
+                 serve::clientStatusName(S), Err.c_str());
+    Local.ensure(D);
+    serve::ServiceContext Ctx;
+    Ctx.Mem = &Local.Mem;
+    Ctx.Disk = Local.Disk.get();
+    Ctx.Jobs = D.Opt.Jobs;
+    R = serve::runCompileJob(J, Ctx);
+  }
+  std::fputs(R.Out.c_str(), stdout);
+  std::fputs(R.Err.c_str(), stderr);
+  emitCacheStats(D, Local.Disk.get(), Local.Mem);
+  return R.Code;
+}
+
+/// Batch thin-client flow: every lane ships its file to the daemon, so
+/// the whole batch rides the daemon's shared warm cache. Lanes that fall
+/// back (daemon vanished or Busy mid-batch) share one lazily opened
+/// local cache. Output ordering matches runBatch exactly.
+int runClientBatch(DriverOptions &D) {
+  struct FileResult {
+    std::string Text;
+    std::string Err;
+    int Code = 0;
+  };
+  std::vector<FileResult> Results(D.Inputs.size());
+  LazyLocalCache Local;
+
+  unsigned OuterJobs = D.Opt.Jobs <= 0
+                           ? ThreadPool::defaultConcurrency()
+                           : static_cast<unsigned>(D.Opt.Jobs);
+  ThreadPool Pool(OuterJobs);
+  Pool.parallelFor(D.Inputs.size(), [&](size_t I) {
+    FileResult &FR = Results[I];
+    std::string Source;
+    if (!readInputFile(D.Inputs[I], Source)) {
+      FR.Code = 1;
+      FR.Err = "error: cannot open file\n";
+      return;
+    }
+    serve::CompileJob J =
+        jobFromDriver(D, D.Inputs[I], std::move(Source));
+    serve::CompileResult R;
+    std::string Err;
+    serve::ClientStatus S =
+        serve::compileViaDaemon(D.DaemonSocket, J, R, Err);
+    if (S != serve::ClientStatus::Ok) {
+      if (D.Daemon == DriverOptions::DaemonUse::Required ||
+          !serve::fallbackEligible(S)) {
+        FR.Code = 1;
+        FR.Err = strFormat("error: daemon %s: %s\n",
+                           serve::clientStatusName(S), Err.c_str());
+        return;
+      }
+      FR.Err = strFormat("note: daemon %s; compiled in-process\n",
+                         serve::clientStatusName(S));
+      Local.ensure(D);
+      serve::ServiceContext Ctx;
+      Ctx.Mem = &Local.Mem;
+      Ctx.Disk = Local.Disk.get();
+      Ctx.Jobs = 1; // lanes already parallelize across files
+      R = serve::runCompileJob(J, Ctx);
+    }
+    FR.Text = R.Out;
+    FR.Err += R.Err;
+    FR.Code = R.Code;
+  });
+
+  int Code = 0;
+  for (size_t I = 0; I < D.Inputs.size(); ++I) {
+    const FileResult &FR = Results[I];
+    std::printf("// ==== %s ====\n%s", D.Inputs[I].c_str(),
+                FR.Text.c_str());
+    if (!FR.Err.empty())
+      std::fprintf(stderr, "== %s ==\n%s", D.Inputs[I].c_str(),
+                   FR.Err.c_str());
+    if (FR.Code != 0)
+      Code = 1;
+  }
+  emitCacheStats(D, Local.Disk.get(), Local.Mem);
+  return Code;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -633,13 +838,16 @@ int main(int argc, char **argv) {
 
   for (int I = 1; I < argc; ++I) {
     const char *Arg = argv[I];
-    if (std::strcmp(Arg, "--device=gtx8800") == 0)
+    if (std::strcmp(Arg, "--device=gtx8800") == 0) {
       D.Opt.Device = DeviceSpec::gtx8800();
-    else if (std::strcmp(Arg, "--device=gtx280") == 0)
+      D.DeviceName = "gtx8800";
+    } else if (std::strcmp(Arg, "--device=gtx280") == 0) {
       D.Opt.Device = DeviceSpec::gtx280();
-    else if (std::strcmp(Arg, "--device=hd5870") == 0)
+      D.DeviceName = "gtx280";
+    } else if (std::strcmp(Arg, "--device=hd5870") == 0) {
       D.Opt.Device = DeviceSpec::hd5870();
-    else if (std::strcmp(Arg, "--opencl") == 0)
+      D.DeviceName = "hd5870";
+    } else if (std::strcmp(Arg, "--opencl") == 0)
       D.Dialect = PrintDialect::OpenCL;
     else if (std::strncmp(Arg, "--block=", 8) == 0)
       D.BlockN = std::atoi(Arg + 8);
@@ -700,6 +908,18 @@ int main(int argc, char **argv) {
       D.CacheDir = Arg + 12;
     else if (std::strcmp(Arg, "--no-disk-cache") == 0)
       D.NoDiskCache = true;
+    else if (std::strcmp(Arg, "--connect") == 0)
+      D.Daemon = DriverOptions::DaemonUse::Optional;
+    else if (std::strncmp(Arg, "--connect=", 10) == 0) {
+      D.Daemon = DriverOptions::DaemonUse::Optional;
+      D.DaemonSocket = Arg + 10;
+    } else if (std::strcmp(Arg, "--daemon") == 0)
+      D.Daemon = DriverOptions::DaemonUse::Required;
+    else if (std::strncmp(Arg, "--daemon=", 9) == 0) {
+      D.Daemon = DriverOptions::DaemonUse::Required;
+      D.DaemonSocket = Arg + 9;
+    } else if (std::strncmp(Arg, "--daemon-timeout-ms=", 20) == 0)
+      D.DaemonTimeoutMs = static_cast<unsigned>(std::atoi(Arg + 20));
     else if (std::strcmp(Arg, "--cache-stats") == 0)
       D.CacheStatsFlag = true;
     else if (std::strncmp(Arg, "--cache-stats=", 14) == 0) {
@@ -733,6 +953,35 @@ int main(int argc, char **argv) {
                  "--thread are not supported with --batch\n");
     return 1;
   }
+
+  // Thin-client routing. --validate and --time-report are local-only
+  // (the simulation runs and wall-clock timing happen in this process),
+  // so they never ride the daemon: --connect quietly compiles
+  // in-process, --daemon refuses. Client mode opens no disk cache up
+  // front — the daemon owns the only open; a local cache appears lazily
+  // and only if a request actually falls back.
+  if (D.Daemon != DriverOptions::DaemonUse::Off) {
+    if (D.DaemonSocket.empty())
+      D.DaemonSocket = envOr("GPUC_DAEMON_SOCKET", "");
+    if (D.DaemonSocket.empty()) {
+      std::fprintf(stderr,
+                   "gpucc: error: no daemon socket (--connect=SOCK, "
+                   "--daemon=SOCK or $GPUC_DAEMON_SOCKET)\n");
+      return 1;
+    }
+    if (D.Validate || D.TimeReportFlag) {
+      if (D.Daemon == DriverOptions::DaemonUse::Required) {
+        std::fprintf(stderr,
+                     "gpucc: error: --validate/--time-report are not "
+                     "supported via the daemon (drop --daemon or use "
+                     "--connect)\n");
+        return 1;
+      }
+      D.Daemon = DriverOptions::DaemonUse::Off;
+    }
+  }
+  if (D.Daemon != DriverOptions::DaemonUse::Off)
+    return D.Batch ? runClientBatch(D) : runClient(D);
 
   // Persistent cache wiring: explicit flag first, then the environment.
   std::unique_ptr<DiskCache> Disk;

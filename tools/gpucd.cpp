@@ -1,0 +1,185 @@
+//===-- tools/gpucd.cpp - The resident compile daemon ---------------------===//
+//
+// Part of the gpuc project: a reproduction of "A GPGPU Compiler for Memory
+// Optimization and Parallelism Management" (PLDI 2010).
+//
+// gpucd keeps the expensive part of gpucc — the design-space search over
+// merge factors and layouts — resident behind a Unix-domain socket, so
+// every client shares one warm in-memory SimCache and one open DiskCache.
+// A cold daemon plus two sequential clients reproduces the warm-cache
+// speedup without a second process-level disk-cache open.
+//
+//   gpucd --socket=/tmp/gpucd.sock --cache-dir=$HOME/.gpuc-cache   # serve
+//   gpucd --socket=/tmp/gpucd.sock --stats                         # query
+//   gpucd --socket=/tmp/gpucd.sock --ping
+//   gpucd --socket=/tmp/gpucd.sock --shutdown
+//
+// Serve mode prints "gpucd: listening on <socket>" once the socket is
+// bound — scripts wait for that line before launching clients — and exits
+// on SIGINT/SIGTERM or a client's --shutdown request.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Client.h"
+#include "serve/Server.h"
+#include "support/StringUtils.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+using namespace gpuc;
+using namespace gpuc::serve;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: gpucd --socket=PATH [serve options]\n"
+      "       gpucd --socket=PATH --stats | --ping | --shutdown\n"
+      "  --socket=PATH          Unix-domain socket (default:\n"
+      "                         $GPUC_DAEMON_SOCKET)\n"
+      "serve options:\n"
+      "  --cache-dir=DIR        persistent compile/sim cache directory\n"
+      "                         (default: $GPUC_CACHE_DIR if set); opened\n"
+      "                         exactly once for the daemon's lifetime\n"
+      "  --workers=N            compile worker threads (default: hardware\n"
+      "                         concurrency)\n"
+      "  --jobs=N               search lanes per request (default 1:\n"
+      "                         requests parallelize across each other)\n"
+      "  --queue-max=N          admission bound; a full queue answers Busy\n"
+      "                         and the thin client falls back (default 64)\n"
+      "  --timeout-ms=N         default per-request deadline; the search\n"
+      "                         is cancelled gracefully at the deadline\n"
+      "                         (default 0: none)\n"
+      "  --io-timeout-ms=N      socket receive deadline per frame\n"
+      "                         (default 10000)\n"
+      "  --stats-file=FILE      write the --stats JSON snapshot to FILE on\n"
+      "                         exit (CI artifact)\n"
+      "client subcommands:\n"
+      "  --stats                print the daemon's JSON counters snapshot\n"
+      "  --ping                 exit 0 iff a protocol-compatible daemon\n"
+      "                         answers on the socket\n"
+      "  --shutdown             ask the daemon to exit cleanly\n");
+}
+
+volatile std::sig_atomic_t GotSignal = 0;
+
+void onSignal(int) { GotSignal = 1; }
+
+int clientCommand(const std::string &Sock, const char *Cmd) {
+  std::string Err;
+  ClientStatus S;
+  if (std::strcmp(Cmd, "--ping") == 0) {
+    S = pingDaemon(Sock, Err);
+    if (S == ClientStatus::Ok) {
+      std::printf("gpucd: daemon on %s is alive\n", Sock.c_str());
+      return 0;
+    }
+  } else if (std::strcmp(Cmd, "--stats") == 0) {
+    std::string Json;
+    S = fetchDaemonStats(Sock, Json, Err);
+    if (S == ClientStatus::Ok) {
+      std::fputs(Json.c_str(), stdout);
+      return 0;
+    }
+  } else {
+    S = requestDaemonShutdown(Sock, Err);
+    if (S == ClientStatus::Ok)
+      return 0;
+  }
+  std::fprintf(stderr, "gpucd: error: %s: daemon %s: %s\n", Cmd + 2,
+               clientStatusName(S), Err.c_str());
+  return 1;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  ServerOptions Opts;
+  Opts.SocketPath = envOr("GPUC_DAEMON_SOCKET", "");
+  Opts.CacheDir = envOr("GPUC_CACHE_DIR", "");
+  std::string StatsFile;
+  const char *ClientCmd = nullptr;
+
+  for (int I = 1; I < argc; ++I) {
+    const char *Arg = argv[I];
+    if (std::strncmp(Arg, "--socket=", 9) == 0)
+      Opts.SocketPath = Arg + 9;
+    else if (std::strncmp(Arg, "--cache-dir=", 12) == 0)
+      Opts.CacheDir = Arg + 12;
+    else if (std::strcmp(Arg, "--no-disk-cache") == 0)
+      Opts.CacheDir.clear();
+    else if (std::strncmp(Arg, "--workers=", 10) == 0)
+      Opts.Workers = static_cast<unsigned>(std::atoi(Arg + 10));
+    else if (std::strncmp(Arg, "--jobs=", 7) == 0)
+      Opts.InnerJobs = std::atoi(Arg + 7);
+    else if (std::strncmp(Arg, "--queue-max=", 12) == 0)
+      Opts.QueueMax = static_cast<size_t>(std::atoll(Arg + 12));
+    else if (std::strncmp(Arg, "--timeout-ms=", 13) == 0)
+      Opts.RequestTimeoutMs = static_cast<unsigned>(std::atoi(Arg + 13));
+    else if (std::strncmp(Arg, "--io-timeout-ms=", 16) == 0)
+      Opts.IoTimeoutMs = static_cast<unsigned>(std::atoi(Arg + 16));
+    else if (std::strncmp(Arg, "--stats-file=", 13) == 0)
+      StatsFile = Arg + 13;
+    else if (std::strcmp(Arg, "--stats") == 0 ||
+             std::strcmp(Arg, "--ping") == 0 ||
+             std::strcmp(Arg, "--shutdown") == 0)
+      ClientCmd = Arg;
+    else if (std::strcmp(Arg, "--help") == 0) {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "gpucd: error: unknown option '%s'\n", Arg);
+      usage();
+      return 1;
+    }
+  }
+  if (Opts.SocketPath.empty()) {
+    std::fprintf(stderr, "gpucd: error: no socket path (--socket=PATH or "
+                         "$GPUC_DAEMON_SOCKET)\n");
+    return 1;
+  }
+
+  if (ClientCmd)
+    return clientCommand(Opts.SocketPath, ClientCmd);
+
+  // A daemon already answering on this socket means a second one would
+  // steal its socket file out from under it — refuse.
+  {
+    std::string Err;
+    if (pingDaemon(Opts.SocketPath, Err) == ClientStatus::Ok) {
+      std::fprintf(stderr,
+                   "gpucd: error: a daemon is already serving on %s\n",
+                   Opts.SocketPath.c_str());
+      return 1;
+    }
+  }
+
+  Server S(Opts);
+  std::string Err;
+  if (!S.start(Err)) {
+    std::fprintf(stderr, "gpucd: error: %s\n", Err.c_str());
+    return 1;
+  }
+  std::printf("gpucd: listening on %s\n", Opts.SocketPath.c_str());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+
+  // Park until a client asks for shutdown or a signal arrives. The wait
+  // is chunked because a signal handler cannot poke a condition variable.
+  while (!GotSignal && !S.waitForShutdownRequest(/*TimeoutMs=*/200)) {
+  }
+
+  if (!StatsFile.empty()) {
+    std::ofstream Out(StatsFile, std::ios::trunc);
+    Out << S.statsJson();
+  }
+  S.stop();
+  return 0;
+}
